@@ -1,0 +1,133 @@
+package fgs_test
+
+import (
+	"bytes"
+	"testing"
+
+	fgs "github.com/cwru-db/fgs"
+	"github.com/cwru-db/fgs/datasets"
+)
+
+func TestPublicQueryView(t *testing.T) {
+	g, groups := buildTalentGraph(t)
+	s, err := fgs.Summarize(g, groups, fgs.NewCardinality(), fgs.Config{R: 2, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &fgs.Pattern{
+		Focus: 0,
+		Nodes: []fgs.PatternNode{{Label: "user", Literals: []fgs.Literal{{Key: "gender", Val: "f"}}}},
+	}
+	got := fgs.QueryView(g, s, q, 0)
+	if len(got) != 2 {
+		t.Fatalf("view query = %v, want the 2 covered females", got)
+	}
+}
+
+func TestPublicSummaryJSON(t *testing.T) {
+	g, groups := buildTalentGraph(t)
+	s, err := fgs.Summarize(g, groups, fgs.NewCardinality(), fgs.Config{R: 2, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fgs.WriteSummaryJSON(&buf, s, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := fgs.ReadSummaryJSON(&buf, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, spurious := loaded.Reconstruct(g)
+	if missing.Len() != 0 || spurious.Len() != 0 {
+		t.Fatal("loaded summary not lossless")
+	}
+}
+
+func TestPublicDeltaMaintenance(t *testing.T) {
+	g, groups := buildTalentGraph(t)
+	m, initial := fgs.NewMaintainer(g, groups, fgs.NewCardinality(), fgs.Config{R: 2, N: 4})
+	target := initial.Covered[0]
+	in := g.In(target)
+	if len(in) == 0 {
+		t.Skip("no in-edges")
+	}
+	updated, err := m.ApplyDelta(fgs.Delta{
+		Delete: []fgs.EdgeUpdate{{From: in[0].To, To: target, Label: g.EdgeLabelName(in[0].Label)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, spurious := updated.Reconstruct(g)
+	if missing.Len() != 0 || spurious.Len() != 0 {
+		t.Fatal("deletion broke losslessness")
+	}
+}
+
+func TestPublicFairnessPolicies(t *testing.T) {
+	lki := datasets.LKI(3, 1)
+	users := lki.NodesWithLabel("user")
+	var males, females []fgs.NodeID
+	for _, u := range users {
+		if v, _ := lki.AttrString(u, "gender"); v == "male" {
+			males = append(males, u)
+		} else {
+			females = append(females, u)
+		}
+	}
+	raw := []fgs.Group{
+		{Name: "male", Members: males},
+		{Name: "female", Members: females},
+	}
+
+	eq, err := fgs.EqualOpportunity(raw, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq[0].Lower != 40 || eq[1].Upper != 60 {
+		t.Fatalf("equal-opportunity bounds: %+v", eq)
+	}
+
+	prop, err := fgs.Proportional(raw, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop[0].Lower <= prop[1].Lower {
+		t.Fatalf("proportional bounds should favor the majority: %+v vs %+v", prop[0], prop[1])
+	}
+	// Both must be usable end to end.
+	groups, err := fgs.NewGroups(eq...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fgs.Summarize(lki, groups, fgs.NewNeighborCoverage(lki, fgs.NeighborsIn, "corev"), fgs.Config{R: 2, N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fgs.CoverageError(groups, s.Covered) != 0 {
+		t.Fatal("equal-opportunity summary violates its own bounds")
+	}
+}
+
+func TestPublicAttributeDiversity(t *testing.T) {
+	lki := datasets.LKI(4, 1)
+	groups, err := datasets.GroupsByAttr(lki, "user", "gender", []string{"male", "female"}, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := fgs.NewAttributeDiversity(lki, "industry")
+	s, err := fgs.Summarize(lki, groups, util, fgs.Config{R: 1, N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five industries exist; a 12-node diverse selection should span most.
+	seen := map[string]bool{}
+	for _, v := range s.Covered {
+		if ind, ok := lki.AttrString(v, "industry"); ok {
+			seen[ind] = true
+		}
+	}
+	if len(seen) < 4 {
+		t.Fatalf("diversity utility covered only %d industries", len(seen))
+	}
+}

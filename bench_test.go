@@ -1,0 +1,86 @@
+package fgs_test
+
+// The benchmark harness: one testing.B benchmark per figure of the paper's
+// evaluation section (Section VIII) plus the ablations DESIGN.md lists.
+// Each benchmark regenerates the figure's full data series; the rows are
+// printed once (first iteration) so `go test -bench` output doubles as the
+// reproduction record consumed by EXPERIMENTS.md.
+//
+// Datasets are scale-1 (see internal/gen); absolute times therefore differ
+// from the paper's 5M-node runs, but the series shapes are the comparison
+// targets. Set -timeout generously when running all benches.
+
+import (
+	"flag"
+	"sync"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/experiments"
+)
+
+var benchScale = flag.Int("fgs.scale", 1, "dataset scale for figure benchmarks")
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+func benchSuite() *experiments.Suite {
+	suiteOnce.Do(func() { suite = experiments.New(*benchScale, 42) })
+	return suite
+}
+
+// runFigure drives one figure's harness function under testing.B and prints
+// the series on the first iteration.
+func runFigure(b *testing.B, name string, fn func() ([]experiments.Row, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := fn()
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if i == 0 {
+			b.Log(experiments.FormatRows(rows))
+		}
+	}
+}
+
+// Exp-1: effectiveness (Figs. 8(a)-8(f)).
+
+func BenchmarkFig8aCoverageError(b *testing.B) { runFigure(b, "fig8a", benchSuite().Fig8a) }
+func BenchmarkFig8bCompression(b *testing.B)   { runFigure(b, "fig8b", benchSuite().Fig8b) }
+func BenchmarkFig8cVaryK(b *testing.B)         { runFigure(b, "fig8c", benchSuite().Fig8c) }
+func BenchmarkFig8dVaryCard(b *testing.B)      { runFigure(b, "fig8d", benchSuite().Fig8d) }
+func BenchmarkFig8eVaryN(b *testing.B)         { runFigure(b, "fig8e", benchSuite().Fig8e) }
+func BenchmarkFig8fVaryLower(b *testing.B)     { runFigure(b, "fig8f", benchSuite().Fig8f) }
+
+// Exp-2: efficiency (Figs. 9(a)-9(d)).
+
+func BenchmarkFig9aEfficiency(b *testing.B) { runFigure(b, "fig9a", benchSuite().Fig9a) }
+func BenchmarkFig9bVaryK(b *testing.B)      { runFigure(b, "fig9b", benchSuite().Fig9b) }
+func BenchmarkFig9cVaryN(b *testing.B)      { runFigure(b, "fig9c", benchSuite().Fig9c) }
+func BenchmarkFig9dVaryR(b *testing.B)      { runFigure(b, "fig9d", benchSuite().Fig9d) }
+
+// Exp-3: online summarization (Figs. 10(a)-10(b)).
+
+func BenchmarkFig10aOnlineRatio(b *testing.B) { runFigure(b, "fig10a", benchSuite().Fig10a) }
+func BenchmarkFig10bOnlineTime(b *testing.B)  { runFigure(b, "fig10b", benchSuite().Fig10b) }
+
+// Exp-4: case studies (Figs. 11 and 12).
+
+func BenchmarkCaseTalent(b *testing.B)   { runFigure(b, "case-talent", benchSuite().CaseTalent) }
+func BenchmarkCasePandemic(b *testing.B) { runFigure(b, "case-pandemic", benchSuite().CasePandemic) }
+
+// Ablations (DESIGN.md section 5).
+
+func BenchmarkAblationGainRule(b *testing.B) {
+	runFigure(b, "ablation-gain", benchSuite().AblationGainRule)
+}
+
+func BenchmarkAblationSeedPatterns(b *testing.B) {
+	runFigure(b, "ablation-seeds", benchSuite().AblationSeedPatterns)
+}
+
+func BenchmarkAblationLazyGreedy(b *testing.B) {
+	runFigure(b, "ablation-lazy", benchSuite().AblationLazyGreedy)
+}

@@ -1,0 +1,116 @@
+// Command fgsbench regenerates the figures of the paper's evaluation
+// section on the synthetic datasets and prints them as tables.
+//
+// Usage:
+//
+//	fgsbench -exp fig8a,fig8b          # specific figures
+//	fgsbench -exp all -scale 1         # the full evaluation
+//
+// Experiments: fig8a fig8b fig8c fig8d fig8e fig8f fig9a fig9b fig9c fig9d
+// fig10a fig10b case-talent case-pandemic. See DESIGN.md for the mapping
+// to the paper's figures and EXPERIMENTS.md for expected shapes.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/experiments"
+)
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale  = flag.Int("scale", 1, "dataset scale (1 = test-sized)")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	suite := experiments.New(*scale, *seed)
+	runners := map[string]func() ([]experiments.Row, error){
+		"fig8a":         suite.Fig8a,
+		"fig8b":         suite.Fig8b,
+		"fig8c":         suite.Fig8c,
+		"fig8d":         suite.Fig8d,
+		"fig8e":         suite.Fig8e,
+		"fig8f":         suite.Fig8f,
+		"fig9a":         suite.Fig9a,
+		"fig9b":         suite.Fig9b,
+		"fig9c":         suite.Fig9c,
+		"fig9d":         suite.Fig9d,
+		"fig10a":        suite.Fig10a,
+		"fig10b":        suite.Fig10b,
+		"case-talent":   suite.CaseTalent,
+		"case-pandemic": suite.CasePandemic,
+	}
+	order := []string{
+		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f",
+		"fig9a", "fig9b", "fig9c", "fig9d", "fig10a", "fig10b",
+		"case-talent", "case-pandemic",
+	}
+
+	var selected []string
+	if *exps == "all" {
+		selected = order
+	} else {
+		for _, e := range strings.Split(*exps, ",") {
+			e = strings.TrimSpace(e)
+			if _, ok := runners[e]; !ok {
+				fmt.Fprintf(os.Stderr, "fgsbench: unknown experiment %q\n", e)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var all []experiments.Row
+	for _, e := range selected {
+		start := time.Now()
+		rows, err := runners[e]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fgsbench: %s: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fgsbench: %s done in %v (%d rows)\n", e, time.Since(start).Round(time.Millisecond), len(rows))
+		all = append(all, rows...)
+	}
+	switch *format {
+	case "table":
+		fmt.Print(experiments.FormatRows(all))
+	case "csv":
+		if err := writeCSV(os.Stdout, all); err != nil {
+			fmt.Fprintln(os.Stderr, "fgsbench:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "fgsbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}
+
+// writeCSV emits one row per data point for plotting tools.
+func writeCSV(w *os.File, rows []experiments.Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"exp", "dataset", "algo", "x_label", "x", "metric", "value"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Exp, r.Dataset, r.Algo, r.XLabel,
+			strconv.FormatFloat(r.X, 'g', -1, 64),
+			r.Metric,
+			strconv.FormatFloat(r.Value, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

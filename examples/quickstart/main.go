@@ -1,0 +1,71 @@
+// Quickstart: build a small talent network by hand, compute a fair
+// 2-summary with one male and one female candidate per the coverage
+// constraints, and verify that the summary losslessly describes the
+// selected candidates' 2-hop neighborhoods.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fgs "github.com/cwru-db/fgs"
+)
+
+func main() {
+	g := fgs.NewGraph()
+
+	// Four candidates with profile attributes; recommenders around them.
+	v0 := g.AddNode("user", map[string]string{"exp": "5", "industry": "Internet", "gender": "m"})
+	v5 := g.AddNode("user", map[string]string{"exp": "4", "industry": "Internet", "gender": "m"})
+	v8 := g.AddNode("user", map[string]string{"exp": "4", "industry": "Internet", "gender": "f"})
+	v10 := g.AddNode("user", map[string]string{"exp": "4", "industry": "Internet", "gender": "f"})
+	recommenders := make([]fgs.NodeID, 8)
+	for i := range recommenders {
+		recommenders[i] = g.AddNode("user", nil)
+	}
+	// Two recommenders per candidate.
+	mustEdge(g, recommenders[0], v0)
+	mustEdge(g, recommenders[1], v0)
+	mustEdge(g, recommenders[2], v5)
+	mustEdge(g, recommenders[3], v5)
+	mustEdge(g, recommenders[4], v8)
+	mustEdge(g, recommenders[5], v8)
+	mustEdge(g, recommenders[6], v10)
+	mustEdge(g, recommenders[7], v10)
+	// Depth-2 structure behind v0's recommenders.
+	d1 := g.AddNode("user", nil)
+	d2 := g.AddNode("user", nil)
+	mustEdge(g, d1, recommenders[0])
+	mustEdge(g, d2, recommenders[1])
+
+	// Gender groups with equal-opportunity bounds.
+	groups, err := fgs.NewGroups(
+		fgs.Group{Name: "male", Members: []fgs.NodeID{v0, v5}, Lower: 1, Upper: 2},
+		fgs.Group{Name: "female", Members: []fgs.NodeID{v8, v10}, Lower: 1, Upper: 2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Utility: how many distinct recommenders the selected candidates reach.
+	util := fgs.NewNeighborCoverage(g, fgs.NeighborsIn, "recommend")
+
+	summary, err := fgs.Summarize(g, groups, util, fgs.Config{R: 2, N: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(summary)
+
+	report := fgs.Verify(g, groups, fgs.NewNeighborCoverage(g, fgs.NeighborsIn, "recommend"),
+		fgs.Config{R: 2, N: 4}, summary, summary.CL, 0)
+	fmt.Println("verification:", report)
+
+	missing, spurious := summary.Reconstruct(g)
+	fmt.Printf("lossless reconstruction: missing=%d spurious=%d\n", missing.Len(), spurious.Len())
+}
+
+func mustEdge(g *fgs.Graph, from, to fgs.NodeID) {
+	if err := g.AddEdge(from, to, "recommend"); err != nil {
+		log.Fatal(err)
+	}
+}

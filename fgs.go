@@ -1,0 +1,263 @@
+// Package fgs is a Go implementation of Fair Group Summarization with Graph
+// Patterns (Ma, Guan, Wang, Song, Wu — ICDE 2023).
+//
+// Given an attributed directed graph and a set of disjoint node groups
+// (e.g. gender, age, or topic groups), each with a coverage constraint
+// [l_i, u_i], the library computes r-summaries: a set of focused graph
+// patterns that selects high-utility representative nodes from every group
+// within its constraint, plus an edge-correction set that makes the
+// reconstruction of the selected nodes' r-hop neighborhoods lossless.
+//
+// Four algorithms are provided:
+//
+//   - Summarize (APXFGS): the (½, ln n)-approximation — greedy fair
+//     selection followed by greedy pattern covering with minimal
+//     accumulated correction loss.
+//   - SummarizeK (k-APXFGS): at most k patterns, minimizing the correction
+//     set size via maximum edge coverage — the (½, 1+1/(e·γ)) variant.
+//   - NewOnline: streaming summarization — nodes arrive one at a time, the
+//     selection uses a ¼-competitive swap rule, and patterns are maintained
+//     with localized mining.
+//   - NewMaintainer (Inc-FGS): incremental maintenance under batches of
+//     edge insertions.
+//
+// Quickstart:
+//
+//	g := fgs.NewGraph()
+//	alice := g.AddNode("user", map[string]string{"gender": "f"})
+//	bob := g.AddNode("user", map[string]string{"gender": "m"})
+//	// ... add more nodes and g.AddEdge calls ...
+//	groups, _ := fgs.NewGroups(
+//		fgs.Group{Name: "f", Members: []fgs.NodeID{alice}, Lower: 1, Upper: 1},
+//		fgs.Group{Name: "m", Members: []fgs.NodeID{bob}, Lower: 1, Upper: 1},
+//	)
+//	util := fgs.NewNeighborCoverage(g, fgs.NeighborsIn, "")
+//	summary, err := fgs.Summarize(g, groups, util, fgs.Config{R: 2, N: 2})
+//
+// See the examples directory for complete applications and DESIGN.md for
+// the system layout.
+package fgs
+
+import (
+	"io"
+
+	"github.com/cwru-db/fgs/internal/core"
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/metrics"
+	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/pattern"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// Graph model (Section II of the paper).
+type (
+	// Graph is an attributed, directed, labeled multigraph.
+	Graph = graph.Graph
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// EdgeRef identifies a directed labeled edge.
+	EdgeRef = graph.EdgeRef
+	// EdgeSet is a set of edges (correction sets are EdgeSets).
+	EdgeSet = graph.EdgeSet
+	// NodeSet is a set of nodes.
+	NodeSet = graph.NodeSet
+)
+
+// Patterns and matching.
+type (
+	// Pattern is a connected graph pattern with a designated focus node.
+	Pattern = pattern.Pattern
+	// PatternNode is one pattern node: label plus equality literals.
+	PatternNode = pattern.Node
+	// PatternEdge is one directed labeled pattern edge.
+	PatternEdge = pattern.Edge
+	// Literal is an equality constraint u.Key = Val on a pattern node.
+	Literal = pattern.Literal
+	// Matcher evaluates patterns against one graph (anchored subgraph
+	// isomorphism and dual simulation).
+	Matcher = pattern.Matcher
+)
+
+// Groups, utilities, and selection.
+type (
+	// Group is one node group with its coverage constraint [Lower, Upper].
+	Group = submod.Group
+	// Groups is a validated group set.
+	Groups = submod.Groups
+	// Utility is a monotone submodular set function over nodes.
+	Utility = submod.Utility
+	// NeighborMode selects the direction NeighborCoverage counts.
+	NeighborMode = submod.NeighborMode
+)
+
+// Neighbor directions for NewNeighborCoverage.
+const (
+	NeighborsIn   = submod.NeighborsIn
+	NeighborsOut  = submod.NeighborsOut
+	NeighborsBoth = submod.NeighborsBoth
+)
+
+// Summaries and algorithms.
+type (
+	// Config is the user configuration C = {r, k, n} plus mining bounds.
+	Config = core.Config
+	// MiningConfig bounds the SumGen pattern search.
+	MiningConfig = mining.Config
+	// Summary is an r-summary S = (P, C).
+	Summary = core.Summary
+	// PatternInfo is one selected pattern with its coverage artifacts.
+	PatternInfo = core.PatternInfo
+	// Report is the outcome of Verify (procedure rverify).
+	Report = core.Report
+	// Online is the streaming summarizer (Online-APXFGS).
+	Online = core.Online
+	// Maintainer is the incremental summarizer (Inc-FGS).
+	Maintainer = core.Maintainer
+	// EdgeUpdate is one edge insertion of a maintenance batch.
+	EdgeUpdate = core.EdgeUpdate
+	// Delta is a maintenance batch of insertions and deletions.
+	Delta = core.Delta
+)
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return graph.New() }
+
+// ReadGraph parses a graph in the line-oriented text format (see WriteGraph).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph serializes a graph in the text format:
+//
+//	n <id> <label> [key=val ...]
+//	e <from> <to> <label>
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// NewGroups validates and indexes a group set: bounds must satisfy
+// 0 <= l <= u <= |members| and member sets must be disjoint.
+func NewGroups(gs ...Group) (*Groups, error) { return submod.NewGroups(gs...) }
+
+// NewRatingSum builds the modular utility F(S) = Σ rating(v), with ratings
+// parsed from the given node attribute.
+func NewRatingSum(g *Graph, attrKey string) Utility { return submod.NewRatingSum(g, attrKey) }
+
+// NewNeighborCoverage builds the influence-style submodular utility
+// F(S) = |∪_{v∈S} N(v)|, counting neighbors in the given direction over
+// edges with the given label ("" = any label).
+func NewNeighborCoverage(g *Graph, mode NeighborMode, edgeLabel string) Utility {
+	return submod.NewNeighborCoverage(g, mode, edgeLabel)
+}
+
+// NewCardinality builds the trivial utility F(S) = |S|.
+func NewCardinality() Utility { return submod.NewCardinality() }
+
+// NewAttributeDiversity builds a monotone submodular utility counting the
+// distinct values of an attribute among the selected nodes.
+func NewAttributeDiversity(g *Graph, attrKey string) Utility {
+	return submod.NewAttributeDiversity(g, attrKey)
+}
+
+// EqualOpportunity rewrites the groups' bounds to give every group a
+// (near-)equal share of the budget n, within the given slack — the
+// equal-opportunity fairness policy of the paper's experiments.
+func EqualOpportunity(groups []Group, n, slack int) ([]Group, error) {
+	return submod.EqualOpportunity(groups, n, slack)
+}
+
+// Proportional rewrites the groups' bounds proportionally to their
+// population shares within tolerance alpha (alpha = 0.2 gives the classic
+// 80%-rule / disparate-impact flavor).
+func Proportional(groups []Group, n int, alpha float64) ([]Group, error) {
+	return submod.Proportional(groups, n, alpha)
+}
+
+// NewMatcher returns a pattern matcher over g. embedCap bounds embedding
+// enumeration per (pattern, anchor); 0 means unlimited.
+func NewMatcher(g *Graph, embedCap int) *Matcher { return pattern.NewMatcher(g, embedCap) }
+
+// ParsePattern reads a pattern in the text format:
+//
+//	n 0 user industry=Internet
+//	n 1 user
+//	e 1 0 corev
+//	f 0
+func ParsePattern(r io.Reader) (*Pattern, error) { return pattern.Parse(r) }
+
+// ParsePatternString parses a pattern from a string.
+func ParsePatternString(s string) (*Pattern, error) { return pattern.ParseString(s) }
+
+// FormatPattern writes a pattern in the parseable text format.
+func FormatPattern(w io.Writer, p *Pattern) error { return pattern.Format(w, p) }
+
+// Summarize computes an r-summary with APXFGS — the select-and-summarize
+// (½, ln n)-approximation of the paper's Theorem 3. The utility's state is
+// consumed.
+func Summarize(g *Graph, groups *Groups, util Utility, cfg Config) (*Summary, error) {
+	return core.APXFGS(g, groups, util, cfg)
+}
+
+// SummarizeK computes an r-summary with at most cfg.K patterns, minimizing
+// the correction size |C| — the Section V variant (Theorem 5).
+func SummarizeK(g *Graph, groups *Groups, util Utility, cfg Config) (*Summary, error) {
+	return core.KAPXFGS(g, groups, util, cfg)
+}
+
+// NewOnline prepares the streaming summarizer of Section VI. Feed nodes with
+// Process/ProcessAll and call Finish for the final summary.
+func NewOnline(g *Graph, groups *Groups, util Utility, cfg Config) *Online {
+	return core.NewOnline(g, groups, util, cfg)
+}
+
+// NewMaintainer prepares the incremental summarizer of Section VII and
+// returns the initial summary. Apply edge batches with ApplyBatch.
+func NewMaintainer(g *Graph, groups *Groups, util Utility, cfg Config) (*Maintainer, *Summary) {
+	return core.NewMaintainer(g, groups, util, cfg)
+}
+
+// Verify checks a summary against the graph, groups, and configuration
+// (procedure rverify): feasibility, recorded-coverage consistency,
+// losslessness, utility >= bf, and accumulated loss <= bc.
+func Verify(g *Graph, groups *Groups, util Utility, cfg Config, s *Summary, bc int, bf float64) Report {
+	return core.Verify(g, groups, util, cfg, s, bc, bf)
+}
+
+// WorkloadEntry is one summary pattern annotated as a benchmark query.
+type WorkloadEntry = core.WorkloadEntry
+
+// Workload evaluates every summary pattern as a standalone graph query with
+// cardinality and selectivity annotations — the paper's "patterns as
+// benchmark queries" application.
+func Workload(g *Graph, s *Summary, embedCap int) []WorkloadEntry {
+	return core.Workload(g, s, embedCap)
+}
+
+// WriteWorkload emits a workload as parseable annotated pattern blocks.
+func WriteWorkload(w io.Writer, entries []WorkloadEntry) error {
+	return core.WriteWorkload(w, entries)
+}
+
+// QueryView answers a pattern query over the summary treated as a
+// materialized view: only covered nodes are tested as focus anchors. This
+// is the fast-path querying of the paper's talent-search case study.
+func QueryView(g *Graph, s *Summary, p *Pattern, embedCap int) []NodeID {
+	return core.QueryView(g, s, p, embedCap)
+}
+
+// WriteSummaryJSON serializes a summary in a self-contained JSON form.
+func WriteSummaryJSON(w io.Writer, s *Summary, g *Graph) error { return s.WriteJSON(w, g) }
+
+// ReadSummaryJSON parses a summary written by WriteSummaryJSON, re-binding
+// it against g.
+func ReadSummaryJSON(r io.Reader, g *Graph, embedCap int) (*Summary, error) {
+	return core.ReadSummaryJSON(r, g, embedCap)
+}
+
+// CoverageError is the normalized group-constraint violation C_eps of the
+// paper's evaluation; 0 when every group's coverage lands in [l_i, u_i].
+func CoverageError(groups *Groups, covered []NodeID) float64 {
+	return metrics.CoverageError(groups, covered)
+}
+
+// CompressionRatio is the evaluation's C_r: summary description length over
+// the size of the r-hop neighborhoods it describes.
+func CompressionRatio(g *Graph, r int, covered []NodeID, structureSize, corrections int) float64 {
+	return metrics.CompressionRatio(g, r, covered, structureSize, corrections)
+}

@@ -1,0 +1,205 @@
+package fgs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	fgs "github.com/cwru-db/fgs"
+	"github.com/cwru-db/fgs/datasets"
+	"github.com/cwru-db/fgs/spread"
+)
+
+// buildTalentGraph assembles the quickstart fixture through the public API.
+func buildTalentGraph(t *testing.T) (*fgs.Graph, *fgs.Groups) {
+	t.Helper()
+	g := fgs.NewGraph()
+	v0 := g.AddNode("user", map[string]string{"exp": "5", "gender": "m"})
+	v1 := g.AddNode("user", map[string]string{"exp": "4", "gender": "m"})
+	v2 := g.AddNode("user", map[string]string{"exp": "4", "gender": "f"})
+	v3 := g.AddNode("user", map[string]string{"exp": "3", "gender": "f"})
+	for _, target := range []fgs.NodeID{v0, v1, v2, v3} {
+		for i := 0; i < 2; i++ {
+			r := g.AddNode("user", nil)
+			if err := g.AddEdge(r, target, "recommend"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	groups, err := fgs.NewGroups(
+		fgs.Group{Name: "m", Members: []fgs.NodeID{v0, v1}, Lower: 1, Upper: 2},
+		fgs.Group{Name: "f", Members: []fgs.NodeID{v2, v3}, Lower: 1, Upper: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, groups
+}
+
+func TestPublicSummarize(t *testing.T) {
+	g, groups := buildTalentGraph(t)
+	cfg := fgs.Config{R: 2, N: 4}
+	s, err := fgs.Summarize(g, groups, fgs.NewNeighborCoverage(g, fgs.NeighborsIn, "recommend"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Covered) != 4 {
+		t.Fatalf("covered = %d", len(s.Covered))
+	}
+	rep := fgs.Verify(g, groups, fgs.NewNeighborCoverage(g, fgs.NeighborsIn, "recommend"), cfg, s, s.CL, 0)
+	if !rep.OK() {
+		t.Fatalf("verification failed: %s", rep)
+	}
+	if err := fgs.CoverageError(groups, s.Covered); err != 0 {
+		t.Fatalf("coverage error = %v", err)
+	}
+}
+
+func TestPublicSummarizeK(t *testing.T) {
+	g, groups := buildTalentGraph(t)
+	cfg := fgs.Config{R: 2, K: 3, N: 4}
+	s, err := fgs.SummarizeK(g, groups, fgs.NewCardinality(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPatterns() > 3 {
+		t.Fatalf("patterns = %d > k", s.NumPatterns())
+	}
+}
+
+func TestPublicOnline(t *testing.T) {
+	g, groups := buildTalentGraph(t)
+	o := fgs.NewOnline(g, groups, fgs.NewCardinality(), fgs.Config{R: 2, N: 4, K: 6})
+	for i := 0; i < groups.Len(); i++ {
+		o.ProcessAll(groups.At(i).Members)
+	}
+	s, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Covered) == 0 {
+		t.Fatal("online covered nothing")
+	}
+}
+
+func TestPublicMaintainer(t *testing.T) {
+	g, groups := buildTalentGraph(t)
+	m, initial := fgs.NewMaintainer(g, groups, fgs.NewCardinality(), fgs.Config{R: 2, N: 4})
+	if initial == nil || len(initial.Covered) == 0 {
+		t.Fatal("no initial summary")
+	}
+	fresh := g.AddNode("user", nil)
+	updated, err := m.ApplyBatch([]fgs.EdgeUpdate{{From: fresh, To: initial.Covered[0], Label: "recommend"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, spurious := updated.Reconstruct(g)
+	if missing.Len() != 0 || spurious.Len() != 0 {
+		t.Fatal("maintained summary not lossless")
+	}
+}
+
+func TestPublicGraphIO(t *testing.T) {
+	g, _ := buildTalentGraph(t)
+	var buf bytes.Buffer
+	if err := fgs.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := fgs.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestPublicMatcher(t *testing.T) {
+	g, _ := buildTalentGraph(t)
+	p := &fgs.Pattern{
+		Focus: 0,
+		Nodes: []fgs.PatternNode{
+			{Label: "user", Literals: []fgs.Literal{{Key: "gender", Val: "f"}}},
+			{Label: "user"},
+		},
+		Edges: []fgs.PatternEdge{{From: 1, To: 0, Label: "recommend"}},
+	}
+	m := fgs.NewMatcher(g, 0)
+	got := m.Matches(p)
+	if len(got) != 2 {
+		t.Fatalf("female candidates = %d, want 2", len(got))
+	}
+}
+
+func TestDatasetsPackage(t *testing.T) {
+	lki := datasets.LKI(1, 1)
+	if lki.NumNodes() == 0 {
+		t.Fatal("empty LKI")
+	}
+	if datasets.DBP(1, 1).NumNodes() == 0 || datasets.Cite(1, 1).NumNodes() == 0 {
+		t.Fatal("empty datasets")
+	}
+	groups, err := datasets.GroupsByAttr(lki, "user", "gender", []string{"male", "female"}, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups.Len() != 2 {
+		t.Fatal("group induction failed")
+	}
+	pairs, err := datasets.GroupsByAttrPairs(lki, "user", "gender", []string{"male", "female"}, "degree", []string{"BS", "MS"}, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs.Len() != 4 {
+		t.Fatal("pair group induction failed")
+	}
+}
+
+func TestSpreadPackage(t *testing.T) {
+	g := datasets.Pandemic(5, 1000)
+	groups, err := datasets.GroupsByAttr(g, "citizen", "agegroup", []string{"young", "senior"}, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := spread.TopDegreeSeeds(g, 5)
+	if len(seeds) != 5 {
+		t.Fatal("seed selection failed")
+	}
+	model := spread.Model{P: 0.2, Trials: 5, Seed: 3}
+	none := spread.SimulateImmunization(g, groups, seeds, []int{0, 0}, model)
+	some := spread.SimulateImmunization(g, groups, seeds, []int{25, 25}, model)
+	if some.Infected >= none.Infected {
+		t.Fatalf("vaccination did not help: %.1f vs %.1f", some.Infected, none.Infected)
+	}
+	vax := spread.AllocateVaccines(g, groups, []int{10, 10}, fgs.NodeSet{})
+	if vax.Len() != 20 {
+		t.Fatalf("allocated %d", vax.Len())
+	}
+}
+
+func TestCompressionRatioExported(t *testing.T) {
+	g, groups := buildTalentGraph(t)
+	s, err := fgs.Summarize(g, groups, fgs.NewCardinality(), fgs.Config{R: 2, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	structure := 0
+	for _, pi := range s.Patterns {
+		structure += pi.P.Size()
+	}
+	ratio := fgs.CompressionRatio(g, 2, s.Covered, structure, s.Corrections.Len())
+	if ratio <= 0 || ratio > 1 {
+		t.Fatalf("ratio = %v", ratio)
+	}
+}
+
+func TestSummaryStringMentionsPatterns(t *testing.T) {
+	g, groups := buildTalentGraph(t)
+	s, err := fgs.Summarize(g, groups, fgs.NewCardinality(), fgs.Config{R: 2, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.String(), "2-summary") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/cwru-db/fgs
+
+go 1.22

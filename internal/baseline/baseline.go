@@ -1,0 +1,71 @@
+// Package baseline reimplements the four summarization baselines the paper
+// compares against (Section VIII, "Algorithms"), each adapted to the FGS
+// setting exactly as the paper describes its adaptation:
+//
+//   - Grami [11]: mines the top-k most frequent subgraph patterns over the
+//     group nodes and uses them as summary patterns. Frequency-driven, so it
+//     skews toward majority groups.
+//   - DSum [42]: lossy d-summaries — k patterns matched by dual simulation
+//     instead of subgraph isomorphism, scored to favor larger (more
+//     informative) patterns. Fast, no corrections, no losslessness.
+//   - MMPG [34]: diversified pattern reformulation — starting from a seed
+//     pattern, generates reformulations (added edges/literals) and greedily
+//     picks k that maximize coverage plus pairwise diversity of the covered
+//     nodes. Favors larger patterns.
+//   - Mosso [21]: incremental lossless graph summarization with supernodes,
+//     superedges and edge corrections; compares against Inc-FGS on streams.
+//
+// Every baseline reports its output in the common Result form so the
+// experiment harness can score coverage error and compression ratio
+// uniformly.
+package baseline
+
+import (
+	"time"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/pattern"
+)
+
+// Result is the common evaluation view of a baseline summary.
+type Result struct {
+	// Patterns are the summary patterns (nil for Mosso, which summarizes
+	// with supernodes instead).
+	Patterns []*pattern.Pattern
+	// Covered is the set of group nodes the summary selects/represents,
+	// truncated to the experiment's budget n for comparability.
+	Covered []graph.NodeID
+	// StructureSize is the description length of the summary structures
+	// (pattern sizes, or supernode/superedge encoding for Mosso).
+	StructureSize int
+	// Corrections is the number of correction edges a lossless method pays
+	// for; 0 for lossy methods.
+	Corrections int
+	// GlobalRatio, when positive, is the method's native compression ratio
+	// over everything it consumed (Mosso summarizes the whole input graph,
+	// so scoring its encoding against one region's neighborhoods would be
+	// meaningless). 0 for pattern-based methods, which are scored against
+	// the covered nodes' r-hop neighborhoods.
+	GlobalRatio float64
+	// Elapsed is the end-to-end summarization time.
+	Elapsed time.Duration
+}
+
+// truncate keeps at most n nodes, preserving order.
+func truncate(nodes []graph.NodeID, n int) []graph.NodeID {
+	if len(nodes) <= n {
+		return nodes
+	}
+	return nodes[:n]
+}
+
+// dedupAppend appends the nodes of src not yet in seen, updating seen.
+func dedupAppend(dst []graph.NodeID, src []graph.NodeID, seen graph.NodeSet) []graph.NodeID {
+	for _, v := range src {
+		if !seen.Has(v) {
+			seen.Add(v)
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}

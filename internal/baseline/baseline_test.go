@@ -1,0 +1,171 @@
+package baseline
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// skewedFixture builds a network with a 3:1 majority/minority split where
+// majority nodes share a frequent structure — the setting in which frequent
+// mining over-represents the majority (Example 2 of the paper).
+func skewedFixture(t testing.TB) (*graph.Graph, *submod.Groups) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	g := graph.New()
+	var majority, minority []graph.NodeID
+	// 12 majority members, each recommended by two dedicated users.
+	for i := 0; i < 12; i++ {
+		v := g.AddNode("user", map[string]string{"gender": "m", "exp": strconv.Itoa(1 + rng.Intn(3))})
+		majority = append(majority, v)
+		for j := 0; j < 2; j++ {
+			r := g.AddNode("user", nil)
+			if err := g.AddEdge(r, v, "recommend"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// 4 minority members with a single recommender each.
+	for i := 0; i < 4; i++ {
+		v := g.AddNode("user", map[string]string{"gender": "f", "exp": strconv.Itoa(1 + rng.Intn(3))})
+		minority = append(minority, v)
+		r := g.AddNode("user", nil)
+		if err := g.AddEdge(r, v, "recommend"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	groups, err := submod.NewGroups(
+		submod.Group{Name: "m", Members: majority, Lower: 3, Upper: 5},
+		submod.Group{Name: "f", Members: minority, Lower: 3, Upper: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, groups
+}
+
+func miningCfg() mining.Config {
+	return mining.Config{MaxNodes: 3, MaxLiterals: 1, MaxPatterns: 80}
+}
+
+func TestGramiSkewsTowardMajority(t *testing.T) {
+	g, groups := skewedFixture(t)
+	res := Grami(g, groups, GramiConfig{R: 2, K: 5, N: 8, MinSup: 2, Mining: miningCfg()})
+	if len(res.Patterns) == 0 || len(res.Patterns) > 5 {
+		t.Fatalf("pattern count = %d", len(res.Patterns))
+	}
+	if len(res.Covered) == 0 || len(res.Covered) > 8 {
+		t.Fatalf("covered = %d", len(res.Covered))
+	}
+	counts := groups.Counts(res.Covered)
+	if counts[0] <= counts[1] {
+		t.Fatalf("frequent mining should over-represent the majority: %v", counts)
+	}
+	if res.StructureSize <= 0 || res.Elapsed <= 0 {
+		t.Fatal("bookkeeping missing")
+	}
+}
+
+func TestGramiCorrectionsCharged(t *testing.T) {
+	g, groups := skewedFixture(t)
+	// Restrict mining to singleton patterns: they describe no edges, so
+	// every r-hop edge of the covered nodes must be charged as a correction.
+	cfg := miningCfg()
+	cfg.MaxNodes = 1
+	res := Grami(g, groups, GramiConfig{R: 2, K: 3, N: 8, MinSup: 2, Mining: cfg})
+	if res.Corrections == 0 {
+		t.Fatal("expected positive corrections for lossless Grami adaptation")
+	}
+	want := g.RHopEdgesOf(res.Covered, 2).Len()
+	if res.Corrections != want {
+		t.Fatalf("singleton summary should miss all %d edges, got %d", want, res.Corrections)
+	}
+}
+
+func TestDSumLossyNoCorrections(t *testing.T) {
+	g, groups := skewedFixture(t)
+	res := DSum(g, groups, DSumConfig{D: 2, K: 4, N: 8, Mining: miningCfg()})
+	if res.Corrections != 0 {
+		t.Fatal("d-sum is lossy; must not charge corrections")
+	}
+	if len(res.Patterns) == 0 || len(res.Patterns) > 4 {
+		t.Fatalf("pattern count = %d", len(res.Patterns))
+	}
+	if len(res.Covered) == 0 {
+		t.Fatal("no coverage")
+	}
+}
+
+func TestDSumFavorsLargerPatterns(t *testing.T) {
+	g, groups := skewedFixture(t)
+	res := DSum(g, groups, DSumConfig{D: 2, K: 3, N: 8, Mining: miningCfg()})
+	// The top-scored pattern must be larger than a bare singleton: score
+	// multiplies support by size.
+	if res.Patterns[0].Size() <= 1 {
+		t.Fatalf("top d-sum pattern is a singleton: %s", res.Patterns[0])
+	}
+}
+
+func TestMMPGDiversifiesCoverage(t *testing.T) {
+	g, groups := skewedFixture(t)
+	res := MMPG(g, groups, MMPGConfig{R: 2, K: 4, N: 10, Mining: miningCfg()})
+	if len(res.Patterns) == 0 || len(res.Patterns) > 4 {
+		t.Fatalf("pattern count = %d", len(res.Patterns))
+	}
+	// Reformulations are non-trivial patterns.
+	for _, p := range res.Patterns {
+		if len(p.Edges) == 0 && len(p.Nodes[p.Focus].Literals) == 0 {
+			t.Fatalf("bare seed selected as reformulation: %s", p)
+		}
+	}
+	// Diversity pressure should cover both groups.
+	counts := groups.Counts(res.Covered)
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("diversified selection covers only one group: %v", counts)
+	}
+}
+
+func TestMMPGLargerSummariesThanGrami(t *testing.T) {
+	g, groups := skewedFixture(t)
+	grami := Grami(g, groups, GramiConfig{R: 2, K: 4, N: 8, MinSup: 2, Mining: miningCfg()})
+	mmpg := MMPG(g, groups, MMPGConfig{R: 2, K: 4, N: 8, Mining: miningCfg()})
+	gramiAvg := float64(grami.StructureSize) / float64(len(grami.Patterns))
+	mmpgAvg := float64(mmpg.StructureSize) / float64(len(mmpg.Patterns))
+	if mmpgAvg < gramiAvg {
+		t.Fatalf("MMPG average pattern size %.1f should be >= Grami's %.1f", mmpgAvg, gramiAvg)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := graph.NodeSetOf([]graph.NodeID{1, 2, 3})
+	b := graph.NodeSetOf([]graph.NodeID{2, 3, 4})
+	if got := jaccard(a, b); got != 0.5 {
+		t.Fatalf("jaccard = %v, want 0.5", got)
+	}
+	if got := jaccard(graph.NodeSet{}, graph.NodeSet{}); got != 0 {
+		t.Fatalf("empty jaccard = %v", got)
+	}
+	if got := jaccard(a, a); got != 1 {
+		t.Fatalf("self jaccard = %v", got)
+	}
+}
+
+func TestTruncateAndDedup(t *testing.T) {
+	nodes := []graph.NodeID{1, 2, 3, 4}
+	if got := truncate(nodes, 2); len(got) != 2 || got[0] != 1 {
+		t.Fatalf("truncate = %v", got)
+	}
+	if got := truncate(nodes, 10); len(got) != 4 {
+		t.Fatalf("truncate no-op failed: %v", got)
+	}
+	seen := graph.NewNodeSet(0)
+	out := dedupAppend(nil, []graph.NodeID{1, 2}, seen)
+	out = dedupAppend(out, []graph.NodeID{2, 3}, seen)
+	if len(out) != 3 {
+		t.Fatalf("dedupAppend = %v", out)
+	}
+}

@@ -1,0 +1,412 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// Mosso is an incremental lossless graph summarizer after MoSSo [21]: nodes
+// are grouped into supernodes; each supernode pair is encoded either sparsely
+// (its edges listed individually as corrections) or densely (one superedge
+// plus corrections for the missing pairs), whichever is cheaper:
+//
+//	cost(A,B) = min( E(A,B), 1 + potential(A,B) − E(A,B) )
+//
+// with potential(A,B) = |A|·|B| (or |A|(|A|−1)/2 for A = B). On every edge
+// insertion the endpoints each consider a few candidate moves — joining a
+// (sampled) neighbor's supernode or separating into a fresh singleton — and
+// take the move with the biggest cost reduction, mirroring MoSSo's
+// corrective move operations. The total cost Σ cost(A,B) is the summary's
+// description length (superedges and corrections folded together).
+//
+// Mosso treats the graph as undirected and unlabeled, as in [21]; direction
+// and labels do not change the comparison the paper runs it in.
+type Mosso struct {
+	rng     *rand.Rand
+	sn      map[graph.NodeID]int
+	members map[int][]graph.NodeID
+	adj     map[graph.NodeID]graph.NodeSet
+	cnt     map[[2]int]int // normalized supernode pair -> edge count
+	snAdj   map[int]map[int]bool
+	nextSN  int
+	edges   int
+	// SampleMoves caps how many distinct neighbor supernodes each endpoint
+	// considers per insertion. Default 4.
+	SampleMoves int
+}
+
+// NewMosso returns a summarizer with a seeded move sampler.
+func NewMosso(seed int64) *Mosso {
+	return &Mosso{
+		rng:         rand.New(rand.NewSource(seed)),
+		sn:          make(map[graph.NodeID]int),
+		members:     make(map[int][]graph.NodeID),
+		adj:         make(map[graph.NodeID]graph.NodeSet),
+		cnt:         make(map[[2]int]int),
+		snAdj:       make(map[int]map[int]bool),
+		SampleMoves: 4,
+	}
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (m *Mosso) ensureNode(v graph.NodeID) {
+	if _, ok := m.sn[v]; ok {
+		return
+	}
+	id := m.nextSN
+	m.nextSN++
+	m.sn[v] = id
+	m.members[id] = []graph.NodeID{v}
+	m.adj[v] = graph.NewNodeSet(2)
+	m.snAdj[id] = make(map[int]bool)
+}
+
+func (m *Mosso) bump(a, b int, delta int) {
+	k := pairKey(a, b)
+	m.cnt[k] += delta
+	if m.cnt[k] == 0 {
+		delete(m.cnt, k)
+		delete(m.snAdj[a], b)
+		delete(m.snAdj[b], a)
+	} else {
+		m.snAdj[a][b] = true
+		m.snAdj[b][a] = true
+	}
+}
+
+// AddEdge inserts an undirected edge and lets both endpoints attempt a
+// corrective move. Duplicate edges are ignored.
+func (m *Mosso) AddEdge(u, v graph.NodeID) {
+	if u == v {
+		return
+	}
+	m.ensureNode(u)
+	m.ensureNode(v)
+	if m.adj[u].Has(v) {
+		return
+	}
+	m.adj[u].Add(v)
+	m.adj[v].Add(u)
+	m.edges++
+	m.bump(m.sn[u], m.sn[v], 1)
+	m.tryMove(u)
+	m.tryMove(v)
+}
+
+// NumEdges reports distinct undirected edges processed.
+func (m *Mosso) NumEdges() int { return m.edges }
+
+// RemoveEdge deletes an undirected edge and lets both endpoints attempt a
+// corrective move (MoSSo handles deletion streams with the same move
+// machinery as insertions). Unknown edges are ignored.
+func (m *Mosso) RemoveEdge(u, v graph.NodeID) {
+	if u == v {
+		return
+	}
+	if m.adj[u] == nil || !m.adj[u].Has(v) {
+		return
+	}
+	m.adj[u].Remove(v)
+	m.adj[v].Remove(u)
+	m.edges--
+	m.bump(m.sn[u], m.sn[v], -1)
+	m.tryMove(u)
+	m.tryMove(v)
+}
+
+// tryMove evaluates moving x into sampled candidate supernodes or a fresh
+// singleton and applies the best strictly-improving move. Candidates follow
+// MoSSo's sampling: supernodes of neighbors and, crucially, of co-neighbors
+// (two-hop nodes) — nodes that share a neighbor with x are the ones whose
+// supernode x should join to form dense blocks (e.g. the leaves of a hub).
+func (m *Mosso) tryMove(x graph.NodeID) {
+	from := m.sn[x]
+	cands := make(map[int]bool)
+	neighbors := make([]graph.NodeID, 0, m.adj[x].Len())
+	for y := range m.adj[x] {
+		neighbors = append(neighbors, y)
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	m.rng.Shuffle(len(neighbors), func(i, j int) { neighbors[i], neighbors[j] = neighbors[j], neighbors[i] })
+	for _, y := range neighbors {
+		if s := m.sn[y]; s != from {
+			cands[s] = true
+		}
+		// Co-neighbor sampling through y: one deterministic pick per
+		// neighbor keeps moves O(deg) and runs reproducible.
+		z := graph.NodeID(-1)
+		for c := range m.adj[y] {
+			if c != x && (z < 0 || c < z) {
+				z = c
+			}
+		}
+		if z >= 0 {
+			if s := m.sn[z]; s != from {
+				cands[s] = true
+			}
+		}
+		if len(cands) >= m.SampleMoves {
+			break
+		}
+	}
+	bestTo := -1
+	bestDelta := 0
+	for to := range cands {
+		if d := m.moveDelta(x, to); d < bestDelta {
+			bestDelta = d
+			bestTo = to
+		}
+	}
+	// Separation into a fresh singleton.
+	if len(m.members[from]) > 1 {
+		fresh := m.nextSN
+		if d := m.moveDeltaFresh(x, fresh); d < bestDelta {
+			bestDelta = d
+			bestTo = fresh
+		}
+	}
+	if bestTo >= 0 {
+		m.applyMove(x, bestTo)
+	}
+}
+
+// neighborSNCounts groups x's neighbors by their supernode.
+func (m *Mosso) neighborSNCounts(x graph.NodeID) map[int]int {
+	nbc := make(map[int]int)
+	for y := range m.adj[x] {
+		nbc[m.sn[y]]++
+	}
+	return nbc
+}
+
+// pairCost computes the encoding cost of one supernode pair given sizes and
+// edge count.
+func pairCost(szA, szB int, self bool, e int) int {
+	if e == 0 {
+		return 0
+	}
+	var potential int
+	if self {
+		potential = szA * (szA - 1) / 2
+	} else {
+		potential = szA * szB
+	}
+	dense := 1 + potential - e
+	if e < dense {
+		return e
+	}
+	return dense
+}
+
+// moveDelta computes the cost change of moving x from its supernode to an
+// existing supernode `to`.
+func (m *Mosso) moveDelta(x graph.NodeID, to int) int {
+	return m.deltaFor(x, to, len(m.members[to]))
+}
+
+// moveDeltaFresh computes the cost change of moving x into a fresh singleton.
+func (m *Mosso) moveDeltaFresh(x graph.NodeID, fresh int) int {
+	return m.deltaFor(x, fresh, 0)
+}
+
+// deltaFor computes the cost delta of moving x from sn(x) to target, where
+// target currently has szTo members (0 for a fresh supernode).
+func (m *Mosso) deltaFor(x graph.NodeID, to int, szTo int) int {
+	from := m.sn[x]
+	if to == from {
+		return 0
+	}
+	nbc := m.neighborSNCounts(x)
+	szFrom := len(m.members[from])
+
+	// Affected pairs: anything involving from or to (their sizes change),
+	// plus pairs whose counts shift because x's edges re-home.
+	affected := make(map[[2]int]bool)
+	for s := range m.snAdj[from] {
+		affected[pairKey(from, s)] = true
+	}
+	if sa, ok := m.snAdj[to]; ok {
+		for s := range sa {
+			affected[pairKey(to, s)] = true
+		}
+	}
+	for s := range nbc {
+		affected[pairKey(from, s)] = true
+		affected[pairKey(to, s)] = true
+	}
+	affected[pairKey(from, from)] = true
+	affected[pairKey(to, to)] = true
+	affected[pairKey(from, to)] = true
+
+	size := func(s int, after bool) int {
+		switch s {
+		case from:
+			if after {
+				return szFrom - 1
+			}
+			return szFrom
+		case to:
+			if after {
+				return szTo + 1
+			}
+			return szTo
+		default:
+			return len(m.members[s])
+		}
+	}
+	// Count shift: each edge (x,y) with y in supernode S moves from pair
+	// (from,S) to pair (to,S).
+	shift := make(map[[2]int]int)
+	for s, c := range nbc {
+		shift[pairKey(from, s)] -= c
+		shift[pairKey(to, s)] += c
+	}
+
+	delta := 0
+	for k := range affected {
+		a, b := k[0], k[1]
+		e := m.cnt[k]
+		before := pairCost(size(a, false), size(b, false), a == b, e)
+		after := pairCost(size(a, true), size(b, true), a == b, e+shift[k])
+		delta += after - before
+	}
+	return delta
+}
+
+// applyMove relocates x to supernode `to` (creating it if fresh) and updates
+// pair counts.
+func (m *Mosso) applyMove(x graph.NodeID, to int) {
+	from := m.sn[x]
+	if to == from {
+		return
+	}
+	if _, ok := m.members[to]; !ok {
+		if to >= m.nextSN {
+			m.nextSN = to + 1
+		}
+		m.members[to] = nil
+		m.snAdj[to] = make(map[int]bool)
+	}
+	nbc := m.neighborSNCounts(x)
+	for s, c := range nbc {
+		m.bump(from, s, -c)
+		m.bump(to, s, c)
+	}
+	// Remove x from its old supernode.
+	old := m.members[from]
+	for i, y := range old {
+		if y == x {
+			m.members[from] = append(old[:i], old[i+1:]...)
+			break
+		}
+	}
+	if len(m.members[from]) == 0 {
+		delete(m.members, from)
+		delete(m.snAdj, from)
+	}
+	m.members[to] = append(m.members[to], x)
+	m.sn[x] = to
+}
+
+// Compact sweeps every node `rounds` times, attempting corrective moves —
+// MoSSo's batch-mode refinement, used when summarizing a static graph where
+// there is no insertion stream to piggyback moves on.
+func (m *Mosso) Compact(rounds int) {
+	nodes := make([]graph.NodeID, 0, len(m.sn))
+	for v := range m.sn {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for round := 0; round < rounds; round++ {
+		for _, v := range nodes {
+			m.tryMove(v)
+		}
+	}
+}
+
+// Cost returns the total description length: Σ over supernode pairs of the
+// cheaper of sparse and dense encodings.
+func (m *Mosso) Cost() int {
+	total := 0
+	for k, e := range m.cnt {
+		a, b := k[0], k[1]
+		total += pairCost(len(m.members[a]), len(m.members[b]), a == b, e)
+	}
+	return total
+}
+
+// NumSupernodes reports the number of non-empty supernodes.
+func (m *Mosso) NumSupernodes() int { return len(m.members) }
+
+// Result adapts the summary for the FGS comparison: covered group nodes are
+// collected from supernodes in decreasing size order until the budget n, and
+// the structure size is the encoding cost.
+func (m *Mosso) Result(groups *submod.Groups, n int, elapsed time.Duration) Result {
+	type sized struct {
+		id int
+		sz int
+	}
+	var order []sized
+	for id, mem := range m.members {
+		order = append(order, sized{id: id, sz: len(mem)})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].sz != order[j].sz {
+			return order[i].sz > order[j].sz
+		}
+		return order[i].id < order[j].id
+	})
+	var covered []graph.NodeID
+	seen := graph.NewNodeSet(n)
+	for _, s := range order {
+		mem := append([]graph.NodeID(nil), m.members[s.id]...)
+		sort.Slice(mem, func(i, j int) bool { return mem[i] < mem[j] })
+		for _, v := range mem {
+			if _, ok := groups.IndexOf(v); ok {
+				covered = dedupAppend(covered, []graph.NodeID{v}, seen)
+			}
+		}
+		if len(covered) >= n {
+			break
+		}
+	}
+	covered = truncate(covered, n)
+	ratio := 1.0
+	if denom := len(m.sn) + m.edges; denom > 0 {
+		ratio = float64(m.Cost()+len(m.members)) / float64(denom)
+		if ratio > 1 {
+			ratio = 1
+		}
+	}
+	return Result{
+		Covered:       covered,
+		StructureSize: m.Cost(),
+		Corrections:   0, // corrections are folded into the pair encoding cost
+		GlobalRatio:   ratio,
+		Elapsed:       elapsed,
+	}
+}
+
+// SummarizeStatic feeds every edge of g (in a deterministic order) through
+// the incremental summarizer — the static-comparison mode of Exp-1.
+func SummarizeStatic(g *graph.Graph, groups *submod.Groups, n int, seed int64) Result {
+	start := time.Now()
+	m := NewMosso(seed)
+	for from := graph.NodeID(0); int(from) < g.NumNodes(); from++ {
+		for _, e := range g.Out(from) {
+			m.AddEdge(from, e.To)
+		}
+	}
+	m.Compact(2)
+	return m.Result(groups, n, time.Since(start))
+}

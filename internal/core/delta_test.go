@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+func TestMaintainerDeletionKeepsLosslessness(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	m, before := NewMaintainer(g, groups, util, cfg)
+	if len(before.Covered) == 0 {
+		t.Fatal("nothing covered initially")
+	}
+	// Delete an edge inside a covered node's 2-hop neighborhood: one of the
+	// fixture's recommend edges into covered[0].
+	target := before.Covered[0]
+	ins := g.In(target)
+	if len(ins) == 0 {
+		t.Skip("covered node has no in-edges to delete")
+	}
+	del := EdgeUpdate{From: ins[0].To, To: target, Label: g.EdgeLabelName(ins[0].Label)}
+	after, err := m.ApplyDelta(Delta{Delete: []EdgeUpdate{del}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	missing, spurious := after.Reconstruct(g)
+	if missing.Len() != 0 || spurious.Len() != 0 {
+		t.Fatalf("post-deletion summary not lossless: missing=%d spurious=%d", missing.Len(), spurious.Len())
+	}
+	// The deleted edge must not be described anymore (it no longer exists).
+	lid, _ := g.EdgeLabelID(del.Label)
+	if after.DescribedEdges().Has(graph.EdgeRef{From: del.From, To: del.To, Label: lid}) {
+		t.Fatal("summary still describes the deleted edge")
+	}
+}
+
+func TestMaintainerMixedDelta(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	m, before := NewMaintainer(g, groups, util, defaultCfg())
+	target := before.Covered[0]
+	ins := g.In(target)
+	fresh := g.AddNode("user", nil)
+	delta := Delta{
+		Insert: []EdgeUpdate{{From: fresh, To: target, Label: "recommend"}},
+		Delete: []EdgeUpdate{{From: ins[0].To, To: target, Label: g.EdgeLabelName(ins[0].Label)}},
+	}
+	after, err := m.ApplyDelta(delta)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	missing, spurious := after.Reconstruct(g)
+	if missing.Len() != 0 || spurious.Len() != 0 {
+		t.Fatal("mixed delta broke losslessness")
+	}
+	lid, _ := g.EdgeLabelID("recommend")
+	if !after.DescribedEdges().Has(graph.EdgeRef{From: fresh, To: target, Label: lid}) {
+		t.Fatal("inserted edge not described")
+	}
+}
+
+func TestMaintainerDeltaErrors(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	m, _ := NewMaintainer(g, groups, util, defaultCfg())
+	// Deleting a nonexistent edge reports an error without changing state.
+	before := m.Summary()
+	after, err := m.ApplyDelta(Delta{Delete: []EdgeUpdate{{From: 0, To: 1, Label: "nosuch"}}})
+	if err == nil {
+		t.Fatal("bad deletion not reported")
+	}
+	if len(after.Covered) != len(before.Covered) {
+		t.Fatal("failed delta changed the summary")
+	}
+}
+
+func TestMaintainerDeletionSweep(t *testing.T) {
+	// Delete every in-edge of a covered node across batches: patterns
+	// covering it via structure must degrade to attribute fallbacks, and
+	// every intermediate summary stays lossless.
+	g, groups, util := randomFixture(t, 31, 50, 120, 6)
+	cfg := defaultCfg()
+	cfg.N = 6
+	m, s := NewMaintainer(g, groups, util, cfg)
+	if len(s.Covered) == 0 {
+		t.Fatal("nothing covered")
+	}
+	target := s.Covered[0]
+	for len(g.In(target)) > 0 {
+		e := g.In(target)[0]
+		var err error
+		s, err = m.ApplyDelta(Delta{Delete: []EdgeUpdate{{From: e.To, To: target, Label: g.EdgeLabelName(e.Label)}}})
+		if err != nil {
+			t.Fatalf("delete sweep: %v", err)
+		}
+		missing, spurious := s.Reconstruct(g)
+		if missing.Len() != 0 || spurious.Len() != 0 {
+			t.Fatalf("sweep broke losslessness (in-degree now %d)", len(g.In(target)))
+		}
+	}
+}

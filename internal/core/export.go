@@ -1,0 +1,160 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/pattern"
+)
+
+// The JSON interchange form of an r-summary: patterns (with focus, nodes,
+// literals, edges), the covered node list, and the correction edges with
+// string labels. It is self-contained — a consumer can reconstruct the
+// covered nodes' r-hop neighborhoods from the patterns' embeddings plus the
+// corrections without access to this library's internals.
+
+type summaryJSON struct {
+	R           int           `json:"r"`
+	Patterns    []patternJSON `json:"patterns"`
+	Covered     []int64       `json:"covered"`
+	Corrections []edgeJSON    `json:"corrections"`
+	CL          int           `json:"accumulated_loss"`
+	Utility     float64       `json:"utility"`
+}
+
+type patternJSON struct {
+	Focus   int             `json:"focus"`
+	Nodes   []patternNodeJS `json:"nodes"`
+	Edges   []patternEdgeJS `json:"edges"`
+	Covered []int64         `json:"covered"`
+	CP      int             `json:"correction_loss"`
+}
+
+type patternNodeJS struct {
+	Label    string            `json:"label"`
+	Literals map[string]string `json:"literals,omitempty"`
+}
+
+type patternEdgeJS struct {
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	Label string `json:"label"`
+}
+
+type edgeJSON struct {
+	From  int64  `json:"from"`
+	To    int64  `json:"to"`
+	Label string `json:"label"`
+}
+
+// WriteJSON serializes the summary. Edge labels are resolved against g (the
+// graph the summary was computed on).
+func (s *Summary) WriteJSON(w io.Writer, g *graph.Graph) error {
+	out := summaryJSON{R: s.R, CL: s.CL, Utility: s.Utility}
+	for _, v := range s.Covered {
+		out.Covered = append(out.Covered, int64(v))
+	}
+	for _, pi := range s.Patterns {
+		pj := patternJSON{Focus: pi.P.Focus, CP: pi.CP}
+		for _, n := range pi.P.Nodes {
+			nj := patternNodeJS{Label: n.Label}
+			if len(n.Literals) > 0 {
+				nj.Literals = make(map[string]string, len(n.Literals))
+				for _, l := range n.Literals {
+					nj.Literals[l.Key] = l.Val
+				}
+			}
+			pj.Nodes = append(pj.Nodes, nj)
+		}
+		for _, e := range pi.P.Edges {
+			pj.Edges = append(pj.Edges, patternEdgeJS{From: e.From, To: e.To, Label: e.Label})
+		}
+		for _, v := range pi.Covered {
+			pj.Covered = append(pj.Covered, int64(v))
+		}
+		out.Patterns = append(out.Patterns, pj)
+	}
+	corrections := make([]edgeJSON, 0, s.Corrections.Len())
+	for e := range s.Corrections {
+		corrections = append(corrections, edgeJSON{From: int64(e.From), To: int64(e.To), Label: g.EdgeLabelName(e.Label)})
+	}
+	sort.Slice(corrections, func(i, j int) bool {
+		if corrections[i].From != corrections[j].From {
+			return corrections[i].From < corrections[j].From
+		}
+		if corrections[i].To != corrections[j].To {
+			return corrections[i].To < corrections[j].To
+		}
+		return corrections[i].Label < corrections[j].Label
+	})
+	out.Corrections = corrections
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSummaryJSON parses a summary previously written with WriteJSON,
+// re-binding correction edge labels against g. Per-pattern covered edge
+// sets are re-derived from the patterns' embeddings at the covered nodes,
+// so the loaded summary supports DescribedEdges and Reconstruct.
+func ReadSummaryJSON(r io.Reader, g *graph.Graph, embedCap int) (*Summary, error) {
+	var in summaryJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: parse summary: %w", err)
+	}
+	s := &Summary{R: in.R, CL: in.CL, Utility: in.Utility, Corrections: graph.NewEdgeSet(len(in.Corrections))}
+	for _, v := range in.Covered {
+		s.Covered = append(s.Covered, graph.NodeID(v))
+	}
+	sortNodes(s.Covered)
+	m := pattern.NewMatcher(g, embedCap)
+	for _, pj := range in.Patterns {
+		p := &pattern.Pattern{Focus: pj.Focus}
+		for _, nj := range pj.Nodes {
+			n := pattern.Node{Label: nj.Label}
+			for k, v := range nj.Literals {
+				n.Literals = append(n.Literals, pattern.Literal{Key: k, Val: v})
+			}
+			sort.Slice(n.Literals, func(i, j int) bool { return n.Literals[i].Key < n.Literals[j].Key })
+			p.Nodes = append(p.Nodes, n)
+		}
+		for _, ej := range pj.Edges {
+			p.Edges = append(p.Edges, pattern.Edge{From: ej.From, To: ej.To, Label: ej.Label})
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("core: parse summary: %w", err)
+		}
+		pi := PatternInfo{P: p, CP: pj.CP, CoveredEdges: graph.NewEdgeSet(0)}
+		for _, v := range pj.Covered {
+			pi.Covered = append(pi.Covered, graph.NodeID(v))
+		}
+		for _, v := range pi.Covered {
+			if es, ok := m.CoveredEdgesAt(p, v); ok {
+				pi.CoveredEdges.AddAll(es)
+			}
+		}
+		s.Patterns = append(s.Patterns, pi)
+	}
+	for _, ej := range in.Corrections {
+		lid, ok := g.EdgeLabelID(ej.Label)
+		if !ok {
+			return nil, fmt.Errorf("core: parse summary: unknown edge label %q", ej.Label)
+		}
+		s.Corrections.Add(graph.EdgeRef{From: graph.NodeID(ej.From), To: graph.NodeID(ej.To), Label: lid})
+	}
+	return s, nil
+}
+
+// QueryView answers a pattern query over the summary treated as a
+// materialized view (property (3) of the problem statement): only the
+// covered nodes are tested as focus anchors, which is how the paper's
+// Fig. 11 case study accelerates query P8. The result is the subset of
+// covered nodes the pattern matches, sorted.
+func QueryView(g *graph.Graph, s *Summary, p *pattern.Pattern, embedCap int) []graph.NodeID {
+	m := pattern.NewMatcher(g, embedCap)
+	return sortNodes(m.CoverAmong(p, s.Covered))
+}

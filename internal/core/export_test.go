@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/pattern"
+)
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	s, err := APXFGS(g, groups, util, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, g); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	loaded, err := ReadSummaryJSON(&buf, g, 0)
+	if err != nil {
+		t.Fatalf("ReadSummaryJSON: %v", err)
+	}
+	if loaded.R != s.R || loaded.CL != s.CL || len(loaded.Patterns) != len(s.Patterns) {
+		t.Fatalf("metadata changed: %+v vs %+v", loaded, s)
+	}
+	if len(loaded.Covered) != len(s.Covered) {
+		t.Fatal("covered set changed")
+	}
+	for i := range s.Covered {
+		if loaded.Covered[i] != s.Covered[i] {
+			t.Fatal("covered nodes differ")
+		}
+	}
+	if loaded.Corrections.Len() != s.Corrections.Len() {
+		t.Fatalf("corrections changed: %d vs %d", loaded.Corrections.Len(), s.Corrections.Len())
+	}
+	// The loaded summary must still reconstruct losslessly.
+	missing, spurious := loaded.Reconstruct(g)
+	if missing.Len() != 0 || spurious.Len() != 0 {
+		t.Fatalf("loaded summary not lossless: %d/%d", missing.Len(), spurious.Len())
+	}
+	// And verify cleanly.
+	rep := Verify(g, groups, util.Clone(), cfg, loaded, s.CL, 0)
+	if !rep.Feasible() {
+		t.Fatalf("loaded summary not feasible: %s", rep)
+	}
+}
+
+func TestReadSummaryJSONErrors(t *testing.T) {
+	g, _, _ := talentFixture(t)
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "{nope"},
+		{"invalid pattern", `{"r":2,"patterns":[{"focus":5,"nodes":[{"label":"user"}],"edges":[]}]}`},
+		{"unknown edge label", `{"r":2,"corrections":[{"from":0,"to":1,"label":"nosuch"}]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadSummaryJSON(strings.NewReader(c.in), g, 0); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestQueryView(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	s, err := APXFGS(g, groups, util, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query: female candidates among the covered representatives.
+	q := pattern.NewNodePattern("user", pattern.Literal{Key: "gender", Val: "f"})
+	got := QueryView(g, s, q, 0)
+	if len(got) == 0 {
+		t.Fatal("view query found no females among covered nodes")
+	}
+	for _, v := range got {
+		val, _ := g.AttrString(v, "gender")
+		if val != "f" {
+			t.Fatalf("node %d is not female", v)
+		}
+		found := false
+		for _, c := range s.Covered {
+			if c == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("view query returned uncovered node %d", v)
+		}
+	}
+	// A pattern matching nothing yields an empty answer.
+	if got := QueryView(g, s, pattern.NewNodePattern("alien"), 0); len(got) != 0 {
+		t.Fatalf("alien query returned %v", got)
+	}
+}

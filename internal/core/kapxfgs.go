@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// KAPXFGS computes an r-summary with at most k patterns, minimizing the
+// correction size |C| rather than the accumulated loss C_l — the Section V
+// variant with the (½, 1+1/(e·γ)) guarantee of Theorem 5.
+//
+// After the usual selection phase, the summarization phase solves a maximum
+// coverage instance over the edge universe E^r_{V_p}: it greedily picks the
+// pattern with the largest marginal covered-edge gain, k times, then repairs
+// node coverage of V_p (if needed) with the greedy swapping strategy the
+// paper outlines: trade the chosen pattern with the smallest marginal edge
+// contribution for a candidate that covers missing nodes, while all
+// previously covered selected nodes stay covered.
+func KAPXFGS(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Config) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("core: KAPXFGS requires K > 0 (got %d); use APXFGS for unbounded patterns", cfg.K)
+	}
+	var stats Stats
+
+	start := time.Now()
+	vp, err := submod.FairSelect(groups, util, cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("core: selection phase: %w", err)
+	}
+	stats.SelectTime = time.Since(start)
+
+	start = time.Now()
+	er := mining.NewErCache(g, cfg.R)
+	cands := mining.SumGen(g, vp, vp, cfg.Mining, er)
+	stats.MineTime = time.Since(start)
+	stats.Candidates = len(cands)
+
+	start = time.Now()
+	chosen, uncovered := maxCoverSelect(cands, vp, cfg, er)
+	stats.SummarizeTime = time.Since(start)
+
+	return buildSummary(cfg, chosen, er, util, uncovered, stats), nil
+}
+
+// maxCoverSelect picks up to k candidates maximizing edge coverage of
+// E^r_{V_p}, then repairs V_p node coverage by swapping.
+func maxCoverSelect(cands []*mining.Candidate, vp []graph.NodeID, cfg Config, er *mining.ErCache) ([]PatternInfo, []graph.NodeID) {
+	universe := er.UnionOf(vp)
+	chosenIdx := make([]int, 0, cfg.K)
+	used := make([]bool, len(cands))
+
+	// Greedy max coverage over edges.
+	coveredEdges := graph.NewEdgeSet(0)
+	for len(chosenIdx) < cfg.K {
+		best := -1
+		bestGain := -1
+		for i, cand := range cands {
+			if used[i] {
+				continue
+			}
+			if !feasibleTogether(cands, append(chosenIdx, i), cfg.N) {
+				continue
+			}
+			gain := edgeMarginal(cand, universe, coveredEdges)
+			if gain > bestGain {
+				bestGain = gain
+				best = i
+			}
+		}
+		if best < 0 || bestGain <= 0 {
+			// No candidate improves edge coverage; stop early (remaining
+			// budget is better spent by the repair phase below).
+			break
+		}
+		used[best] = true
+		chosenIdx = append(chosenIdx, best)
+		for e := range cands[best].CoveredEdges {
+			if universe.Has(e) {
+				coveredEdges.Add(e)
+			}
+		}
+	}
+
+	// Repair node coverage of V_p: first fill any spare budget, then swap.
+	uncoveredOf := func(idx []int) []graph.NodeID {
+		cov := graph.NewNodeSet(0)
+		for _, i := range idx {
+			for _, v := range cands[i].Covered {
+				cov.Add(v)
+			}
+		}
+		var out []graph.NodeID
+		for _, v := range vp {
+			if !cov.Has(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	for rounds := 0; rounds < cfg.K+len(vp); rounds++ {
+		missing := uncoveredOf(chosenIdx)
+		if len(missing) == 0 {
+			break
+		}
+		missingSet := graph.NodeSetOf(missing)
+		// Incoming candidates ranked by missing-node coverage (ties toward
+		// smaller C_P), tried in order until one admits a feasible swap.
+		type inCand struct {
+			idx  int
+			gain int
+		}
+		var ins []inCand
+		for i, cand := range cands {
+			if used[i] {
+				continue
+			}
+			gain := 0
+			for _, v := range cand.Covered {
+				if missingSet.Has(v) {
+					gain++
+				}
+			}
+			if gain > 0 {
+				ins = append(ins, inCand{idx: i, gain: gain})
+			}
+		}
+		sort.SliceStable(ins, func(a, b int) bool {
+			if ins[a].gain != ins[b].gain {
+				return ins[a].gain > ins[b].gain
+			}
+			return cands[ins[a].idx].CP < cands[ins[b].idx].CP
+		})
+		progressed := false
+		for _, ic := range ins {
+			in := ic.idx
+			if len(chosenIdx) < cfg.K {
+				if feasibleTogether(cands, append(chosenIdx, in), cfg.N) {
+					used[in] = true
+					chosenIdx = append(chosenIdx, in)
+					progressed = true
+					break
+				}
+				continue
+			}
+			// Swap: evict the chosen pattern whose removal loses the fewest
+			// unique edges while keeping progress on the missing nodes.
+			out := -1
+			outLoss := 0
+			for pos := range chosenIdx {
+				trial := make([]int, 0, len(chosenIdx))
+				trial = append(trial, chosenIdx[:pos]...)
+				trial = append(trial, chosenIdx[pos+1:]...)
+				trial = append(trial, in)
+				if !feasibleTogether(cands, trial, cfg.N) {
+					continue
+				}
+				if len(uncoveredOf(trial)) >= len(missing) {
+					continue // the swap does not make progress
+				}
+				loss := uniqueEdgeContribution(cands, chosenIdx, pos, universe)
+				if out < 0 || loss < outLoss {
+					out = pos
+					outLoss = loss
+				}
+			}
+			if out < 0 {
+				continue
+			}
+			used[in] = true
+			chosenIdx = append(chosenIdx[:out], chosenIdx[out+1:]...)
+			chosenIdx = append(chosenIdx, in)
+			progressed = true
+			break
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	chosen := make([]PatternInfo, 0, len(chosenIdx))
+	for _, i := range chosenIdx {
+		c := cands[i]
+		chosen = append(chosen, PatternInfo{P: c.P, Covered: c.Covered, CoveredEdges: c.CoveredEdges, CP: c.CP})
+	}
+	return chosen, uncoveredOf(chosenIdx)
+}
+
+// edgeMarginal counts cand's covered edges inside the universe not yet
+// covered.
+func edgeMarginal(cand *mining.Candidate, universe, covered graph.EdgeSet) int {
+	gain := 0
+	for e := range cand.CoveredEdges {
+		if universe.Has(e) && !covered.Has(e) {
+			gain++
+		}
+	}
+	return gain
+}
+
+// uniqueEdgeContribution counts universe edges only the pattern at position
+// pos covers among the chosen set.
+func uniqueEdgeContribution(cands []*mining.Candidate, chosenIdx []int, pos int, universe graph.EdgeSet) int {
+	others := graph.NewEdgeSet(0)
+	for p, i := range chosenIdx {
+		if p == pos {
+			continue
+		}
+		others.AddAll(cands[i].CoveredEdges)
+	}
+	unique := 0
+	for e := range cands[chosenIdx[pos]].CoveredEdges {
+		if universe.Has(e) && !others.Has(e) {
+			unique++
+		}
+	}
+	return unique
+}
+
+// feasibleTogether checks the n cap for the union coverage of a candidate
+// index set. Coverage is anchored to V_p (which already satisfies the group
+// bounds), so the cap is the only remaining structural constraint.
+func feasibleTogether(cands []*mining.Candidate, idx []int, n int) bool {
+	cov := graph.NewNodeSet(0)
+	for _, i := range idx {
+		for _, v := range cands[i].Covered {
+			cov.Add(v)
+		}
+	}
+	return cov.Len() <= n
+}

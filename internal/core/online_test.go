@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+func TestOnlineOnTalentFixture(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	cfg.K = 6
+	o := NewOnline(g, groups, util, cfg)
+	o.ProcessAll(groups.All())
+	s, err := o.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	assertFeasibleLossless(t, g, groups, util, cfg, s)
+	if len(s.Patterns) > cfg.K {
+		t.Fatalf("|P| = %d > k", len(s.Patterns))
+	}
+}
+
+func TestOnlineUnboundedK(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg() // K = 0: unbounded
+	o := NewOnline(g, groups, util, cfg)
+	o.ProcessAll(groups.All())
+	s, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFeasibleLossless(t, g, groups, util, cfg, s)
+}
+
+func TestOnlineSelectionMatchesStreamOrderInvariance(t *testing.T) {
+	// Different arrival orders may select different nodes, but feasibility
+	// and losslessness must hold for all of them.
+	g, groups, _ := talentFixture(t)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		util := submod.NewNeighborCoverage(g, submod.NeighborsIn, "recommend")
+		cfg := defaultCfg()
+		cfg.K = 8
+		o := NewOnline(g, groups, util, cfg)
+		order := append([]graph.NodeID(nil), groups.All()...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		o.ProcessAll(order)
+		s, err := o.Finish()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertFeasibleLossless(t, g, groups, util, cfg, s)
+	}
+}
+
+func TestOnlineQuarterApproximation(t *testing.T) {
+	// Online utility must reach at least 1/4 of the offline greedy's.
+	for seed := int64(41); seed < 45; seed++ {
+		g, groups, _ := randomFixture(t, seed, 60, 160, 8)
+		cfg := defaultCfg()
+		cfg.N = 6
+		cfg.K = 12
+
+		offUtil := submod.NewNeighborCoverage(g, submod.NeighborsIn, "recommend")
+		off, err := APXFGS(g, groups, offUtil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		onUtil := submod.NewNeighborCoverage(g, submod.NeighborsIn, "recommend")
+		o := NewOnline(g, groups, onUtil, cfg)
+		o.ProcessAll(groups.All())
+		s, err := o.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Utility < off.Utility/4-1e-9 {
+			t.Fatalf("seed %d: online utility %.1f < 1/4 offline %.1f", seed, s.Utility, off.Utility)
+		}
+	}
+}
+
+func TestOnlineStatsAccumulate(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	o := NewOnline(g, groups, util, defaultCfg())
+	o.ProcessAll(groups.All())
+	if o.Stats().Candidates == 0 {
+		t.Error("no candidates recorded")
+	}
+	if len(o.Selected()) == 0 {
+		t.Error("no nodes selected")
+	}
+}
+
+func TestOnlineSwapPathKeepsBudget(t *testing.T) {
+	// Tiny pattern budget forces the UpdateP swap path.
+	for seed := int64(61); seed < 64; seed++ {
+		g, groups, util := randomFixture(t, seed, 50, 130, 6)
+		cfg := defaultCfg()
+		cfg.N = 4
+		cfg.K = 2
+		o := NewOnline(g, groups, util, cfg)
+		o.ProcessAll(groups.All())
+		s, err := o.Finish()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s.Patterns) > cfg.K {
+			t.Fatalf("seed %d: budget violated: %d patterns", seed, len(s.Patterns))
+		}
+		// Structure may leave nodes uncovered at K=2; reconstruction of what
+		// is covered must still be lossless.
+		missing, spurious := s.Reconstruct(g)
+		if missing.Len() != 0 || spurious.Len() != 0 {
+			t.Fatalf("seed %d: not lossless", seed)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/pattern"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// Report is the outcome of Verify (procedure rverify, Section III-B): one
+// boolean per checked condition plus the measured quantities.
+type Report struct {
+	// PatternBudgetOK: |P| <= k (always true when k = 0, i.e. unbounded).
+	PatternBudgetOK bool
+	// SizeOK: |P_V| <= n.
+	SizeOK bool
+	// BoundsOK: |P_V ∩ V_i| ∈ [l_i, u_i] for every group.
+	BoundsOK bool
+	// CoverageConsistent: the summary's recorded per-pattern covers match a
+	// recomputation against the graph.
+	CoverageConsistent bool
+	// Lossless: P_E ∪ C = E^r_{P_V} exactly.
+	Lossless bool
+	// UtilityOK: F(P_V) >= bf.
+	UtilityOK bool
+	// CostOK: C_l <= bc.
+	CostOK bool
+
+	CoveredCount int
+	GroupCounts  []int
+	Utility      float64
+	CL           int
+}
+
+// Feasible reports whether all structural conditions hold (budget, size,
+// bounds, consistency, losslessness).
+func (r Report) Feasible() bool {
+	return r.PatternBudgetOK && r.SizeOK && r.BoundsOK && r.CoverageConsistent && r.Lossless
+}
+
+// OK reports full verification success including the utility and cost
+// thresholds.
+func (r Report) OK() bool { return r.Feasible() && r.UtilityOK && r.CostOK }
+
+// String summarizes the report.
+func (r Report) String() string {
+	return fmt.Sprintf("feasible=%v (budget=%v size=%v bounds=%v consistent=%v lossless=%v) utility=%.1f>=bf:%v cl=%d<=bc:%v",
+		r.Feasible(), r.PatternBudgetOK, r.SizeOK, r.BoundsOK, r.CoverageConsistent, r.Lossless, r.Utility, r.UtilityOK, r.CL, r.CostOK)
+}
+
+// Verify implements rverify: it checks that s is a feasible r-summary of the
+// groups under cfg, that its recorded coverage matches the graph, that the
+// reconstruction is lossless, and that utility and accumulated cost meet the
+// thresholds bf and bc. As in the paper, coverage verification tests each
+// group node against each pattern (no full match enumeration is required).
+func Verify(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Config, s *Summary, bc int, bf float64) Report {
+	cfg = cfg.withDefaults()
+	var r Report
+	r.PatternBudgetOK = cfg.K == 0 || len(s.Patterns) <= cfg.K
+	r.CoveredCount = len(s.Covered)
+	r.SizeOK = len(s.Covered) <= cfg.N
+
+	r.GroupCounts = groups.Counts(s.Covered)
+	r.BoundsOK = groups.SatisfiesBounds(r.GroupCounts)
+
+	// Consistency of the recorded coverage: every node a pattern claims to
+	// cover must be a group node it actually matches at the focus, and the
+	// union of the per-pattern covers must be exactly P_V.
+	m := pattern.NewMatcher(g, cfg.Mining.EmbedCap)
+	r.CoverageConsistent = true
+	union := graph.NewNodeSet(len(s.Covered))
+	for _, pi := range s.Patterns {
+		for _, v := range pi.Covered {
+			if _, ok := groups.IndexOf(v); !ok {
+				r.CoverageConsistent = false
+				break
+			}
+			if !m.MatchAt(pi.P, v) {
+				r.CoverageConsistent = false
+				break
+			}
+			union.Add(v)
+		}
+	}
+	if union.Len() != len(s.Covered) {
+		r.CoverageConsistent = false
+	} else {
+		for _, v := range s.Covered {
+			if !union.Has(v) {
+				r.CoverageConsistent = false
+				break
+			}
+		}
+	}
+
+	missing, spurious := s.Reconstruct(g)
+	r.Lossless = missing.Len() == 0 && spurious.Len() == 0
+
+	r.Utility = submod.Eval(util, s.Covered)
+	r.UtilityOK = r.Utility >= bf
+	r.CL = s.CL
+	r.CostOK = s.CL <= bc
+	return r
+}

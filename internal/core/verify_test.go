@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+func TestVerifyAcceptsCorrectSummary(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	s, err := APXFGS(g, groups, util, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Verify(g, groups, util.Clone(), cfg, s, s.CL, 0)
+	if !rep.OK() {
+		t.Fatalf("correct summary rejected: %s", rep)
+	}
+	if rep.CoveredCount != len(s.Covered) {
+		t.Errorf("CoveredCount = %d", rep.CoveredCount)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	base, err := APXFGS(g, groups, util, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("utility threshold", func(t *testing.T) {
+		rep := Verify(g, groups, util.Clone(), cfg, base, 1<<30, base.Utility+1)
+		if rep.UtilityOK || rep.OK() {
+			t.Fatal("unreachable utility threshold passed")
+		}
+	})
+	t.Run("cost threshold", func(t *testing.T) {
+		rep := Verify(g, groups, util.Clone(), cfg, base, base.CL-1, 0)
+		if base.CL > 0 && (rep.CostOK || rep.OK()) {
+			t.Fatal("cost above threshold passed")
+		}
+	})
+	t.Run("pattern budget", func(t *testing.T) {
+		tight := cfg
+		tight.K = 1
+		if len(base.Patterns) > 1 {
+			rep := Verify(g, groups, util.Clone(), tight, base, 1<<30, 0)
+			if rep.PatternBudgetOK {
+				t.Fatal("budget violation passed")
+			}
+		}
+	})
+	t.Run("size cap", func(t *testing.T) {
+		tiny := cfg
+		tiny.N = len(base.Covered) - 1
+		rep := Verify(g, groups, util.Clone(), tiny, base, 1<<30, 0)
+		if rep.SizeOK {
+			t.Fatal("n violation passed")
+		}
+	})
+	t.Run("missing correction breaks losslessness", func(t *testing.T) {
+		mutated := *base
+		mutated.Corrections = graph.NewEdgeSet(0)
+		for e := range base.Corrections {
+			mutated.Corrections.Add(e)
+		}
+		// Remove one correction edge if any exist; otherwise add a bogus one.
+		removed := false
+		for e := range mutated.Corrections {
+			delete(mutated.Corrections, e)
+			removed = true
+			break
+		}
+		if !removed {
+			mutated.Corrections.Add(graph.EdgeRef{From: 0, To: 12, Label: 99})
+		}
+		rep := Verify(g, groups, util.Clone(), cfg, &mutated, 1<<30, 0)
+		if rep.Lossless {
+			t.Fatal("tampered corrections still verified lossless")
+		}
+	})
+	t.Run("inflated cover breaks consistency", func(t *testing.T) {
+		mutated := *base
+		mutated.Patterns = append([]PatternInfo(nil), base.Patterns...)
+		pi := mutated.Patterns[0]
+		extra := append([]graph.NodeID(nil), pi.Covered...)
+		// Claim the pattern covers a group node it does not.
+		for _, v := range groups.All() {
+			found := false
+			for _, c := range pi.Covered {
+				if c == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				extra = append(extra, v)
+				break
+			}
+		}
+		if len(extra) == len(pi.Covered) {
+			t.Skip("pattern covers all group nodes; nothing to inflate")
+		}
+		pi.Covered = extra
+		mutated.Patterns[0] = pi
+		rep := Verify(g, groups, util.Clone(), cfg, &mutated, 1<<30, 0)
+		if rep.CoverageConsistent {
+			t.Fatal("inflated coverage passed consistency check")
+		}
+	})
+}
+
+func TestVerifyBoundsViolation(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	s, err := APXFGS(g, groups, util, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove all female nodes from the covered list: lower bound broken.
+	mutated := *s
+	var males []graph.NodeID
+	for _, v := range s.Covered {
+		if gi, _ := groups.IndexOf(v); gi == 0 {
+			males = append(males, v)
+		}
+	}
+	mutated.Covered = males
+	rep := Verify(g, groups, util.Clone(), cfg, &mutated, 1<<30, 0)
+	if rep.BoundsOK {
+		t.Fatal("bounds violation passed")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	s, _ := APXFGS(g, groups, util, cfg)
+	rep := Verify(g, groups, util.Clone(), cfg, s, 1<<30, 0)
+	str := rep.String()
+	if !strings.Contains(str, "feasible=true") {
+		t.Errorf("Report.String = %q", str)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/pattern"
+)
+
+// The problem statement's application (2): summary patterns "can be directly
+// suggested as meaningful graph queries, to guide query and graph generation
+// with cardinality constraints for benchmarking" (citing gMark [5]). The
+// workload generator evaluates each summary pattern as a standalone query
+// and annotates it with the cardinalities a benchmark needs.
+
+// WorkloadEntry is one summary pattern annotated as a benchmark query.
+type WorkloadEntry struct {
+	P *pattern.Pattern
+	// Cardinality is |P(u_o, G)|: distinct focus matches in the whole graph.
+	Cardinality int
+	// CoveredMatches is how many of the summary's covered nodes match — the
+	// query's yield when answered over the summary as a view.
+	CoveredMatches int
+	// Selectivity is Cardinality over the number of nodes carrying the
+	// focus label (the candidate pool a query optimizer would scan).
+	Selectivity float64
+}
+
+// Workload evaluates every pattern of the summary as a graph query.
+func Workload(g *graph.Graph, s *Summary, embedCap int) []WorkloadEntry {
+	m := pattern.NewMatcher(g, embedCap)
+	entries := make([]WorkloadEntry, 0, len(s.Patterns))
+	for _, pi := range s.Patterns {
+		matches := m.Matches(pi.P)
+		pool := len(g.NodesWithLabel(pi.P.Nodes[pi.P.Focus].Label))
+		sel := 0.0
+		if pool > 0 {
+			sel = float64(len(matches)) / float64(pool)
+		}
+		entries = append(entries, WorkloadEntry{
+			P:              pi.P,
+			Cardinality:    len(matches),
+			CoveredMatches: len(m.CoverAmong(pi.P, s.Covered)),
+			Selectivity:    sel,
+		})
+	}
+	return entries
+}
+
+// WriteWorkload emits the workload as a sequence of parseable pattern
+// blocks, each preceded by its cardinality annotations — the exchange format
+// for feeding the queries to a benchmark driver.
+func WriteWorkload(w io.Writer, entries []WorkloadEntry) error {
+	for i, e := range entries {
+		if _, err := fmt.Fprintf(w, "# query %d: cardinality=%d covered_matches=%d selectivity=%.4f\n",
+			i+1, e.Cardinality, e.CoveredMatches, e.Selectivity); err != nil {
+			return err
+		}
+		if err := pattern.Format(w, e.P); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

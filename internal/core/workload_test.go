@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/pattern"
+)
+
+func TestWorkload(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	s, err := APXFGS(g, groups, util, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := Workload(g, s, 0)
+	if len(entries) != len(s.Patterns) {
+		t.Fatalf("entries = %d, want one per pattern", len(entries))
+	}
+	m := pattern.NewMatcher(g, 0)
+	for i, e := range entries {
+		if e.Cardinality != len(m.Matches(e.P)) {
+			t.Fatalf("entry %d cardinality mismatch", i)
+		}
+		if e.CoveredMatches > e.Cardinality {
+			t.Fatalf("entry %d: covered matches exceed total", i)
+		}
+		if e.CoveredMatches == 0 {
+			t.Fatalf("entry %d: summary pattern matches none of its own covered nodes", i)
+		}
+		if e.Selectivity <= 0 || e.Selectivity > 1 {
+			t.Fatalf("entry %d selectivity %v out of (0,1]", i, e.Selectivity)
+		}
+	}
+}
+
+func TestWriteWorkloadRoundTrips(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	s, err := APXFGS(g, groups, util, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, Workload(g, s, 0)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cardinality=") || !strings.Contains(out, "selectivity=") {
+		t.Fatalf("annotations missing:\n%s", out)
+	}
+	// Every block must parse back into the original pattern.
+	blocks := strings.Split(strings.TrimSpace(out), "\n\n")
+	if len(blocks) != len(s.Patterns) {
+		t.Fatalf("blocks = %d, want %d", len(blocks), len(s.Patterns))
+	}
+	for i, b := range blocks {
+		p, err := pattern.ParseString(b)
+		if err != nil {
+			t.Fatalf("block %d does not parse: %v\n%s", i, err, b)
+		}
+		if pattern.CanonicalCode(p) != pattern.CanonicalCode(s.Patterns[i].P) {
+			t.Fatalf("block %d round trip changed the pattern", i)
+		}
+	}
+}

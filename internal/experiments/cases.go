@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/cascade"
+	"github.com/cwru-db/fgs/internal/core"
+	"github.com/cwru-db/fgs/internal/gen"
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/pattern"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// CaseTalent reproduces the Fig. 11 case study: a pattern query P8 for
+// Internet-industry candidates returns a gender-skewed answer; a 2-summary
+// computed under equal-opportunity bounds [40,60] yields a balanced,
+// representative candidate set and serves as a materialized view that
+// answers the query much faster.
+func (s *Suite) CaseTalent() ([]Row, error) {
+	lki := s.Dataset("LKI")
+	m := pattern.NewMatcher(lki, 0)
+
+	// P8: Internet-industry users co-reviewed by at least one peer.
+	p8 := &pattern.Pattern{
+		Focus: 0,
+		Nodes: []pattern.Node{
+			{Label: "user", Literals: []pattern.Literal{{Key: "industry", Val: "Internet"}}},
+			{Label: "user"},
+		},
+		Edges: []pattern.Edge{{From: 1, To: 0, Label: "corev"}},
+	}
+	fullStart := time.Now()
+	fullMatches := m.Matches(p8)
+	fullDur := time.Since(fullStart)
+	if len(fullMatches) == 0 {
+		return nil, fmt.Errorf("case-talent: P8 matched nothing")
+	}
+	fullMalePct := genderPct(lki, fullMatches, "male")
+
+	// The fair 2-summary under [40,60] gender bounds.
+	groups, err := gen.GroupsByAttr(lki, "user", "gender", []string{"male", "female"}, 40, 60)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{R: 2, N: 100, Mining: miningCfg()}
+	sum, err := core.APXFGS(lki, groups, submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev"), cfg)
+	if err != nil {
+		return nil, err
+	}
+	sumMalePct := genderPct(lki, sum.Covered, "male")
+
+	// Query-via-view: answer P8 over the summary's covered nodes only.
+	viewStart := time.Now()
+	var viewMatches []graph.NodeID
+	for _, v := range sum.Covered {
+		if ind, ok := lki.AttrString(v, "industry"); ok && ind == "Internet" {
+			if mAt := m.MatchAt(p8, v); mAt {
+				viewMatches = append(viewMatches, v)
+			}
+		}
+	}
+	viewDur := time.Since(viewStart)
+	viewMalePct := genderPct(lki, viewMatches, "male")
+
+	speedup := 0.0
+	if viewDur > 0 {
+		speedup = float64(fullDur) / float64(viewDur)
+	}
+	rows := []Row{
+		{Exp: "case-talent", Dataset: "LKI", Algo: "P8-full", Metric: "candidates", Value: float64(len(fullMatches))},
+		{Exp: "case-talent", Dataset: "LKI", Algo: "P8-full", Metric: "male_pct", Value: fullMalePct},
+		{Exp: "case-talent", Dataset: "LKI", Algo: "summary", Metric: "candidates", Value: float64(len(sum.Covered))},
+		{Exp: "case-talent", Dataset: "LKI", Algo: "summary", Metric: "male_pct", Value: sumMalePct},
+		{Exp: "case-talent", Dataset: "LKI", Algo: "view-query", Metric: "candidates", Value: float64(len(viewMatches))},
+		{Exp: "case-talent", Dataset: "LKI", Algo: "view-query", Metric: "male_pct", Value: viewMalePct},
+		{Exp: "case-talent", Dataset: "LKI", Algo: "view-query", Metric: "speedup_x", Value: speedup},
+		{Exp: "case-talent", Dataset: "LKI", Algo: "P8-full", Metric: "query_us", Value: float64(fullDur.Microseconds())},
+		{Exp: "case-talent", Dataset: "LKI", Algo: "view-query", Metric: "query_us", Value: float64(viewDur.Microseconds())},
+	}
+	return rows, nil
+}
+
+func genderPct(g *graph.Graph, nodes []graph.NodeID, gender string) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range nodes {
+		if got, ok := g.AttrString(v, "gender"); ok && got == gender {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(nodes))
+}
+
+// CasePandemic reproduces the Fig. 12 case study: on a 10k-citizen contact
+// network (58% young / 42% senior), 10 high-degree seeds spread an
+// infection; a budget of 100 vaccines is allocated across the age groups as
+// [80,20] and as [20,80], and the resulting infection counts are compared.
+// The summary patterns of the selected seeds describe the spreading contact
+// structure (printed by the pandemic example).
+func (s *Suite) CasePandemic() ([]Row, error) {
+	g := gen.Pandemic(s.Seed+7, 10000)
+	groups, err := gen.GroupsByAttr(g, "citizen", "agegroup", []string{"young", "senior"}, 0, 100)
+	if err != nil {
+		return nil, err
+	}
+	seeds := cascade.TopDegreeSeeds(g, 10)
+	model := cascade.Model{P: 0.13, Trials: 20, Seed: s.Seed + 8}
+
+	baselineRun := cascade.SimulateImmunization(g, groups, seeds, []int{0, 0}, model)
+	youngHeavy := cascade.SimulateImmunization(g, groups, seeds, []int{80, 20}, model)
+	seniorHeavy := cascade.SimulateImmunization(g, groups, seeds, []int{20, 80}, model)
+
+	rows := []Row{
+		{Exp: "case-pandemic", Dataset: "Pandemic", Algo: "no-vaccine", Metric: "infected", Value: baselineRun.Infected},
+		{Exp: "case-pandemic", Dataset: "Pandemic", Algo: "alloc-80-20", Metric: "infected", Value: youngHeavy.Infected},
+		{Exp: "case-pandemic", Dataset: "Pandemic", Algo: "alloc-20-80", Metric: "infected", Value: seniorHeavy.Infected},
+		{Exp: "case-pandemic", Dataset: "Pandemic", Algo: "alloc-80-20", Metric: "vaccinated", Value: float64(youngHeavy.Vaccinated)},
+		{Exp: "case-pandemic", Dataset: "Pandemic", Algo: "alloc-20-80", Metric: "vaccinated", Value: float64(seniorHeavy.Vaccinated)},
+	}
+	return rows, nil
+}
+
+// PandemicPatterns mines the contact-structure patterns of the seed
+// spreaders (the P10/P11 flavor of Fig. 12) by summarizing the age groups
+// around the most contagious citizens.
+func (s *Suite) PandemicPatterns() (*core.Summary, error) {
+	g := gen.Pandemic(s.Seed+7, 2000)
+	groups, err := gen.GroupsByAttr(g, "citizen", "agegroup", []string{"young", "senior"}, 2, 8)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{R: 1, N: 10, Mining: miningCfg()}
+	util := submod.NewNeighborCoverage(g, submod.NeighborsBoth, "contact")
+	return core.APXFGS(g, groups, util, cfg)
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full sweeps (Fig. 8(c)-8(f), 9(b)-9(d)) run in the benchmark harness;
+// the tests here verify the harness wiring and the headline shape claims of
+// Exp-1 and the case studies on the scale-1 datasets.
+
+func TestDatasetCaching(t *testing.T) {
+	s := New(1, 42)
+	a := s.Dataset("DBP")
+	b := s.Dataset("DBP")
+	if a != b {
+		t.Fatal("dataset not cached")
+	}
+	if s.Dataset("LKI") == nil || s.Dataset("Cite") == nil {
+		t.Fatal("datasets missing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dataset should panic")
+		}
+	}()
+	s.Dataset("nope")
+}
+
+func TestScaleClamped(t *testing.T) {
+	if s := New(0, 1); s.Scale != 1 {
+		t.Fatalf("scale = %d, want clamp to 1", s.Scale)
+	}
+}
+
+// The headline claim of Fig. 8(a): the fair algorithms meet every group
+// constraint (C_eps = 0) while no baseline does on any dataset.
+func TestFig8aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Exp-1 run in -short mode")
+	}
+	s := New(1, 42)
+	rows, err := s.Fig8a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 { // 3 datasets x 6 algorithms
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	for _, r := range rows {
+		fair := r.Algo == "APXFGS" || r.Algo == "Online-APXFGS"
+		if fair && r.Value != 0 {
+			t.Errorf("%s on %s has coverage error %.3f, want 0", r.Algo, r.Dataset, r.Value)
+		}
+		if !fair && r.Value <= 0 {
+			t.Errorf("baseline %s on %s has coverage error %.3f, want > 0", r.Algo, r.Dataset, r.Value)
+		}
+	}
+}
+
+// Fig. 8(b) shape: APXFGS compresses better than MMPG (which inflates
+// patterns) on every dataset, and everything lands in (0, 1].
+func TestFig8bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Exp-1 run in -short mode")
+	}
+	s := New(1, 42)
+	rows, err := s.Fig8b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		if r.Value <= 0 || r.Value > 1 {
+			t.Errorf("%s/%s ratio %.3f out of (0,1]", r.Dataset, r.Algo, r.Value)
+		}
+		byKey[r.Dataset+"/"+r.Algo] = r.Value
+	}
+	for _, ds := range []string{"DBP", "LKI", "Cite"} {
+		if byKey[ds+"/APXFGS"] >= byKey[ds+"/MMPG"] {
+			t.Errorf("%s: APXFGS ratio %.3f not below MMPG %.3f", ds, byKey[ds+"/APXFGS"], byKey[ds+"/MMPG"])
+		}
+	}
+}
+
+// Exp-3 wiring: ratios are sane at every checkpoint and Inc-FGS is faster
+// than recomputation on the later (larger) checkpoints.
+func TestExp3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream run in -short mode")
+	}
+	s := New(1, 42)
+	ratios, times, err := s.exp3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratios) != 9 || len(times) != 6 { // 3 checkpoints x {3 ratio, 2 time} algos
+		t.Fatalf("rows: %d ratios, %d times", len(ratios), len(times))
+	}
+	for _, r := range ratios {
+		if r.Value <= 0 || r.Value > 1 {
+			t.Errorf("checkpoint %.2f %s ratio %.3f out of range", r.X, r.Algo, r.Value)
+		}
+	}
+	var incLast, apxLast float64
+	for _, r := range times {
+		if r.X == 1.0 {
+			switch r.Algo {
+			case "Inc-FGS":
+				incLast = r.Value
+			case "APXFGS":
+				apxLast = r.Value
+			}
+		}
+	}
+	if incLast > apxLast*2 {
+		t.Errorf("Inc-FGS final batch (%vms) much slower than recompute (%vms)", incLast, apxLast)
+	}
+}
+
+func TestCaseTalentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study in -short mode")
+	}
+	s := New(1, 42)
+	rows, err := s.CaseTalent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(algo, metric string) float64 {
+		for _, r := range rows {
+			if r.Algo == algo && r.Metric == metric {
+				return r.Value
+			}
+		}
+		t.Fatalf("missing row %s/%s", algo, metric)
+		return 0
+	}
+	fullMale := get("P8-full", "male_pct")
+	sumMale := get("summary", "male_pct")
+	if fullMale < 65 {
+		t.Errorf("full query male%% = %.1f, expected skew toward ~77", fullMale)
+	}
+	if sumMale < 40 || sumMale > 60 {
+		t.Errorf("summary male%% = %.1f, expected balanced", sumMale)
+	}
+	if get("summary", "candidates") > get("P8-full", "candidates") {
+		t.Error("summary should be smaller than the full answer")
+	}
+	if get("view-query", "speedup_x") <= 1 {
+		t.Error("view-based query should be faster than the full query")
+	}
+}
+
+func TestCasePandemicShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study in -short mode")
+	}
+	s := New(1, 42)
+	rows, err := s.CasePandemic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(algo string) float64 {
+		for _, r := range rows {
+			if r.Algo == algo && r.Metric == "infected" {
+				return r.Value
+			}
+		}
+		t.Fatalf("missing %s", algo)
+		return 0
+	}
+	none := get("no-vaccine")
+	a := get("alloc-80-20")
+	b := get("alloc-20-80")
+	if a >= none || b >= none {
+		t.Errorf("vaccination did not reduce infections: none=%.0f 80/20=%.0f 20/80=%.0f", none, a, b)
+	}
+}
+
+func TestPandemicPatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pattern mining in -short mode")
+	}
+	s := New(1, 42)
+	sum, err := s.PandemicPatterns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Patterns) == 0 {
+		t.Fatal("no contact patterns mined")
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	rows := []Row{
+		{Exp: "figX", Dataset: "LKI", Algo: "APXFGS", Metric: "m", Value: 0.5},
+		{Exp: "figX", Dataset: "DBP", Algo: "Grami", XLabel: "k", X: 10, Metric: "m", Value: 0.25},
+	}
+	out := FormatRows(rows)
+	if !strings.Contains(out, "== figX ==") || !strings.Contains(out, "k=10") || !strings.Contains(out, "0.5000") {
+		t.Fatalf("FormatRows = %q", out)
+	}
+	// DBP sorts before LKI.
+	if strings.Index(out, "DBP") > strings.Index(out, "LKI") {
+		t.Fatal("rows not sorted by dataset")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/baseline"
+	"github.com/cwru-db/fgs/internal/core"
+	"github.com/cwru-db/fgs/internal/gen"
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/metrics"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// Exp-3 (Figs. 10(a)/10(b)): a stream of LKI edges is revealed in batches;
+// Inc-FGS maintains its summary incrementally, APXFGS recomputes from
+// scratch at every checkpoint, and MoSSo consumes the same stream. Fig10a
+// reports the anytime compression ratio; Fig10b the per-batch time.
+
+// exp3 runs the shared stream once and returns both figures' rows.
+func (s *Suite) exp3(checkpoints int) (ratioRows, timeRows []Row, err error) {
+	if checkpoints < 2 {
+		checkpoints = 2
+	}
+	lki := s.Dataset("LKI")
+	r, n := 2, 60
+	lower, upper := 20, 40
+
+	// The stream: every LKI edge in a seeded shuffled order.
+	type edge struct {
+		from, to graph.NodeID
+		label    string
+	}
+	var stream []edge
+	for from := graph.NodeID(0); int(from) < lki.NumNodes(); from++ {
+		for _, e := range lki.Out(from) {
+			stream = append(stream, edge{from: from, to: e.To, label: lki.EdgeLabelName(e.Label)})
+		}
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 99))
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+
+	// The "seen" graph starts with all nodes and no edges.
+	gSeen := cloneNodes(lki)
+	groups, err := gen.GroupsByAttr(gSeen, "user", "gender", []string{"male", "female"}, lower, upper)
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp3: %w", err)
+	}
+	cfg := core.Config{R: r, N: n, Mining: miningCfg()}
+	incUtil := submod.NewNeighborCoverage(gSeen, submod.NeighborsIn, "corev")
+	maintainer, _ := core.NewMaintainer(gSeen, groups, incUtil, cfg)
+	mosso := baseline.NewMosso(s.Seed)
+
+	batchSize := (len(stream) + checkpoints - 1) / checkpoints
+	for cp := 1; cp <= checkpoints; cp++ {
+		lo, hi := (cp-1)*batchSize, cp*batchSize
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		batch := make([]core.EdgeUpdate, 0, hi-lo)
+		for _, e := range stream[lo:hi] {
+			batch = append(batch, core.EdgeUpdate{From: e.from, To: e.to, Label: e.label})
+		}
+		incSum, incDur, err := maintainer.TimeBatch(batch)
+		if err != nil {
+			return nil, nil, fmt.Errorf("exp3 checkpoint %d: %w", cp, err)
+		}
+		mossoStart := time.Now()
+		for _, e := range stream[lo:hi] {
+			mosso.AddEdge(e.from, e.to)
+		}
+		mossoDur := time.Since(mossoStart)
+
+		// APXFGS recomputes from scratch on the seen graph.
+		apxStart := time.Now()
+		apxSum, err := core.APXFGS(gSeen, groups, submod.NewNeighborCoverage(gSeen, submod.NeighborsIn, "corev"), cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("exp3 checkpoint %d: APXFGS: %w", cp, err)
+		}
+		apxDur := time.Since(apxStart)
+
+		frac := float64(hi) / float64(len(stream))
+		incStructure := 0
+		for _, pi := range incSum.Patterns {
+			incStructure += pi.P.Size()
+		}
+		apxStructure := 0
+		for _, pi := range apxSum.Patterns {
+			apxStructure += pi.P.Size()
+		}
+		mossoRes := mosso.Result(groups, n, mossoDur)
+
+		ratioRows = append(ratioRows,
+			Row{Exp: "fig10a", Dataset: "LKI", Algo: "Inc-FGS", XLabel: "frac", X: frac, Metric: "compression_ratio",
+				Value: metrics.CompressionRatio(gSeen, r, incSum.Covered, incStructure, incSum.Corrections.Len())},
+			Row{Exp: "fig10a", Dataset: "LKI", Algo: "APXFGS", XLabel: "frac", X: frac, Metric: "compression_ratio",
+				Value: metrics.CompressionRatio(gSeen, r, apxSum.Covered, apxStructure, apxSum.Corrections.Len())},
+			Row{Exp: "fig10a", Dataset: "LKI", Algo: "Mosso", XLabel: "frac", X: frac, Metric: "compression_ratio",
+				Value: mossoRes.GlobalRatio},
+		)
+		timeRows = append(timeRows,
+			Row{Exp: "fig10b", Dataset: "LKI", Algo: "Inc-FGS", XLabel: "frac", X: frac, Metric: "time_ms", Value: float64(incDur.Milliseconds())},
+			Row{Exp: "fig10b", Dataset: "LKI", Algo: "APXFGS", XLabel: "frac", X: frac, Metric: "time_ms", Value: float64(apxDur.Milliseconds())},
+		)
+	}
+	return ratioRows, timeRows, nil
+}
+
+// Fig10a reproduces Fig. 10(a): anytime compression ratio over the stream.
+func (s *Suite) Fig10a() ([]Row, error) {
+	rows, _, err := s.exp3(5)
+	return rows, err
+}
+
+// Fig10b reproduces Fig. 10(b): per-batch maintenance time, Inc-FGS vs
+// recomputation with APXFGS.
+func (s *Suite) Fig10b() ([]Row, error) {
+	_, rows, err := s.exp3(5)
+	return rows, err
+}
+
+// cloneNodes copies every node (label and attributes) of g into a fresh
+// graph with no edges — the time-zero state of the edge stream.
+func cloneNodes(g *graph.Graph) *graph.Graph {
+	out := graph.New()
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		attrs := make(map[string]string)
+		for _, a := range g.Attrs(v) {
+			attrs[g.AttrKeyName(a.Key)] = g.AttrValName(a.Val)
+		}
+		out.AddNode(g.LabelOf(v), attrs)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cwru-db/fgs/internal/gen"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// Shared Exp-1 configuration (Figs. 8(a)/8(b)): card(V)=2, r=2, k=20, n=100,
+// bounds [40,60] for both groups. At scale 1 the bounds are shrunk
+// proportionally so the groups stay coverable.
+func (s *Suite) exp1Params() (r, k, n, lower, upper int) {
+	r, k = 2, 20
+	n = 100
+	lower, upper = 40, 60
+	return
+}
+
+// Fig8a reproduces Fig. 8(a): coverage error per algorithm per dataset.
+func (s *Suite) Fig8a() ([]Row, error) {
+	return s.exp1("fig8a", "coverage_error")
+}
+
+// Fig8b reproduces Fig. 8(b): compression ratio per algorithm per dataset.
+func (s *Suite) Fig8b() ([]Row, error) {
+	return s.exp1("fig8b", "compression_ratio")
+}
+
+func (s *Suite) exp1(exp, metric string) ([]Row, error) {
+	r, k, n, lower, upper := s.exp1Params()
+	var rows []Row
+	for _, st := range s.standardSettings(lower, upper) {
+		outcomes, err := s.runAll(st, r, k, n)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", exp, err)
+		}
+		for algo, o := range outcomes {
+			covErr, compRatio := score(st.g, st.groups, r, o)
+			v := covErr
+			if metric == "compression_ratio" {
+				v = compRatio
+			}
+			rows = append(rows, Row{Exp: exp, Dataset: st.name, Algo: algo, Metric: metric, Value: v})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8c reproduces Fig. 8(c): compression ratio on DBP as k varies 10..50.
+func (s *Suite) Fig8c() ([]Row, error) {
+	r, _, n, lower, upper := s.exp1Params()
+	st := s.standardSettings(lower, upper)[0] // DBP
+	var rows []Row
+	for _, k := range []int{10, 20, 30, 40, 50} {
+		outcomes, err := s.runAll(st, r, k, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig8c k=%d: %w", k, err)
+		}
+		for algo, o := range outcomes {
+			_, compRatio := score(st.g, st.groups, r, o)
+			rows = append(rows, Row{Exp: "fig8c", Dataset: st.name, Algo: algo, XLabel: "k", X: float64(k), Metric: "compression_ratio", Value: compRatio})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8d reproduces Fig. 8(d): coverage error on LKI as card(V) varies 2..6.
+// Groups are induced from gender alone (2), gender x {BS,MS} (4), and
+// gender x {BS,MS,PhD} (6), following the paper's LKI grouping.
+func (s *Suite) Fig8d() ([]Row, error) {
+	lki := s.Dataset("LKI")
+	r, k := 2, 20
+	n := 240
+	util := func() submod.Utility { return submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev") }
+	build := func(card int) (*submod.Groups, error) {
+		switch card {
+		case 2:
+			return gen.GroupsByAttr(lki, "user", "gender", []string{"male", "female"}, 20, 60)
+		case 4:
+			return gen.GroupsByAttrPairs(lki, "user", "gender", []string{"male", "female"}, "degree", []string{"BS", "MS"}, 20, 60)
+		case 6:
+			return gen.GroupsByAttrPairs(lki, "user", "gender", []string{"male", "female"}, "degree", []string{"BS", "MS", "PhD"}, 20, 60)
+		default:
+			return nil, fmt.Errorf("fig8d: unsupported card %d", card)
+		}
+	}
+	var rows []Row
+	for _, card := range []int{2, 4, 6} {
+		groups, err := build(card)
+		if err != nil {
+			return nil, err
+		}
+		st := setting{name: "LKI", g: lki, groups: groups, util: util}
+		outcomes, err := s.runAll(st, r, k, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig8d card=%d: %w", card, err)
+		}
+		for algo, o := range outcomes {
+			covErr, _ := score(st.g, st.groups, r, o)
+			rows = append(rows, Row{Exp: "fig8d", Dataset: "LKI", Algo: algo, XLabel: "card", X: float64(card), Metric: "coverage_error", Value: covErr})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8e reproduces Fig. 8(e): compression ratio on LKI as n varies 50..250,
+// with the [40%, 60%] bounds scaled to n.
+func (s *Suite) Fig8e() ([]Row, error) {
+	lki := s.Dataset("LKI")
+	r, k := 2, 20
+	util := func() submod.Utility { return submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev") }
+	var rows []Row
+	for _, n := range []int{50, 100, 150, 200, 250} {
+		lower, upper := n*4/10, n*6/10
+		groups, err := gen.GroupsByAttr(lki, "user", "gender", []string{"male", "female"}, lower, upper)
+		if err != nil {
+			return nil, fmt.Errorf("fig8e n=%d: %w", n, err)
+		}
+		st := setting{name: "LKI", g: lki, groups: groups, util: util}
+		outcomes, err := s.runAll(st, r, k, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig8e n=%d: %w", n, err)
+		}
+		for algo, o := range outcomes {
+			_, compRatio := score(st.g, st.groups, r, o)
+			rows = append(rows, Row{Exp: "fig8e", Dataset: "LKI", Algo: algo, XLabel: "n", X: float64(n), Metric: "compression_ratio", Value: compRatio})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8f reproduces Fig. 8(f): compression ratio on LKI as the lower bound l
+// varies 50..250 with u=260 and n=500.
+func (s *Suite) Fig8f() ([]Row, error) {
+	lki := s.Dataset("LKI")
+	r, k, n := 2, 20, 500
+	upper := 260
+	util := func() submod.Utility { return submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev") }
+	var rows []Row
+	for _, l := range []int{50, 100, 150, 200, 250} {
+		groups, err := gen.GroupsByAttr(lki, "user", "gender", []string{"male", "female"}, l, upper)
+		if err != nil {
+			return nil, fmt.Errorf("fig8f l=%d: %w", l, err)
+		}
+		st := setting{name: "LKI", g: lki, groups: groups, util: util}
+		outcomes, err := s.runAll(st, r, k, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig8f l=%d: %w", l, err)
+		}
+		for algo, o := range outcomes {
+			_, compRatio := score(st.g, st.groups, r, o)
+			rows = append(rows, Row{Exp: "fig8f", Dataset: "LKI", Algo: algo, XLabel: "l", X: float64(l), Metric: "compression_ratio", Value: compRatio})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cwru-db/fgs/internal/baseline"
+	"github.com/cwru-db/fgs/internal/gen"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// Exp-2 compares efficiency of the pattern-based methods only (APXFGS,
+// Online-APXFGS, Grami, d-sum), as in the paper's Fig. 9.
+
+func timeRows(exp, dataset, xLabel string, x float64, outcomes map[string]algoOutcome) []Row {
+	var rows []Row
+	for _, algo := range []string{"APXFGS", "Online-APXFGS", "Grami", "d-sum"} {
+		o, ok := outcomes[algo]
+		if !ok {
+			continue
+		}
+		rows = append(rows, Row{Exp: exp, Dataset: dataset, Algo: algo, XLabel: xLabel, X: x, Metric: "time_ms", Value: float64(o.elapsed.Milliseconds())})
+	}
+	return rows
+}
+
+// Fig9a reproduces Fig. 9(a): wall time per pattern-based algorithm per
+// dataset under the Exp-1 setting.
+func (s *Suite) Fig9a() ([]Row, error) {
+	r, k, n, lower, upper := s.exp1Params()
+	var rows []Row
+	for _, st := range s.standardSettings(lower, upper) {
+		outcomes, err := s.runAll(st, r, k, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig9a: %w", err)
+		}
+		rows = append(rows, timeRows("fig9a", st.name, "", 0, outcomes)...)
+	}
+	return rows, nil
+}
+
+// patternLineup runs only the four timed algorithms (no Mosso/MMPG), for the
+// parameter sweeps of Figs. 9(b)-9(d).
+func (s *Suite) patternLineup(st setting, r, k, n int) (map[string]algoOutcome, error) {
+	out := make(map[string]algoOutcome, 4)
+	apx, err := runKAPXFGS(st, r, k, n)
+	if err != nil {
+		return nil, err
+	}
+	out["APXFGS"] = apx
+	onl, err := runOnline(st, r, k, n)
+	if err != nil {
+		return nil, err
+	}
+	out["Online-APXFGS"] = onl
+	out["Grami"] = fromBaseline(baseline.Grami(st.g, st.groups, baseline.GramiConfig{R: r, K: k, N: n, Mining: miningCfg()}))
+	out["d-sum"] = fromBaseline(baseline.DSum(st.g, st.groups, baseline.DSumConfig{D: r, K: k, N: n, Mining: miningCfg()}))
+	return out, nil
+}
+
+// Fig9b reproduces Fig. 9(b): time on DBP as k varies 10..50.
+func (s *Suite) Fig9b() ([]Row, error) {
+	r, _, n, lower, upper := s.exp1Params()
+	st := s.standardSettings(lower, upper)[0] // DBP
+	var rows []Row
+	for _, k := range []int{10, 20, 30, 40, 50} {
+		outcomes, err := s.patternLineup(st, r, k, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig9b k=%d: %w", k, err)
+		}
+		rows = append(rows, timeRows("fig9b", st.name, "k", float64(k), outcomes)...)
+	}
+	return rows, nil
+}
+
+// Fig9c reproduces Fig. 9(c): time on LKI as n varies 50..250.
+func (s *Suite) Fig9c() ([]Row, error) {
+	lki := s.Dataset("LKI")
+	r, k := 2, 20
+	util := func() submod.Utility { return submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev") }
+	var rows []Row
+	for _, n := range []int{50, 100, 150, 200, 250} {
+		groups, err := gen.GroupsByAttr(lki, "user", "gender", []string{"male", "female"}, n*4/10, n*6/10)
+		if err != nil {
+			return nil, fmt.Errorf("fig9c n=%d: %w", n, err)
+		}
+		st := setting{name: "LKI", g: lki, groups: groups, util: util}
+		outcomes, err := s.patternLineup(st, r, k, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig9c n=%d: %w", n, err)
+		}
+		rows = append(rows, timeRows("fig9c", "LKI", "n", float64(n), outcomes)...)
+	}
+	return rows, nil
+}
+
+// Fig9d reproduces Fig. 9(d): time on LKI as the hop bound r varies 1..5,
+// with n=50 and k=20 as in the paper.
+func (s *Suite) Fig9d() ([]Row, error) {
+	lki := s.Dataset("LKI")
+	k, n := 20, 50
+	util := func() submod.Utility { return submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev") }
+	groups, err := gen.GroupsByAttr(lki, "user", "gender", []string{"male", "female"}, 20, 30)
+	if err != nil {
+		return nil, fmt.Errorf("fig9d: %w", err)
+	}
+	var rows []Row
+	for r := 1; r <= 5; r++ {
+		st := setting{name: "LKI", g: lki, groups: groups, util: util}
+		outcomes, err := s.patternLineup(st, r, k, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig9d r=%d: %w", r, err)
+		}
+		rows = append(rows, timeRows("fig9d", "LKI", "r", float64(r), outcomes)...)
+	}
+	return rows, nil
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScaleFeasibility mirrors the paper's feasibility claim ("up to 400
+// seconds on graphs with 5M nodes"): runtime must grow roughly linearly in
+// the dataset scale, not quadratically. Skipped in -short mode.
+func TestScaleFeasibility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling run in -short mode")
+	}
+	var times []time.Duration
+	for _, scale := range []int{1, 4} {
+		s := New(scale, 42)
+		st := s.standardSettings(40, 60)[1] // LKI
+		start := time.Now()
+		if _, err := runKAPXFGS(st, 2, 20, 100); err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		times = append(times, elapsed)
+		t.Logf("scale=%d (%d nodes): %v", scale, st.g.NumNodes(), elapsed)
+	}
+	// 4x the data should cost well under 16x the time (quadratic blowup).
+	if times[1] > 12*times[0] {
+		t.Fatalf("superlinear scaling: %v at scale 1 vs %v at scale 4", times[0], times[1])
+	}
+}

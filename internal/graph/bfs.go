@@ -1,0 +1,132 @@
+package graph
+
+// The r-hop neighborhood operators of Section II. Per the paper, "the r-hop
+// neighbors (resp. edges) of v refer to the nodes (resp. edges) that can be
+// reached from or reach v in r hops", i.e. traversal ignores edge direction
+// while the collected edges keep theirs.
+
+// RHopNodes returns N_v^r: every node within undirected distance r of v,
+// including v itself.
+func (g *Graph) RHopNodes(v NodeID, r int) []NodeID {
+	return g.RHopNodesOf([]NodeID{v}, r)
+}
+
+// RHopNodesOf returns N_X^r for a node set X: the union of r-hop
+// neighborhoods, including the members of X themselves.
+func (g *Graph) RHopNodesOf(roots []NodeID, r int) []NodeID {
+	seen := make(NodeSet, len(roots)*4)
+	frontier := make([]NodeID, 0, len(roots))
+	for _, v := range roots {
+		if g.HasNode(v) && !seen.Has(v) {
+			seen.Add(v)
+			frontier = append(frontier, v)
+		}
+	}
+	result := append([]NodeID(nil), frontier...)
+	for hop := 0; hop < r && len(frontier) > 0; hop++ {
+		var next []NodeID
+		for _, v := range frontier {
+			for _, e := range g.out[v] {
+				if !seen.Has(e.To) {
+					seen.Add(e.To)
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.in[v] {
+				if !seen.Has(e.To) {
+					seen.Add(e.To)
+					next = append(next, e.To)
+				}
+			}
+		}
+		result = append(result, next...)
+		frontier = next
+	}
+	return result
+}
+
+// RHopEdges returns E_v^r: every directed edge on a path of at most r
+// undirected hops from v. Concretely, it is the set of edges induced between
+// consecutive BFS layers: an edge (a,b) is included when it is traversed
+// while expanding up to depth r, i.e. min(depth(a), depth(b)) < r.
+func (g *Graph) RHopEdges(v NodeID, r int) EdgeSet {
+	return g.RHopEdgesOf([]NodeID{v}, r)
+}
+
+// RHopEdgesOf returns E_X^r: the union of r-hop edge sets of the roots.
+func (g *Graph) RHopEdgesOf(roots []NodeID, r int) EdgeSet {
+	edges := NewEdgeSet(0)
+	depth := make(map[NodeID]int, len(roots)*4)
+	var frontier []NodeID
+	for _, v := range roots {
+		if !g.HasNode(v) {
+			continue
+		}
+		if _, ok := depth[v]; !ok {
+			depth[v] = 0
+			frontier = append(frontier, v)
+		}
+	}
+	for hop := 0; hop < r && len(frontier) > 0; hop++ {
+		var next []NodeID
+		for _, v := range frontier {
+			for _, e := range g.out[v] {
+				edges.Add(EdgeRef{From: v, To: e.To, Label: e.Label})
+				if _, ok := depth[e.To]; !ok {
+					depth[e.To] = hop + 1
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.in[v] {
+				edges.Add(EdgeRef{From: e.To, To: v, Label: e.Label})
+				if _, ok := depth[e.To]; !ok {
+					depth[e.To] = hop + 1
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return edges
+}
+
+// Dist returns the undirected hop distance from src to dst, or -1 if dst is
+// unreachable within limit hops. A limit < 0 means unbounded.
+func (g *Graph) Dist(src, dst NodeID, limit int) int {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return -1
+	}
+	if src == dst {
+		return 0
+	}
+	seen := NodeSet{src: {}}
+	frontier := []NodeID{src}
+	for d := 1; limit < 0 || d <= limit; d++ {
+		var next []NodeID
+		for _, v := range frontier {
+			for _, e := range g.out[v] {
+				if e.To == dst {
+					return d
+				}
+				if !seen.Has(e.To) {
+					seen.Add(e.To)
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.in[v] {
+				if e.To == dst {
+					return d
+				}
+				if !seen.Has(e.To) {
+					seen.Add(e.To)
+					next = append(next, e.To)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return -1
+		}
+		frontier = next
+	}
+	return -1
+}

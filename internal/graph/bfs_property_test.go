@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests of the r-hop operators against naive reference
+// implementations on seeded random graphs.
+
+func TestRHopNodesMatchesDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 25, 50)
+		for r := 0; r <= 3; r++ {
+			src := NodeID(rng.Intn(g.NumNodes()))
+			got := NodeSetOf(g.RHopNodes(src, r))
+			for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+				d := g.Dist(src, v, r)
+				inHop := d >= 0 && d <= r
+				if inHop != got.Has(v) {
+					t.Fatalf("trial %d r=%d: node %d dist=%d, RHopNodes membership=%v", trial, r, v, d, got.Has(v))
+				}
+			}
+		}
+	}
+}
+
+func TestRHopNodesMonotoneInR(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 25, 60)
+		src := NodeID(rng.Intn(g.NumNodes()))
+		prev := NodeSet{}
+		for r := 0; r <= 4; r++ {
+			cur := NodeSetOf(g.RHopNodes(src, r))
+			for v := range prev {
+				if !cur.Has(v) {
+					t.Fatalf("r-hop set not monotone: node %d in r=%d but not r=%d", v, r-1, r)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestRHopEdgesEndpointsWithinRHopNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 25, 60)
+		src := NodeID(rng.Intn(g.NumNodes()))
+		for r := 1; r <= 3; r++ {
+			nodes := NodeSetOf(g.RHopNodes(src, r))
+			for e := range g.RHopEdges(src, r) {
+				if !nodes.Has(e.From) || !nodes.Has(e.To) {
+					t.Fatalf("edge %v outside %d-hop node set", e, r)
+				}
+				if !g.HasEdge(e.From, e.To, e.Label) {
+					t.Fatalf("edge %v not present in graph", e)
+				}
+			}
+		}
+	}
+}
+
+// Every edge incident to a node at distance < r from the source must be in
+// E_v^r: it lies on a path of at most r hops from v.
+func TestRHopEdgesCoverNearEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 20, 50)
+		src := NodeID(rng.Intn(g.NumNodes()))
+		for r := 1; r <= 3; r++ {
+			edges := g.RHopEdges(src, r)
+			for from := NodeID(0); int(from) < g.NumNodes(); from++ {
+				for _, e := range g.Out(from) {
+					dFrom := g.Dist(src, from, r)
+					dTo := g.Dist(src, e.To, r)
+					near := (dFrom >= 0 && dFrom < r) || (dTo >= 0 && dTo < r)
+					ref := EdgeRef{From: from, To: e.To, Label: e.Label}
+					if near && !edges.Has(ref) {
+						t.Fatalf("edge %v has endpoint at dist<%d but not in E^r", ref, r)
+					}
+					if !near && edges.Has(ref) {
+						t.Fatalf("edge %v in E^r but both endpoints at dist>=%d", ref, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRHopEdgesOfIsUnionOfSingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 20, 40)
+		roots := []NodeID{NodeID(rng.Intn(g.NumNodes())), NodeID(rng.Intn(g.NumNodes())), NodeID(rng.Intn(g.NumNodes()))}
+		for r := 1; r <= 2; r++ {
+			union := NewEdgeSet(0)
+			for _, v := range roots {
+				union.AddAll(g.RHopEdges(v, r))
+			}
+			got := g.RHopEdgesOf(roots, r)
+			if got.Len() != union.Len() {
+				t.Fatalf("RHopEdgesOf len %d, union of singles %d", got.Len(), union.Len())
+			}
+			for e := range union {
+				if !got.Has(e) {
+					t.Fatalf("edge %v in union but not RHopEdgesOf", e)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package graph
+
+import "fmt"
+
+// RemoveEdge deletes the directed edge from -> to with the given label
+// string. It is the substrate for summary maintenance under edge deletions —
+// an extension beyond the paper's insertion-only Section VII.
+func (g *Graph) RemoveEdge(from, to NodeID, label string) error {
+	lid, ok := g.edgeLabels.Lookup(label)
+	if !ok {
+		return fmt.Errorf("graph: edge (%d,%d,%q) does not exist", from, to, label)
+	}
+	if !g.HasNode(from) || !g.HasNode(to) {
+		return fmt.Errorf("graph: edge (%d,%d) references missing node", from, to)
+	}
+	if !removeAdj(&g.out[from], to, LabelID(lid)) {
+		return fmt.Errorf("graph: edge (%d,%d,%q) does not exist", from, to, label)
+	}
+	if !removeAdj(&g.in[to], from, LabelID(lid)) {
+		// The two adjacency lists are maintained together; disagreement is a
+		// corrupted store, not a user error.
+		panic("graph: adjacency lists out of sync")
+	}
+	g.numEdges--
+	return nil
+}
+
+// removeAdj removes the first entry matching (to, label); reports success.
+func removeAdj(edges *[]Edge, to NodeID, label LabelID) bool {
+	for i, e := range *edges {
+		if e.To == to && e.Label == label {
+			*edges = append((*edges)[:i], (*edges)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRemoveEdge(t *testing.T) {
+	g, ids := buildDiamond(t)
+	before := g.NumEdges()
+	if err := g.RemoveEdge(ids[0], ids[1], "recommend"); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if g.NumEdges() != before-1 {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), before-1)
+	}
+	rec, _ := g.EdgeLabelID("recommend")
+	if g.HasEdge(ids[0], ids[1], rec) {
+		t.Fatal("edge still present")
+	}
+	// The in-list of the target no longer mentions the source.
+	for _, e := range g.In(ids[1]) {
+		if e.To == ids[0] && e.Label == rec {
+			t.Fatal("in-adjacency still holds removed edge")
+		}
+	}
+	// Re-adding is allowed.
+	if err := g.AddEdge(ids[0], ids[1], "recommend"); err != nil {
+		t.Fatalf("re-add after remove: %v", err)
+	}
+}
+
+func TestRemoveEdgeErrors(t *testing.T) {
+	g, ids := buildDiamond(t)
+	cases := []struct {
+		name      string
+		from, to  NodeID
+		label     string
+	}{
+		{"unknown label", ids[0], ids[1], "nosuch"},
+		{"wrong direction", ids[1], ids[0], "recommend"},
+		{"missing node", 99, ids[0], "recommend"},
+		{"wrong label on real endpoints", ids[0], ids[1], "member"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := g.RemoveEdge(c.from, c.to, c.label); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("failed removals changed edge count: %d", g.NumEdges())
+	}
+}
+
+// Property: a random interleaving of adds and removes keeps the two
+// adjacency directions consistent and the edge count correct.
+func TestAddRemoveInterleavingConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := New()
+	const n = 20
+	for i := 0; i < n; i++ {
+		g.AddNode("x", nil)
+	}
+	type key struct {
+		from, to NodeID
+	}
+	present := map[key]bool{}
+	for step := 0; step < 2000; step++ {
+		k := key{NodeID(rng.Intn(n)), NodeID(rng.Intn(n))}
+		if present[k] {
+			if rng.Intn(2) == 0 {
+				if err := g.RemoveEdge(k.from, k.to, "e"); err != nil {
+					t.Fatalf("step %d: remove existing: %v", step, err)
+				}
+				present[k] = false
+			}
+		} else {
+			if err := g.AddEdge(k.from, k.to, "e"); err != nil {
+				t.Fatalf("step %d: add missing: %v", step, err)
+			}
+			present[k] = true
+		}
+	}
+	want := 0
+	lid, _ := g.EdgeLabelID("e")
+	for k, ok := range present {
+		if !ok {
+			continue
+		}
+		want++
+		if !g.HasEdge(k.from, k.to, lid) {
+			t.Fatalf("edge %v missing", k)
+		}
+		foundIn := false
+		for _, e := range g.In(k.to) {
+			if e.To == k.from && e.Label == lid {
+				foundIn = true
+			}
+		}
+		if !foundIn {
+			t.Fatalf("edge %v missing from in-adjacency", k)
+		}
+	}
+	if g.NumEdges() != want {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), want)
+	}
+}

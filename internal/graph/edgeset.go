@@ -1,0 +1,96 @@
+package graph
+
+// EdgeRef identifies one directed labeled edge by endpoints and interned
+// label. It is the unit of the correction sets C and C_P of Section II/III.
+type EdgeRef struct {
+	From  NodeID
+	To    NodeID
+	Label LabelID
+}
+
+// EdgeSet is a set of directed labeled edges.
+type EdgeSet map[EdgeRef]struct{}
+
+// NewEdgeSet returns an empty edge set with room for n edges.
+func NewEdgeSet(n int) EdgeSet { return make(EdgeSet, n) }
+
+// Add inserts an edge.
+func (s EdgeSet) Add(e EdgeRef) { s[e] = struct{}{} }
+
+// Has reports membership.
+func (s EdgeSet) Has(e EdgeRef) bool { _, ok := s[e]; return ok }
+
+// Len reports the number of edges.
+func (s EdgeSet) Len() int { return len(s) }
+
+// AddAll inserts every edge of other.
+func (s EdgeSet) AddAll(other EdgeSet) {
+	for e := range other {
+		s[e] = struct{}{}
+	}
+}
+
+// Clone returns an independent copy.
+func (s EdgeSet) Clone() EdgeSet {
+	c := make(EdgeSet, len(s))
+	c.AddAll(s)
+	return c
+}
+
+// Minus returns s \ other as a new set.
+func (s EdgeSet) Minus(other EdgeSet) EdgeSet {
+	d := make(EdgeSet)
+	for e := range s {
+		if !other.Has(e) {
+			d.Add(e)
+		}
+	}
+	return d
+}
+
+// CountMissing reports |s \ other| without materializing the difference.
+func (s EdgeSet) CountMissing(other EdgeSet) int {
+	n := 0
+	for e := range s {
+		if !other.Has(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeSet is a set of nodes.
+type NodeSet map[NodeID]struct{}
+
+// NewNodeSet returns an empty node set with room for n nodes.
+func NewNodeSet(n int) NodeSet { return make(NodeSet, n) }
+
+// NodeSetOf builds a set from a slice.
+func NodeSetOf(ids []NodeID) NodeSet {
+	s := make(NodeSet, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts a node.
+func (s NodeSet) Add(id NodeID) { s[id] = struct{}{} }
+
+// Has reports membership.
+func (s NodeSet) Has(id NodeID) bool { _, ok := s[id]; return ok }
+
+// Len reports the number of nodes.
+func (s NodeSet) Len() int { return len(s) }
+
+// Remove deletes a node.
+func (s NodeSet) Remove(id NodeID) { delete(s, id) }
+
+// Clone returns an independent copy.
+func (s NodeSet) Clone() NodeSet {
+	c := make(NodeSet, len(s))
+	for id := range s {
+		c[id] = struct{}{}
+	}
+	return c
+}

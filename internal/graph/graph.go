@@ -1,0 +1,270 @@
+// Package graph implements the attributed, directed, labeled graph model of
+// Section II of the paper: G = (V, E, L, T), where every node and edge
+// carries a label and every node carries a tuple of attribute/value pairs.
+//
+// The store is optimized for the access paths the FGS algorithms need:
+//
+//   - label-indexed node scans (candidate generation for pattern focus nodes),
+//   - in/out adjacency scans (backtracking subgraph isomorphism),
+//   - undirected r-hop neighborhood expansion (N_v^r and E_v^r of Section II),
+//   - incremental edge insertion (the dynamic setting of Section VII).
+//
+// Strings (labels, attribute keys, attribute values) are interned once so the
+// hot paths compare int32 identifiers only.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense, assigned in insertion order
+// starting at 0.
+type NodeID int32
+
+// LabelID is an interned node or edge label.
+type LabelID int32
+
+// NoLabel is returned for labels of nodes that do not exist.
+const NoLabel LabelID = -1
+
+// Attr is one attribute/value pair of a node tuple, with both the key and the
+// value interned. Attribute slices are kept sorted by Key.
+type Attr struct {
+	Key int32
+	Val int32
+}
+
+// Edge is one directed adjacency entry: an edge to (or from) a neighbor with
+// an interned edge label.
+type Edge struct {
+	To    NodeID
+	Label LabelID
+}
+
+// Graph is an in-memory attributed directed multigraph. The zero value is not
+// usable; construct with New.
+type Graph struct {
+	nodeLabels *Interner // node label universe
+	edgeLabels *Interner // edge label universe
+	attrKeys   *Interner // attribute key universe
+	attrVals   *Interner // attribute value universe
+
+	labelOf []LabelID // node -> label
+	attrsOf [][]Attr  // node -> sorted attribute tuple
+
+	out [][]Edge // node -> outgoing edges
+	in  [][]Edge // node -> incoming edges (Edge.To holds the source)
+
+	byLabel map[LabelID][]NodeID // label -> nodes carrying it
+
+	numEdges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodeLabels: NewInterner(),
+		edgeLabels: NewInterner(),
+		attrKeys:   NewInterner(),
+		attrVals:   NewInterner(),
+		byLabel:    make(map[LabelID][]NodeID),
+	}
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.labelOf) }
+
+// NumEdges reports the number of directed edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// AddNode inserts a node with the given label and attribute tuple and returns
+// its ID. The attrs map may be nil.
+func (g *Graph) AddNode(label string, attrs map[string]string) NodeID {
+	id := NodeID(len(g.labelOf))
+	lid := LabelID(g.nodeLabels.Intern(label))
+	g.labelOf = append(g.labelOf, lid)
+
+	var tuple []Attr
+	if len(attrs) > 0 {
+		tuple = make([]Attr, 0, len(attrs))
+		for k, v := range attrs {
+			tuple = append(tuple, Attr{Key: g.attrKeys.Intern(k), Val: g.attrVals.Intern(v)})
+		}
+		sort.Slice(tuple, func(i, j int) bool { return tuple[i].Key < tuple[j].Key })
+	}
+	g.attrsOf = append(g.attrsOf, tuple)
+
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byLabel[lid] = append(g.byLabel[lid], id)
+	return id
+}
+
+// AddEdge inserts a directed labeled edge from -> to. Parallel edges with the
+// same label are rejected; parallel edges with distinct labels are allowed.
+func (g *Graph) AddEdge(from, to NodeID, label string) error {
+	if !g.HasNode(from) || !g.HasNode(to) {
+		return fmt.Errorf("graph: edge (%d,%d) references missing node", from, to)
+	}
+	lid := LabelID(g.edgeLabels.Intern(label))
+	for _, e := range g.out[from] {
+		if e.To == to && e.Label == lid {
+			return fmt.Errorf("graph: duplicate edge (%d,%d,%q)", from, to, label)
+		}
+	}
+	g.out[from] = append(g.out[from], Edge{To: to, Label: lid})
+	g.in[to] = append(g.in[to], Edge{To: from, Label: lid})
+	g.numEdges++
+	return nil
+}
+
+// HasNode reports whether id is a valid node.
+func (g *Graph) HasNode(id NodeID) bool { return id >= 0 && int(id) < len(g.labelOf) }
+
+// HasEdge reports whether a directed edge from -> to with the given
+// interned edge label exists.
+func (g *Graph) HasEdge(from, to NodeID, label LabelID) bool {
+	if !g.HasNode(from) {
+		return false
+	}
+	for _, e := range g.out[from] {
+		if e.To == to && e.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// LabelIDOf returns the interned label of a node, or NoLabel if the node does
+// not exist.
+func (g *Graph) LabelIDOf(id NodeID) LabelID {
+	if !g.HasNode(id) {
+		return NoLabel
+	}
+	return g.labelOf[id]
+}
+
+// LabelOf returns the string label of a node.
+func (g *Graph) LabelOf(id NodeID) string {
+	lid := g.LabelIDOf(id)
+	if lid == NoLabel {
+		return ""
+	}
+	return g.nodeLabels.Name(int32(lid))
+}
+
+// NodeLabelID resolves a node label string to its interned ID without
+// creating it; ok is false if the label has never been seen.
+func (g *Graph) NodeLabelID(label string) (LabelID, bool) {
+	id, ok := g.nodeLabels.Lookup(label)
+	return LabelID(id), ok
+}
+
+// EdgeLabelID resolves an edge label string to its interned ID without
+// creating it.
+func (g *Graph) EdgeLabelID(label string) (LabelID, bool) {
+	id, ok := g.edgeLabels.Lookup(label)
+	return LabelID(id), ok
+}
+
+// EdgeLabelName returns the string form of an interned edge label.
+func (g *Graph) EdgeLabelName(id LabelID) string { return g.edgeLabels.Name(int32(id)) }
+
+// AttrKeyID resolves an attribute key without creating it.
+func (g *Graph) AttrKeyID(key string) (int32, bool) { return g.attrKeys.Lookup(key) }
+
+// AttrValID resolves an attribute value without creating it.
+func (g *Graph) AttrValID(val string) (int32, bool) { return g.attrVals.Lookup(val) }
+
+// AttrKeyName returns the string form of an interned attribute key.
+func (g *Graph) AttrKeyName(id int32) string { return g.attrKeys.Name(id) }
+
+// AttrValName returns the string form of an interned attribute value.
+func (g *Graph) AttrValName(id int32) string { return g.attrVals.Name(id) }
+
+// Attrs returns the node's attribute tuple, sorted by key ID. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Attrs(id NodeID) []Attr {
+	if !g.HasNode(id) {
+		return nil
+	}
+	return g.attrsOf[id]
+}
+
+// AttrValue returns the value a node carries for an interned attribute key.
+func (g *Graph) AttrValue(id NodeID, key int32) (int32, bool) {
+	if !g.HasNode(id) {
+		return 0, false
+	}
+	tuple := g.attrsOf[id]
+	i := sort.Search(len(tuple), func(i int) bool { return tuple[i].Key >= key })
+	if i < len(tuple) && tuple[i].Key == key {
+		return tuple[i].Val, true
+	}
+	return 0, false
+}
+
+// AttrString returns the string value a node carries for an attribute key.
+func (g *Graph) AttrString(id NodeID, key string) (string, bool) {
+	kid, ok := g.attrKeys.Lookup(key)
+	if !ok {
+		return "", false
+	}
+	vid, ok := g.AttrValue(id, kid)
+	if !ok {
+		return "", false
+	}
+	return g.attrVals.Name(vid), true
+}
+
+// HasLiteral reports whether node id satisfies the equality literal
+// key = val (both interned).
+func (g *Graph) HasLiteral(id NodeID, key, val int32) bool {
+	v, ok := g.AttrValue(id, key)
+	return ok && v == val
+}
+
+// Out returns the outgoing edges of a node. The slice is owned by the graph.
+func (g *Graph) Out(id NodeID) []Edge {
+	if !g.HasNode(id) {
+		return nil
+	}
+	return g.out[id]
+}
+
+// In returns the incoming edges of a node; Edge.To holds the source node.
+// The slice is owned by the graph.
+func (g *Graph) In(id NodeID) []Edge {
+	if !g.HasNode(id) {
+		return nil
+	}
+	return g.in[id]
+}
+
+// Degree reports the total (in + out) degree of a node.
+func (g *Graph) Degree(id NodeID) int {
+	if !g.HasNode(id) {
+		return 0
+	}
+	return len(g.out[id]) + len(g.in[id])
+}
+
+// NodesWithLabel returns the nodes carrying the given label string. The slice
+// is owned by the graph.
+func (g *Graph) NodesWithLabel(label string) []NodeID {
+	lid, ok := g.nodeLabels.Lookup(label)
+	if !ok {
+		return nil
+	}
+	return g.byLabel[LabelID(lid)]
+}
+
+// NodesWithLabelID returns the nodes carrying the given interned label.
+func (g *Graph) NodesWithLabelID(lid LabelID) []NodeID { return g.byLabel[lid] }
+
+// NumNodeLabels reports how many distinct node labels exist.
+func (g *Graph) NumNodeLabels() int { return g.nodeLabels.Len() }
+
+// NumEdgeLabels reports how many distinct edge labels exist.
+func (g *Graph) NumEdgeLabels() int { return g.edgeLabels.Len() }

@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+// buildDiamond creates the small fixture used across the package tests:
+//
+//	a(user,exp=5) -> b(user,exp=3) -> d(org)
+//	a             -> c(user,exp=3) -> d
+//	c             -> a  (cycle back)
+func buildDiamond(t *testing.T) (*Graph, [4]NodeID) {
+	t.Helper()
+	g := New()
+	a := g.AddNode("user", map[string]string{"exp": "5", "industry": "Internet"})
+	b := g.AddNode("user", map[string]string{"exp": "3"})
+	c := g.AddNode("user", map[string]string{"exp": "3"})
+	d := g.AddNode("org", nil)
+	mustEdge(t, g, a, b, "recommend")
+	mustEdge(t, g, a, c, "recommend")
+	mustEdge(t, g, b, d, "member")
+	mustEdge(t, g, c, d, "member")
+	mustEdge(t, g, c, a, "recommend")
+	return g, [4]NodeID{a, b, c, d}
+}
+
+func mustEdge(t *testing.T, g *Graph, from, to NodeID, label string) {
+	t.Helper()
+	if err := g.AddEdge(from, to, label); err != nil {
+		t.Fatalf("AddEdge(%d,%d,%q): %v", from, to, label, err)
+	}
+}
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		if id := g.AddNode("x", nil); id != NodeID(i) {
+			t.Fatalf("node %d got id %d", i, id)
+		}
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", g.NumNodes())
+	}
+}
+
+func TestAddEdgeRejectsMissingNodes(t *testing.T) {
+	g := New()
+	a := g.AddNode("x", nil)
+	if err := g.AddEdge(a, 99, "e"); err == nil {
+		t.Fatal("edge to missing node accepted")
+	}
+	if err := g.AddEdge(99, a, "e"); err == nil {
+		t.Fatal("edge from missing node accepted")
+	}
+}
+
+func TestAddEdgeRejectsDuplicates(t *testing.T) {
+	g := New()
+	a := g.AddNode("x", nil)
+	b := g.AddNode("y", nil)
+	mustEdge(t, g, a, b, "e")
+	if err := g.AddEdge(a, b, "e"); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	// Distinct label on the same endpoints is a different edge.
+	if err := g.AddEdge(a, b, "f"); err != nil {
+		t.Fatalf("parallel edge with new label rejected: %v", err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestHasEdgeRespectsDirectionAndLabel(t *testing.T) {
+	g, ids := buildDiamond(t)
+	rec, ok := g.EdgeLabelID("recommend")
+	if !ok {
+		t.Fatal("edge label missing")
+	}
+	mem, _ := g.EdgeLabelID("member")
+	if !g.HasEdge(ids[0], ids[1], rec) {
+		t.Error("a->b recommend should exist")
+	}
+	if g.HasEdge(ids[1], ids[0], rec) {
+		t.Error("b->a recommend should not exist")
+	}
+	if g.HasEdge(ids[0], ids[1], mem) {
+		t.Error("a->b member should not exist")
+	}
+}
+
+func TestLabelsAndAttrs(t *testing.T) {
+	g, ids := buildDiamond(t)
+	if got := g.LabelOf(ids[3]); got != "org" {
+		t.Fatalf("LabelOf(d) = %q, want org", got)
+	}
+	if v, ok := g.AttrString(ids[0], "exp"); !ok || v != "5" {
+		t.Fatalf("AttrString(a,exp) = %q,%v", v, ok)
+	}
+	if _, ok := g.AttrString(ids[3], "exp"); ok {
+		t.Fatal("org node should have no exp attribute")
+	}
+	if _, ok := g.AttrString(ids[0], "missingkey"); ok {
+		t.Fatal("missing key should not resolve")
+	}
+}
+
+func TestHasLiteral(t *testing.T) {
+	g, ids := buildDiamond(t)
+	k, _ := g.AttrKeyID("exp")
+	v5, _ := g.AttrValID("5")
+	v3, _ := g.AttrValID("3")
+	if !g.HasLiteral(ids[0], k, v5) {
+		t.Error("a.exp=5 should hold")
+	}
+	if g.HasLiteral(ids[0], k, v3) {
+		t.Error("a.exp=3 should not hold")
+	}
+}
+
+func TestNodesWithLabel(t *testing.T) {
+	g, _ := buildDiamond(t)
+	users := g.NodesWithLabel("user")
+	if len(users) != 3 {
+		t.Fatalf("got %d users, want 3", len(users))
+	}
+	if got := g.NodesWithLabel("nonexistent"); got != nil {
+		t.Fatalf("unknown label returned %v", got)
+	}
+}
+
+func TestDegreeAndAdjacency(t *testing.T) {
+	g, ids := buildDiamond(t)
+	if d := g.Degree(ids[0]); d != 3 { // out: b,c; in: c
+		t.Fatalf("Degree(a) = %d, want 3", d)
+	}
+	if len(g.Out(ids[3])) != 0 || len(g.In(ids[3])) != 2 {
+		t.Fatalf("d adjacency wrong: out=%d in=%d", len(g.Out(ids[3])), len(g.In(ids[3])))
+	}
+	// In-edges carry the source in .To.
+	srcs := map[NodeID]bool{}
+	for _, e := range g.In(ids[3]) {
+		srcs[e.To] = true
+	}
+	if !srcs[ids[1]] || !srcs[ids[2]] {
+		t.Fatalf("In(d) sources = %v, want {b,c}", srcs)
+	}
+}
+
+func TestRHopNodes(t *testing.T) {
+	g, ids := buildDiamond(t)
+	// From d: 1 hop reaches b and c (undirected), 2 hops adds a.
+	one := NodeSetOf(g.RHopNodes(ids[3], 1))
+	if one.Len() != 3 || !one.Has(ids[1]) || !one.Has(ids[2]) || !one.Has(ids[3]) {
+		t.Fatalf("1-hop of d = %v", one)
+	}
+	two := NodeSetOf(g.RHopNodes(ids[3], 2))
+	if two.Len() != 4 {
+		t.Fatalf("2-hop of d has %d nodes, want 4", two.Len())
+	}
+	zero := g.RHopNodes(ids[3], 0)
+	if len(zero) != 1 || zero[0] != ids[3] {
+		t.Fatalf("0-hop of d = %v", zero)
+	}
+}
+
+func TestRHopEdges(t *testing.T) {
+	g, ids := buildDiamond(t)
+	// 1-hop edges of a: a->b, a->c, c->a (all incident to a).
+	e1 := g.RHopEdges(ids[0], 1)
+	if e1.Len() != 3 {
+		t.Fatalf("1-hop edges of a: %d, want 3", e1.Len())
+	}
+	// 2-hop covers the whole fixture (5 edges).
+	e2 := g.RHopEdges(ids[0], 2)
+	if e2.Len() != 5 {
+		t.Fatalf("2-hop edges of a: %d, want 5", e2.Len())
+	}
+	if g.RHopEdges(ids[0], 0).Len() != 0 {
+		t.Fatal("0-hop edge set should be empty")
+	}
+}
+
+func TestRHopEdgesOfUnion(t *testing.T) {
+	g, ids := buildDiamond(t)
+	union := g.RHopEdgesOf([]NodeID{ids[1], ids[2]}, 1)
+	// b touches a->b, b->d; c touches a->c, c->d, c->a. Union: all 5.
+	if union.Len() != 5 {
+		t.Fatalf("union 1-hop edges = %d, want 5", union.Len())
+	}
+}
+
+func TestDist(t *testing.T) {
+	g, ids := buildDiamond(t)
+	cases := []struct {
+		src, dst NodeID
+		limit    int
+		want     int
+	}{
+		{ids[0], ids[0], -1, 0},
+		{ids[0], ids[3], -1, 2},
+		{ids[0], ids[3], 1, -1},
+		{ids[3], ids[0], -1, 2}, // undirected
+		{ids[0], ids[1], -1, 1},
+	}
+	for _, c := range cases {
+		if got := g.Dist(c.src, c.dst, c.limit); got != c.want {
+			t.Errorf("Dist(%d,%d,limit=%d) = %d, want %d", c.src, c.dst, c.limit, got, c.want)
+		}
+	}
+	isolated := New()
+	x := isolated.AddNode("x", nil)
+	y := isolated.AddNode("y", nil)
+	if got := isolated.Dist(x, y, -1); got != -1 {
+		t.Errorf("disconnected Dist = %d, want -1", got)
+	}
+}
+
+func TestEdgeSetOps(t *testing.T) {
+	a := EdgeRef{0, 1, 0}
+	b := EdgeRef{1, 2, 0}
+	c := EdgeRef{2, 3, 1}
+	s := NewEdgeSet(0)
+	s.Add(a)
+	s.Add(b)
+	other := NewEdgeSet(0)
+	other.Add(b)
+	other.Add(c)
+	diff := s.Minus(other)
+	if diff.Len() != 1 || !diff.Has(a) {
+		t.Fatalf("Minus = %v", diff)
+	}
+	if got := s.CountMissing(other); got != 1 {
+		t.Fatalf("CountMissing = %d, want 1", got)
+	}
+	cl := s.Clone()
+	cl.Add(c)
+	if s.Has(c) {
+		t.Fatal("Clone aliases original")
+	}
+	u := NewEdgeSet(0)
+	u.AddAll(s)
+	u.AddAll(other)
+	if u.Len() != 3 {
+		t.Fatalf("union len = %d, want 3", u.Len())
+	}
+}
+
+func TestNodeSetOps(t *testing.T) {
+	s := NodeSetOf([]NodeID{1, 2, 2, 3})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	s.Remove(2)
+	if s.Has(2) || s.Len() != 2 {
+		t.Fatal("Remove failed")
+	}
+	c := s.Clone()
+	c.Add(9)
+	if s.Has(9) {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	ids := map[string]int32{}
+	for _, s := range []string{"a", "b", "a", "c", "b"} {
+		id := in.Intern(s)
+		if prev, ok := ids[s]; ok && prev != id {
+			t.Fatalf("re-interning %q changed id %d -> %d", s, prev, id)
+		}
+		ids[s] = id
+	}
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", in.Len())
+	}
+	for s, id := range ids {
+		if in.Name(id) != s {
+			t.Fatalf("Name(%d) = %q, want %q", id, in.Name(id), s)
+		}
+		if got, ok := in.Lookup(s); !ok || got != id {
+			t.Fatalf("Lookup(%q) = %d,%v", s, got, ok)
+		}
+	}
+	if _, ok := in.Lookup("zzz"); ok {
+		t.Fatal("Lookup of unseen string succeeded")
+	}
+}
+
+func TestAttrsSortedByKey(t *testing.T) {
+	g := New()
+	id := g.AddNode("x", map[string]string{"z": "1", "a": "2", "m": "3"})
+	attrs := g.Attrs(id)
+	if !sort.SliceIsSorted(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key }) {
+		t.Fatalf("attribute tuple not sorted: %v", attrs)
+	}
+	if len(attrs) != 3 {
+		t.Fatalf("len(attrs) = %d, want 3", len(attrs))
+	}
+}
+
+func TestMissingNodeAccessors(t *testing.T) {
+	g := New()
+	if g.LabelIDOf(5) != NoLabel || g.LabelOf(5) != "" {
+		t.Error("missing node label should be empty")
+	}
+	if g.Attrs(5) != nil || g.Out(5) != nil || g.In(5) != nil {
+		t.Error("missing node adjacency should be nil")
+	}
+	if g.Degree(5) != 0 {
+		t.Error("missing node degree should be 0")
+	}
+	if _, ok := g.AttrValue(5, 0); ok {
+		t.Error("missing node attr lookup should fail")
+	}
+}

@@ -1,0 +1,38 @@
+package graph
+
+// Interner maps strings to dense int32 identifiers and back. It is not safe
+// for concurrent mutation; the FGS pipelines build graphs single-threaded and
+// only read afterwards.
+type Interner struct {
+	ids   map[string]int32
+	names []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Intern returns the identifier for s, creating one if needed.
+func (in *Interner) Intern(s string) int32 {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id := int32(len(in.names))
+	in.ids[s] = id
+	in.names = append(in.names, s)
+	return id
+}
+
+// Lookup returns the identifier for s if it has been interned.
+func (in *Interner) Lookup(s string) (int32, bool) {
+	id, ok := in.ids[s]
+	return id, ok
+}
+
+// Name returns the string for an identifier; it panics on out-of-range IDs,
+// which always indicates mixing identifiers across interners.
+func (in *Interner) Name(id int32) string { return in.names[id] }
+
+// Len reports how many strings have been interned.
+func (in *Interner) Len() int { return len(in.names) }

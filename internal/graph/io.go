@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text exchange format is line-oriented:
+//
+//	n <id> <label> [key=val ...]    one node; ids must be dense and ascending
+//	e <from> <to> <label>           one directed edge
+//	# ...                           comment
+//
+// It exists so the CLIs can round-trip generated datasets and users can feed
+// their own graphs to cmd/fgs.
+
+// Write serializes the graph in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for id := NodeID(0); int(id) < g.NumNodes(); id++ {
+		fmt.Fprintf(bw, "n %d %s", id, escapeToken(g.LabelOf(id)))
+		attrs := g.Attrs(id)
+		// Sort by key name so output is stable across interner orders.
+		type kv struct{ k, v string }
+		pairs := make([]kv, 0, len(attrs))
+		for _, a := range attrs {
+			pairs = append(pairs, kv{g.AttrKeyName(a.Key), g.AttrValName(a.Val)})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+		for _, p := range pairs {
+			fmt.Fprintf(bw, " %s=%s", escapeToken(p.k), escapeToken(p.v))
+		}
+		fmt.Fprintln(bw)
+	}
+	for from := NodeID(0); int(from) < g.NumNodes(); from++ {
+		for _, e := range g.Out(from) {
+			fmt.Fprintf(bw, "e %d %d %s\n", from, e.To, escapeToken(g.EdgeLabelName(e.Label)))
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format.
+func Read(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: node needs id and label", lineno)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node id: %v", lineno, err)
+			}
+			if id != g.NumNodes() {
+				return nil, fmt.Errorf("graph: line %d: node ids must be dense and ascending (got %d, want %d)", lineno, id, g.NumNodes())
+			}
+			var attrs map[string]string
+			if len(fields) > 3 {
+				attrs = make(map[string]string, len(fields)-3)
+				for _, f := range fields[3:] {
+					k, v, ok := strings.Cut(f, "=")
+					if !ok {
+						return nil, fmt.Errorf("graph: line %d: bad attribute %q", lineno, f)
+					}
+					attrs[unescapeToken(k)] = unescapeToken(v)
+				}
+			}
+			g.AddNode(unescapeToken(fields[2]), attrs)
+		case "e":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: edge needs from, to, label", lineno)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge endpoints", lineno)
+			}
+			if err := g.AddEdge(NodeID(from), NodeID(to), unescapeToken(fields[3])); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineno, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// escapeToken protects whitespace and '=' inside labels/keys/values so the
+// format stays whitespace-delimited.
+func escapeToken(s string) string {
+	if !strings.ContainsAny(s, " \t=%") {
+		if s == "" {
+			return "%e"
+		}
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case ' ':
+			b.WriteString("%s")
+		case '\t':
+			b.WriteString("%t")
+		case '=':
+			b.WriteString("%q")
+		case '%':
+			b.WriteString("%%")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func unescapeToken(s string) string {
+	if !strings.Contains(s, "%") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' || i+1 == len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 's':
+			b.WriteByte(' ')
+		case 't':
+			b.WriteByte('\t')
+		case 'q':
+			b.WriteByte('=')
+		case '%':
+			b.WriteByte('%')
+		case 'e':
+			// empty token marker: writes nothing
+		default:
+			b.WriteByte('%')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	g, _ := buildDiamond(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestReadRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"bad record", "x 1 2\n"},
+		{"node missing label", "n 0\n"},
+		{"non-dense node id", "n 5 user\n"},
+		{"bad node id", "n zero user\n"},
+		{"bad attribute", "n 0 user noequals\n"},
+		{"edge missing field", "e 0 1\n"},
+		{"edge bad endpoint", "n 0 user\ne a 0 x\n"},
+		{"edge to missing node", "n 0 user\ne 0 7 x\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(c.input)); err == nil {
+				t.Fatalf("Read(%q) succeeded, want error", c.input)
+			}
+		})
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# header\n\nn 0 user exp=5\n  \nn 1 org\ne 0 1 member\n# trailer\n"
+	g, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestEscapeTokenRoundTrip(t *testing.T) {
+	cases := []string{"plain", "has space", "k=v", "tab\there", "100%", "", "%s literal", "a b=c %"}
+	for _, s := range cases {
+		if got := unescapeToken(escapeToken(s)); got != s {
+			t.Errorf("round trip %q -> %q -> %q", s, escapeToken(s), got)
+		}
+		if strings.ContainsAny(escapeToken(s), " \t=") {
+			t.Errorf("escapeToken(%q) = %q still has delimiters", s, escapeToken(s))
+		}
+	}
+}
+
+func TestEscapeTokenRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		// The format is byte-oriented within a token; restrict to printable
+		// single-line content, which is what labels and attrs contain.
+		s = strings.Map(func(r rune) rune {
+			if r == '\n' || r == '\r' {
+				return '_'
+			}
+			return r
+		}, s)
+		return unescapeToken(escapeToken(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripRandomGraphs is a property test: any graph the builder can
+// produce must survive Write/Read unchanged.
+func TestRoundTripRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 30, 60)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("trial %d: Write: %v", trial, err)
+		}
+		g2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: Read: %v", trial, err)
+		}
+		assertGraphsEqual(t, g, g2)
+	}
+}
+
+// randomGraph builds a seeded random attributed graph for property tests.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	g := New()
+	labels := []string{"user", "org", "paper", "label with space"}
+	keys := []string{"exp", "industry", "gen=der"}
+	vals := []string{"1", "2", "Internet", "a b"}
+	for i := 0; i < n; i++ {
+		attrs := map[string]string{}
+		for _, k := range keys {
+			if rng.Intn(2) == 0 {
+				attrs[k] = vals[rng.Intn(len(vals))]
+			}
+		}
+		g.AddNode(labels[rng.Intn(len(labels))], attrs)
+	}
+	elabels := []string{"recommend", "cite", "member of"}
+	for i := 0; i < m; i++ {
+		from := NodeID(rng.Intn(n))
+		to := NodeID(rng.Intn(n))
+		// Duplicates are rejected by AddEdge; that is fine here.
+		_ = g.AddEdge(from, to, elabels[rng.Intn(len(elabels))])
+	}
+	return g
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for id := NodeID(0); int(id) < a.NumNodes(); id++ {
+		if a.LabelOf(id) != b.LabelOf(id) {
+			t.Fatalf("node %d label differs: %q vs %q", id, a.LabelOf(id), b.LabelOf(id))
+		}
+		aAttrs := a.Attrs(id)
+		bAttrs := b.Attrs(id)
+		if len(aAttrs) != len(bAttrs) {
+			t.Fatalf("node %d attr counts differ", id)
+		}
+		for _, attr := range aAttrs {
+			k := a.AttrKeyName(attr.Key)
+			av := a.AttrValName(attr.Val)
+			bv, ok := b.AttrString(id, k)
+			if !ok || av != bv {
+				t.Fatalf("node %d attr %q differs: %q vs %q (ok=%v)", id, k, av, bv, ok)
+			}
+		}
+		for _, e := range a.Out(id) {
+			lbl, ok := b.EdgeLabelID(a.EdgeLabelName(e.Label))
+			if !ok || !b.HasEdge(id, e.To, lbl) {
+				t.Fatalf("edge (%d,%d,%s) missing after round trip", id, e.To, a.EdgeLabelName(e.Label))
+			}
+		}
+	}
+}

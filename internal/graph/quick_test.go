@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// testing/quick property tests on the core data structures. Custom
+// generators build small random sets so the properties stay cheap to check.
+
+// smallEdgeSet is an EdgeSet with a quick.Generator producing sets over a
+// small id space (collisions between generated sets are likely, which is
+// what set-algebra properties need).
+type smallEdgeSet struct{ s EdgeSet }
+
+// Generate implements quick.Generator.
+func (smallEdgeSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size%20 + 1)
+	s := NewEdgeSet(n)
+	for i := 0; i < n; i++ {
+		s.Add(EdgeRef{From: NodeID(r.Intn(6)), To: NodeID(r.Intn(6)), Label: LabelID(r.Intn(2))})
+	}
+	return reflect.ValueOf(smallEdgeSet{s: s})
+}
+
+func TestQuickEdgeSetMinusDisjointFromSubtrahend(t *testing.T) {
+	f := func(a, b smallEdgeSet) bool {
+		d := a.s.Minus(b.s)
+		for e := range d {
+			if b.s.Has(e) || !a.s.Has(e) {
+				return false
+			}
+		}
+		// Minus plus intersection partitions a.
+		inter := 0
+		for e := range a.s {
+			if b.s.Has(e) {
+				inter++
+			}
+		}
+		return d.Len()+inter == a.s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEdgeSetCountMissingAgreesWithMinus(t *testing.T) {
+	f := func(a, b smallEdgeSet) bool {
+		return a.s.CountMissing(b.s) == a.s.Minus(b.s).Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEdgeSetUnionCommutative(t *testing.T) {
+	f := func(a, b smallEdgeSet) bool {
+		ab := a.s.Clone()
+		ab.AddAll(b.s)
+		ba := b.s.Clone()
+		ba.AddAll(a.s)
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		for e := range ab {
+			if !ba.Has(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEdgeSetCloneIndependent(t *testing.T) {
+	f := func(a smallEdgeSet, from, to uint8) bool {
+		c := a.s.Clone()
+		extra := EdgeRef{From: NodeID(from), To: NodeID(to), Label: 99}
+		c.Add(extra)
+		return !a.s.Has(extra) || a.s.Len() == c.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// smallNodeList generates node slices with duplicates.
+type smallNodeList struct{ ids []NodeID }
+
+// Generate implements quick.Generator.
+func (smallNodeList) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size%25 + 1)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(r.Intn(10))
+	}
+	return reflect.ValueOf(smallNodeList{ids: ids})
+}
+
+func TestQuickNodeSetOfDedups(t *testing.T) {
+	f := func(l smallNodeList) bool {
+		s := NodeSetOf(l.ids)
+		distinct := map[NodeID]bool{}
+		for _, id := range l.ids {
+			distinct[id] = true
+			if !s.Has(id) {
+				return false
+			}
+		}
+		return s.Len() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Interning is idempotent and order-insensitive for lookups.
+func TestQuickInternerIdempotent(t *testing.T) {
+	f := func(words []string) bool {
+		in := NewInterner()
+		first := map[string]int32{}
+		for _, w := range words {
+			id := in.Intern(w)
+			if prev, ok := first[w]; ok && prev != id {
+				return false
+			}
+			first[w] = id
+			if in.Name(id) != w {
+				return false
+			}
+		}
+		return in.Len() == len(first)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

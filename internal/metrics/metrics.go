@@ -1,0 +1,74 @@
+// Package metrics implements the two normalized quality measures of the
+// paper's evaluation (Section VIII, Exp-1):
+//
+//   - CoverageError C_eps: how far a summary's per-group coverage falls
+//     outside the coverage constraints [l_i, u_i], adapted from set selection
+//     with fairness [17]. 0 means every group constraint is met.
+//   - CompressionRatio C_r: the description length of the summary divided by
+//     the size of the subgraph it describes (the r-hop neighborhoods of the
+//     covered nodes). Smaller is better; a lossless method additionally pays
+//     for its corrections.
+package metrics
+
+import (
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// CoverageError returns C_eps for a set of covered group nodes: the mean,
+// over groups, of the normalized distance of the group's coverage count to
+// its constraint interval:
+//
+//	C_eps = (1/|V|) Σ_i max( (l_i - n_i)+ / max(l_i,1), (n_i - u_i)+ / max(u_i,1) )
+//
+// Each term is 0 when n_i ∈ [l_i, u_i]; under-coverage is charged relative
+// to the lower bound and over-coverage relative to the upper bound, so the
+// error is scale free across groups.
+func CoverageError(groups *submod.Groups, covered []graph.NodeID) float64 {
+	counts := groups.Counts(covered)
+	total := 0.0
+	for i := 0; i < groups.Len(); i++ {
+		g := groups.At(i)
+		n := counts[i]
+		switch {
+		case n < g.Lower:
+			den := g.Lower
+			if den < 1 {
+				den = 1
+			}
+			total += float64(g.Lower-n) / float64(den)
+		case n > g.Upper:
+			den := g.Upper
+			if den < 1 {
+				den = 1
+			}
+			total += float64(n-g.Upper) / float64(den)
+		}
+	}
+	return total / float64(groups.Len())
+}
+
+// CompressionRatio returns C_r for a summary described by its structure size
+// (patterns or supernodes/superedges), its correction count, and the covered
+// nodes whose r-hop neighborhoods it describes:
+//
+//	C_r = (structureSize + corrections + |covered|) / (|N^r| + |E^r|)
+//
+// The |covered| term charges the anchor list every summary must carry. The
+// ratio is clamped to 1 when the "summary" is larger than what it describes.
+func CompressionRatio(g *graph.Graph, r int, covered []graph.NodeID, structureSize, corrections int) float64 {
+	if len(covered) == 0 {
+		return 1
+	}
+	nodes := len(g.RHopNodesOf(covered, r))
+	edges := g.RHopEdgesOf(covered, r).Len()
+	denom := nodes + edges
+	if denom == 0 {
+		return 1
+	}
+	ratio := float64(structureSize+corrections+len(covered)) / float64(denom)
+	if ratio > 1 {
+		return 1
+	}
+	return ratio
+}

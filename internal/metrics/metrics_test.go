@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+func groupsFixture(t *testing.T) *submod.Groups {
+	t.Helper()
+	gs, err := submod.NewGroups(
+		submod.Group{Name: "a", Members: []graph.NodeID{0, 1, 2, 3}, Lower: 2, Upper: 3},
+		submod.Group{Name: "b", Members: []graph.NodeID{4, 5, 6, 7}, Lower: 1, Upper: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs
+}
+
+func TestCoverageErrorZeroWhenFeasible(t *testing.T) {
+	gs := groupsFixture(t)
+	for _, covered := range [][]graph.NodeID{
+		{0, 1, 4},
+		{0, 1, 2, 4, 5},
+	} {
+		if got := CoverageError(gs, covered); got != 0 {
+			t.Errorf("CoverageError(%v) = %v, want 0", covered, got)
+		}
+	}
+}
+
+func TestCoverageErrorUnderCoverage(t *testing.T) {
+	gs := groupsFixture(t)
+	// Group a: 0 of required 2 -> 1.0; group b: 1 of [1,2] -> 0. Mean 0.5.
+	got := CoverageError(gs, []graph.NodeID{4})
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("CoverageError = %v, want 0.5", got)
+	}
+	// Half the lower bound met: (2-1)/2 = 0.5 for a -> mean 0.25.
+	got = CoverageError(gs, []graph.NodeID{0, 4})
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("CoverageError = %v, want 0.25", got)
+	}
+}
+
+func TestCoverageErrorOverCoverage(t *testing.T) {
+	gs := groupsFixture(t)
+	// Group a: 4 covered, upper 3 -> (4-3)/3; group b fine with 1.
+	got := CoverageError(gs, []graph.NodeID{0, 1, 2, 3, 4})
+	want := (1.0 / 3.0) / 2.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CoverageError = %v, want %v", got, want)
+	}
+}
+
+func TestCoverageErrorIgnoresNonGroupNodes(t *testing.T) {
+	gs := groupsFixture(t)
+	a := CoverageError(gs, []graph.NodeID{0, 1, 4})
+	b := CoverageError(gs, []graph.NodeID{0, 1, 4, 99, 100})
+	if a != b {
+		t.Fatal("non-group nodes changed the error")
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	g := graph.New()
+	v0 := g.AddNode("user", nil)
+	v1 := g.AddNode("user", nil)
+	v2 := g.AddNode("user", nil)
+	if err := g.AddEdge(v1, v0, "e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(v2, v0, "e"); err != nil {
+		t.Fatal(err)
+	}
+	// 1-hop of v0: 3 nodes + 2 edges = 5. Structure 1, corrections 0,
+	// covered 1 -> (1+0+1)/5.
+	got := CompressionRatio(g, 1, []graph.NodeID{v0}, 1, 0)
+	if math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("CompressionRatio = %v, want 0.4", got)
+	}
+}
+
+func TestCompressionRatioClamped(t *testing.T) {
+	g := graph.New()
+	v0 := g.AddNode("user", nil)
+	if got := CompressionRatio(g, 1, []graph.NodeID{v0}, 100, 100); got != 1 {
+		t.Fatalf("oversized summary ratio = %v, want clamp to 1", got)
+	}
+}
+
+func TestCompressionRatioEmptyCover(t *testing.T) {
+	g := graph.New()
+	if got := CompressionRatio(g, 1, nil, 0, 0); got != 1 {
+		t.Fatalf("empty cover ratio = %v, want 1", got)
+	}
+}
+
+func TestCompressionRatioMoreCorrectionsWorse(t *testing.T) {
+	g := graph.New()
+	ids := make([]graph.NodeID, 0, 10)
+	for i := 0; i < 10; i++ {
+		ids = append(ids, g.AddNode("user", nil))
+	}
+	for i := 1; i < 10; i++ {
+		if err := g.AddEdge(ids[i], ids[0], "e"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo := CompressionRatio(g, 1, ids[:1], 3, 0)
+	hi := CompressionRatio(g, 1, ids[:1], 3, 6)
+	if hi <= lo {
+		t.Fatalf("corrections should worsen the ratio: %v vs %v", lo, hi)
+	}
+}

@@ -1,0 +1,58 @@
+package mining
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+func benchNetwork(b *testing.B, n int) (*graph.Graph, []graph.NodeID) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode("user", map[string]string{
+			"exp":  strconv.Itoa(1 + rng.Intn(8)),
+			"city": "c" + strconv.Itoa(rng.Intn(20)),
+		})
+	}
+	for i := 0; i < n*3; i++ {
+		_ = g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), "corev")
+	}
+	anchors := make([]graph.NodeID, 40)
+	for i := range anchors {
+		anchors[i] = graph.NodeID(rng.Intn(n))
+	}
+	return g, anchors
+}
+
+func BenchmarkSumGen(b *testing.B) {
+	g, anchors := benchNetwork(b, 2000)
+	cfg := Config{Radius: 2, MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		er := NewErCache(g, 2)
+		SumGen(g, anchors, anchors, cfg, er)
+	}
+}
+
+func BenchmarkFrequent(b *testing.B) {
+	g, _ := benchNetwork(b, 2000)
+	universe := g.NodesWithLabel("user")[:500]
+	cfg := Config{Radius: 2, MaxNodes: 3, MaxLiterals: 1, MaxPatterns: 60}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Frequent(g, universe, cfg, 20, 2)
+	}
+}
+
+func BenchmarkErCacheGet(b *testing.B) {
+	g, anchors := benchNetwork(b, 2000)
+	er := NewErCache(g, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		er.Get(anchors[i%len(anchors)])
+	}
+}

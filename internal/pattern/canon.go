@@ -1,0 +1,134 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalCode returns a string that is identical for isomorphic patterns
+// (same focus role, labels, literals, and directed labeled edges) and
+// distinct otherwise, for patterns up to canonExactLimit nodes. The miner
+// uses it to deduplicate grown patterns.
+//
+// The code is the lexicographically minimal serialization over all
+// connectivity-respecting orderings that place the focus first. Beyond
+// canonExactLimit nodes an order-insensitive signature is returned instead;
+// it never merges non-isomorphic patterns' behaviour incorrectly — at worst
+// two isomorphic large patterns both survive dedup, which only costs time.
+const canonExactLimit = 9
+
+// CanonicalCode computes the canonical code of p.
+func CanonicalCode(p *Pattern) string {
+	if len(p.Nodes) > canonExactLimit {
+		return looseSignature(p)
+	}
+	e := canonEnum{p: p, adj: p.undirectedAdj()}
+	e.run()
+	return e.best
+}
+
+// canonEnum performs branch-and-bound enumeration of orderings.
+type canonEnum struct {
+	p    *Pattern
+	adj  [][]int
+	best string
+}
+
+func (e *canonEnum) run() {
+	n := len(e.p.Nodes)
+	order := make([]int, 0, n)
+	placed := make([]bool, n)
+	order = append(order, e.p.Focus)
+	placed[e.p.Focus] = true
+	e.rec(order, placed)
+}
+
+func (e *canonEnum) rec(order []int, placed []bool) {
+	n := len(e.p.Nodes)
+	if len(order) == n {
+		code := serialize(e.p, order)
+		if e.best == "" || code < e.best {
+			e.best = code
+		}
+		return
+	}
+	// Extend with any unplaced node adjacent to a placed one (keeps prefixes
+	// connected, bounding the orderings to consider).
+	tried := make(map[int]bool)
+	for _, u := range order {
+		for _, v := range e.adj[u] {
+			if placed[v] || tried[v] {
+				continue
+			}
+			tried[v] = true
+			placed[v] = true
+			e.rec(append(order, v), placed)
+			placed[v] = false
+		}
+	}
+}
+
+// serialize renders the pattern under a fixed node ordering: node signatures
+// in order, then edges rewritten to positions, sorted.
+func serialize(p *Pattern, order []int) string {
+	pos := make([]int, len(p.Nodes))
+	for i, u := range order {
+		pos[u] = i
+	}
+	var b strings.Builder
+	for _, u := range order {
+		b.WriteString(nodeSig(p.Nodes[u]))
+		b.WriteString(";")
+	}
+	edges := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		edges[i] = fmt.Sprintf("%d>%d:%s", pos[e.From], pos[e.To], e.Label)
+	}
+	sort.Strings(edges)
+	b.WriteString(strings.Join(edges, "|"))
+	return b.String()
+}
+
+// nodeSig renders one node's label and sorted literals.
+func nodeSig(n Node) string {
+	if len(n.Literals) == 0 {
+		return n.Label
+	}
+	lits := append([]Literal(nil), n.Literals...)
+	sortLiterals(lits)
+	parts := make([]string, len(lits))
+	for i, l := range lits {
+		parts[i] = l.Key + "=" + l.Val
+	}
+	return n.Label + "{" + strings.Join(parts, ",") + "}"
+}
+
+// looseSignature is an order-insensitive fallback for large patterns: sorted
+// node signatures with degrees, plus sorted edge label/endpoint-signature
+// triples. Isomorphic patterns always get equal signatures; unequal patterns
+// may collide only in ways the miner tolerates (it re-checks coverage).
+func looseSignature(p *Pattern) string {
+	nodeSigs := make([]string, len(p.Nodes))
+	inDeg := make([]int, len(p.Nodes))
+	outDeg := make([]int, len(p.Nodes))
+	for _, e := range p.Edges {
+		outDeg[e.From]++
+		inDeg[e.To]++
+	}
+	for i, n := range p.Nodes {
+		focus := 0
+		if i == p.Focus {
+			focus = 1
+		}
+		nodeSigs[i] = fmt.Sprintf("%s/%d/%d/%d", nodeSig(n), inDeg[i], outDeg[i], focus)
+	}
+	edgeSigs := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		edgeSigs[i] = nodeSigs[e.From] + ">" + e.Label + ">" + nodeSigs[e.To]
+	}
+	sorted := append([]string(nil), nodeSigs...)
+	sort.Strings(sorted)
+	sort.Strings(edgeSigs)
+	return "L:" + strings.Join(sorted, ";") + "#" + strings.Join(edgeSigs, "|")
+}

@@ -1,0 +1,114 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// permute relabels the non-focus nodes of a pattern under a random
+// permutation, yielding an isomorphic pattern with the focus role preserved.
+func permute(p *Pattern, rng *rand.Rand) *Pattern {
+	n := len(p.Nodes)
+	perm := rng.Perm(n)
+	// Build mapping old->new.
+	mapping := make([]int, n)
+	copy(mapping, perm)
+	c := &Pattern{Focus: mapping[p.Focus], Nodes: make([]Node, n), Edges: make([]Edge, len(p.Edges))}
+	for old, nw := range mapping {
+		c.Nodes[nw] = Node{Label: p.Nodes[old].Label, Literals: append([]Literal(nil), p.Nodes[old].Literals...)}
+	}
+	for i, e := range p.Edges {
+		c.Edges[i] = Edge{From: mapping[e.From], To: mapping[e.To], Label: e.Label}
+	}
+	// Shuffle edge order too.
+	rng.Shuffle(len(c.Edges), func(i, j int) { c.Edges[i], c.Edges[j] = c.Edges[j], c.Edges[i] })
+	return c
+}
+
+func TestCanonicalCodeInvariantUnderIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	patterns := []*Pattern{
+		star(),
+		star(Literal{Key: "exp", Val: "5"}),
+		{
+			Focus: 0,
+			Nodes: []Node{{Label: "a"}, {Label: "b"}, {Label: "c"}, {Label: "b"}},
+			Edges: []Edge{{0, 1, "e"}, {1, 2, "e"}, {0, 3, "f"}, {3, 2, "e"}},
+		},
+		{
+			Focus: 1,
+			Nodes: []Node{{Label: "x"}, {Label: "y"}, {Label: "x"}},
+			Edges: []Edge{{0, 1, "e"}, {2, 1, "e"}, {0, 2, "g"}},
+		},
+	}
+	for pi, p := range patterns {
+		want := CanonicalCode(p)
+		for trial := 0; trial < 20; trial++ {
+			q := permute(p, rng)
+			if got := CanonicalCode(q); got != want {
+				t.Fatalf("pattern %d trial %d: canonical code changed under relabeling\n p=%s -> %q\n q=%s -> %q", pi, trial, p, want, q, got)
+			}
+		}
+	}
+}
+
+func TestCanonicalCodeDistinguishes(t *testing.T) {
+	base := star()
+	cases := []struct {
+		name string
+		q    *Pattern
+	}{
+		{"different focus role", &Pattern{
+			Focus: 1,
+			Nodes: []Node{{Label: "user"}, {Label: "user"}, {Label: "user"}},
+			Edges: []Edge{{1, 0, "recommend"}, {2, 0, "recommend"}},
+		}},
+		{"different direction", &Pattern{
+			Focus: 0,
+			Nodes: []Node{{Label: "user"}, {Label: "user"}, {Label: "user"}},
+			Edges: []Edge{{0, 1, "recommend"}, {0, 2, "recommend"}},
+		}},
+		{"different edge label", &Pattern{
+			Focus: 0,
+			Nodes: []Node{{Label: "user"}, {Label: "user"}, {Label: "user"}},
+			Edges: []Edge{{1, 0, "recommend"}, {2, 0, "endorse"}},
+		}},
+		{"extra literal", base.AddLiteral(0, Literal{Key: "exp", Val: "5"})},
+		{"extra node", base.AddLeaf(1, Node{Label: "user"}, "recommend", false)},
+	}
+	baseCode := CanonicalCode(base)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if CanonicalCode(c.q) == baseCode {
+				t.Fatalf("non-isomorphic pattern has same code: %s vs %s", base, c.q)
+			}
+		})
+	}
+}
+
+func TestCanonicalCodeLargePatternFallback(t *testing.T) {
+	// Build a 12-node chain (beyond the exact limit) and check that the loose
+	// signature is still invariant under node relabeling.
+	p := &Pattern{Focus: 0, Nodes: []Node{{Label: "n0"}}}
+	for i := 1; i < 12; i++ {
+		p.Nodes = append(p.Nodes, Node{Label: "n"})
+		p.Edges = append(p.Edges, Edge{From: i - 1, To: i, Label: "e"})
+	}
+	rng := rand.New(rand.NewSource(9))
+	want := CanonicalCode(p)
+	for trial := 0; trial < 10; trial++ {
+		if got := CanonicalCode(permute(p, rng)); got != want {
+			t.Fatalf("loose signature changed under relabeling (trial %d)", trial)
+		}
+	}
+}
+
+func TestCanonicalCodeDedupsGrowthOrders(t *testing.T) {
+	// Growing leaf A then leaf B must equal growing B then A.
+	base := NewNodePattern("user")
+	ab := base.AddLeaf(0, Node{Label: "a"}, "e", true).AddLeaf(0, Node{Label: "b"}, "e", true)
+	ba := base.AddLeaf(0, Node{Label: "b"}, "e", true).AddLeaf(0, Node{Label: "a"}, "e", true)
+	if CanonicalCode(ab) != CanonicalCode(ba) {
+		t.Fatal("growth order changed canonical code")
+	}
+}

@@ -1,0 +1,123 @@
+package pattern
+
+import (
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// DualSim computes the (maximal) dual simulation of a pattern in the graph:
+// for each pattern node u, the set sim(u) of graph nodes v such that
+//
+//   - v satisfies u's label and literals,
+//   - for every pattern edge (u,u',l) some v' in sim(u') has edge (v,v',l),
+//   - for every pattern edge (u'',u,l) some v'' in sim(u'') has edge (v'',v,l).
+//
+// Dual simulation is the lossy matching semantics of d-summaries [42]: it
+// preserves parent/child label structure but not injectivity or cycles, and
+// is computable in polynomial time. The d-sum baseline uses sim(focus) as its
+// (approximate) cover set.
+//
+// The returned slice is indexed by pattern node; a nil result means some
+// pattern node has an empty simulation set (the pattern matches nothing).
+func (m *Matcher) DualSim(p *Pattern) []graph.NodeSet {
+	c := m.compile(p)
+	if !c.ok {
+		return nil
+	}
+	n := len(p.Nodes)
+	sim := make([]graph.NodeSet, n)
+	for u := 0; u < n; u++ {
+		set := graph.NewNodeSet(0)
+		for _, v := range m.g.NodesWithLabelID(c.labels[u]) {
+			if c.nodeOK(m.g, u, v) {
+				set.Add(v)
+			}
+		}
+		if set.Len() == 0 {
+			return nil
+		}
+		sim[u] = set
+	}
+
+	// Refine to fixpoint. Patterns are small, so a simple sweep loop is fine.
+	changed := true
+	for changed {
+		changed = false
+		for u := 0; u < n; u++ {
+			for v := range sim[u] {
+				if !dualSimNodeOK(m.g, &c, sim, u, v) {
+					sim[u].Remove(v)
+					changed = true
+				}
+			}
+			if sim[u].Len() == 0 {
+				return nil
+			}
+		}
+	}
+	return sim
+}
+
+// dualSimNodeOK checks the edge conditions for one (pattern node, graph node)
+// pair against the current simulation sets.
+func dualSimNodeOK(g *graph.Graph, c *compiled, sim []graph.NodeSet, u int, v graph.NodeID) bool {
+	for _, e := range c.adj[u] {
+		found := false
+		if e.out {
+			for _, ge := range g.Out(v) {
+				if ge.Label == e.label && sim[e.other].Has(ge.To) {
+					found = true
+					break
+				}
+			}
+		} else {
+			for _, ge := range g.In(v) {
+				if ge.Label == e.label && sim[e.other].Has(ge.To) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// SimCover returns the nodes dual simulation assigns to the focus — the
+// d-summary notion of "covered" nodes. Returns nil when the pattern has no
+// dual simulation in the graph.
+func (m *Matcher) SimCover(p *Pattern) graph.NodeSet {
+	sim := m.DualSim(p)
+	if sim == nil {
+		return nil
+	}
+	return sim[p.Focus]
+}
+
+// SimCoveredEdges returns the graph edges "covered" under dual simulation:
+// for each pattern edge (u,u',l), every graph edge (v,v',l) with v in sim(u)
+// and v' in sim(u'). This is the edge set a d-summary claims to describe.
+func (m *Matcher) SimCoveredEdges(p *Pattern) graph.EdgeSet {
+	sim := m.DualSim(p)
+	if sim == nil {
+		return graph.NewEdgeSet(0)
+	}
+	c := m.compile(p)
+	edges := graph.NewEdgeSet(0)
+	for u := 0; u < len(p.Nodes); u++ {
+		for _, e := range c.adj[u] {
+			if !e.out {
+				continue
+			}
+			for v := range sim[u] {
+				for _, ge := range m.g.Out(v) {
+					if ge.Label == e.label && sim[e.other].Has(ge.To) {
+						edges.Add(graph.EdgeRef{From: v, To: ge.To, Label: ge.Label})
+					}
+				}
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,147 @@
+package pattern
+
+import (
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+func TestDualSimSupersetOfIsoCover(t *testing.T) {
+	g, _ := fixture(t)
+	m := NewMatcher(g, 0)
+	p := star()
+	iso := m.Matches(p)
+	sim := m.SimCover(p)
+	if sim == nil {
+		t.Fatal("SimCover is nil")
+	}
+	for _, v := range iso {
+		if !sim.Has(v) {
+			t.Errorf("iso-covered node %d missing from dual simulation cover", v)
+		}
+	}
+}
+
+// Dual simulation is lossy: a node with a single recommender matches the
+// two-recommender star under simulation (no injectivity) but not under
+// isomorphism. Classic example: simulation collapses the two pattern branches
+// onto the same graph branch.
+func TestDualSimIsLossy(t *testing.T) {
+	g := graph.New()
+	f := g.AddNode("user", nil)
+	r := g.AddNode("user", nil)
+	extra := g.AddNode("user", nil) // r also recommends someone else, so r survives both branches
+	if err := g.AddEdge(r, f, "recommend"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(r, extra, "recommend"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(g, 0)
+	p := star()
+	if m.MatchAt(p, f) {
+		t.Fatal("iso should reject single recommender")
+	}
+	sim := m.SimCover(p)
+	if sim == nil || !sim.Has(f) {
+		t.Fatal("dual simulation should accept single recommender (lossy)")
+	}
+}
+
+func TestDualSimRespectsLabelsAndLiterals(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	p := star(Literal{Key: "exp", Val: "4"})
+	sim := m.SimCover(p)
+	if sim == nil {
+		t.Fatal("expected non-empty simulation")
+	}
+	if sim.Has(ids[0]) {
+		t.Error("exp=5 node in exp=4 simulation cover")
+	}
+	if !sim.Has(ids[5]) || !sim.Has(ids[8]) {
+		t.Error("exp=4 nodes missing from simulation cover")
+	}
+}
+
+func TestDualSimEmptyWhenNoMatch(t *testing.T) {
+	g, _ := fixture(t)
+	m := NewMatcher(g, 0)
+	// Pattern requires an outgoing edge from a node labeled org: none exist.
+	p := &Pattern{
+		Focus: 0,
+		Nodes: []Node{{Label: "user"}, {Label: "org"}},
+		Edges: []Edge{{From: 0, To: 1, Label: "recommend"}},
+	}
+	if m.DualSim(p) != nil {
+		t.Error("DualSim should be nil when a node's sim set is empty")
+	}
+	if m.SimCover(p) != nil {
+		t.Error("SimCover should be nil when DualSim fails")
+	}
+}
+
+func TestDualSimRefinementPropagates(t *testing.T) {
+	// Chain pattern a->b->c over a graph where the chain only exists from one
+	// node: refinement must prune nodes that satisfy labels but not structure.
+	g := graph.New()
+	a := g.AddNode("a", nil)
+	b1 := g.AddNode("b", nil)
+	b2 := g.AddNode("b", nil) // b2 has no outgoing edge to c
+	c := g.AddNode("c", nil)
+	if err := g.AddEdge(a, b1, "e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(b1, c, "e"); err != nil {
+		t.Fatal(err)
+	}
+	a2 := g.AddNode("a", nil) // a2 -> b2 only; must be pruned
+	if err := g.AddEdge(a2, b2, "e"); err != nil {
+		t.Fatal(err)
+	}
+	p := &Pattern{
+		Focus: 0,
+		Nodes: []Node{{Label: "a"}, {Label: "b"}, {Label: "c"}},
+		Edges: []Edge{{From: 0, To: 1, Label: "e"}, {From: 1, To: 2, Label: "e"}},
+	}
+	m := NewMatcher(g, 0)
+	sim := m.DualSim(p)
+	if sim == nil {
+		t.Fatal("expected simulation")
+	}
+	if !sim[0].Has(a) || sim[0].Has(a2) {
+		t.Errorf("sim(focus) = %v, want {a} only", sim[0])
+	}
+	if sim[1].Has(b2) {
+		t.Error("b2 should be pruned (no path to c)")
+	}
+	_ = b1
+}
+
+func TestSimCoveredEdges(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	p := star(Literal{Key: "exp", Val: "4"})
+	edges := m.SimCoveredEdges(p)
+	rec, _ := g.EdgeLabelID("recommend")
+	// Covered: edges into v5 (from v6, v7) and into v8 (from v9, v7).
+	want := []graph.EdgeRef{
+		{From: ids[6], To: ids[5], Label: rec},
+		{From: ids[7], To: ids[5], Label: rec},
+		{From: ids[9], To: ids[8], Label: rec},
+		{From: ids[7], To: ids[8], Label: rec},
+	}
+	if edges.Len() != len(want) {
+		t.Fatalf("SimCoveredEdges = %d edges, want %d", edges.Len(), len(want))
+	}
+	for _, e := range want {
+		if !edges.Has(e) {
+			t.Errorf("missing sim-covered edge %v", e)
+		}
+	}
+	// Unmatchable pattern covers nothing.
+	bad := NewNodePattern("alien")
+	if m.SimCoveredEdges(bad).Len() != 0 {
+		t.Error("unmatchable pattern should cover no edges")
+	}
+}

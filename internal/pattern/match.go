@@ -1,0 +1,308 @@
+package pattern
+
+import (
+	"sort"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// Matcher evaluates patterns against one graph using anchored subgraph
+// isomorphism: a matching h is injective, preserves node labels and literals,
+// and maps every pattern edge to a graph edge with the same label
+// (Section II). "P covers v" means an embedding with h(u_o) = v exists.
+//
+// EmbedCap bounds how many embeddings per (pattern, anchor) are enumerated
+// when collecting covered edges; 0 means unlimited. The cap trades exactness
+// of P_E (and hence of correction sets) for time on pathological anchors.
+type Matcher struct {
+	g        *graph.Graph
+	EmbedCap int
+	workers  int // see SetWorkers
+}
+
+// NewMatcher returns a matcher over g with the given embedding cap.
+func NewMatcher(g *graph.Graph, embedCap int) *Matcher {
+	return &Matcher{g: g, EmbedCap: embedCap}
+}
+
+// Graph returns the graph the matcher evaluates against.
+func (m *Matcher) Graph() *graph.Graph { return m.g }
+
+// compiled is a pattern with all strings resolved against one graph's
+// interners plus a precomputed matching order.
+type compiled struct {
+	ok     bool // false when some label/key/value does not occur in the graph
+	focus  int
+	labels []graph.LabelID
+	lits   [][]graph.Attr // per node, resolved literals
+	// adj lists every edge from each node's perspective.
+	adj [][]cEdge
+	// order is a BFS matching order starting at the focus; anchorOf[i] gives,
+	// for order[i] (i>0), the incident edge to an earlier-mapped node used to
+	// generate candidates.
+	order    []int
+	anchorOf []cEdge // indexed by position in order; anchorOf[0] unused
+	pos      []int   // node -> position in order
+}
+
+// cEdge is one pattern edge viewed from a node: the other endpoint, the edge
+// label, and whether the edge leaves this node.
+type cEdge struct {
+	other int
+	label graph.LabelID
+	out   bool
+}
+
+// Compile resolves a pattern against the matcher's graph. Returns a compiled
+// form; c.ok is false when the pattern trivially has no matches because some
+// label, key, or value never occurs in the graph.
+func (m *Matcher) compile(p *Pattern) compiled {
+	n := len(p.Nodes)
+	c := compiled{focus: p.Focus, labels: make([]graph.LabelID, n), lits: make([][]graph.Attr, n), adj: make([][]cEdge, n), ok: true}
+	for i, node := range p.Nodes {
+		lid, ok := m.g.NodeLabelID(node.Label)
+		if !ok {
+			c.ok = false
+			return c
+		}
+		c.labels[i] = lid
+		for _, lit := range node.Literals {
+			kid, ok := m.g.AttrKeyID(lit.Key)
+			if !ok {
+				c.ok = false
+				return c
+			}
+			vid, ok := m.g.AttrValID(lit.Val)
+			if !ok {
+				c.ok = false
+				return c
+			}
+			c.lits[i] = append(c.lits[i], graph.Attr{Key: kid, Val: vid})
+		}
+	}
+	for _, e := range p.Edges {
+		lid, ok := m.g.EdgeLabelID(e.Label)
+		if !ok {
+			c.ok = false
+			return c
+		}
+		c.adj[e.From] = append(c.adj[e.From], cEdge{other: e.To, label: lid, out: true})
+		c.adj[e.To] = append(c.adj[e.To], cEdge{other: e.From, label: lid, out: false})
+	}
+
+	// BFS order from the focus. Prefer expanding nodes with more literals and
+	// higher pattern degree first: they prune candidates earlier.
+	c.order = make([]int, 0, n)
+	c.anchorOf = make([]cEdge, n)
+	c.pos = make([]int, n)
+	placed := make([]bool, n)
+	c.order = append(c.order, p.Focus)
+	placed[p.Focus] = true
+	for len(c.order) < n {
+		best := -1
+		var bestEdge cEdge
+		bestScore := -1
+		for _, u := range c.order {
+			for _, e := range c.adj[u] {
+				if placed[e.other] {
+					continue
+				}
+				score := len(c.lits[e.other])*10 + len(c.adj[e.other])
+				if score > bestScore {
+					bestScore = score
+					best = e.other
+					// The anchor edge is stored from the new node's
+					// perspective so candidate generation starts at the
+					// already-mapped endpoint.
+					bestEdge = cEdge{other: u, label: e.label, out: !e.out}
+				}
+			}
+		}
+		if best < 0 {
+			// Disconnected pattern: callers should have validated; treat as
+			// unmatchable rather than panicking deep in a search.
+			c.ok = false
+			return c
+		}
+		c.anchorOf[len(c.order)] = bestEdge
+		placed[best] = true
+		c.order = append(c.order, best)
+	}
+	for i, u := range c.order {
+		c.pos[u] = i
+	}
+	return c
+}
+
+// nodeOK reports whether graph node v can be the image of pattern node u.
+func (c *compiled) nodeOK(g *graph.Graph, u int, v graph.NodeID) bool {
+	if g.LabelIDOf(v) != c.labels[u] {
+		return false
+	}
+	for _, lit := range c.lits[u] {
+		if !g.HasLiteral(v, lit.Key, lit.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchAt reports whether p covers graph node v at the focus.
+func (m *Matcher) MatchAt(p *Pattern, v graph.NodeID) bool {
+	c := m.compile(p)
+	if !c.ok || !c.nodeOK(m.g, c.focus, v) {
+		return false
+	}
+	found := false
+	m.search(&c, v, func(assign []graph.NodeID) bool {
+		found = true
+		return false // stop at first embedding
+	})
+	return found
+}
+
+// CoveredEdgesAt returns the set of graph edges matched by any pattern edge
+// in any embedding of p anchored at v (up to EmbedCap embeddings), together
+// with whether at least one embedding exists.
+func (m *Matcher) CoveredEdgesAt(p *Pattern, v graph.NodeID) (graph.EdgeSet, bool) {
+	c := m.compile(p)
+	if !c.ok || !c.nodeOK(m.g, c.focus, v) {
+		return nil, false
+	}
+	edges := graph.NewEdgeSet(len(p.Edges))
+	count := 0
+	m.search(&c, v, func(assign []graph.NodeID) bool {
+		for u := range c.adj {
+			for _, e := range c.adj[u] {
+				if !e.out {
+					continue
+				}
+				edges.Add(graph.EdgeRef{From: assign[u], To: assign[e.other], Label: e.label})
+			}
+		}
+		count++
+		return m.EmbedCap == 0 || count < m.EmbedCap
+	})
+	if count == 0 {
+		return nil, false
+	}
+	return edges, true
+}
+
+// CoverAmong returns the subset of candidates covered by p at the focus, in
+// input order. With SetWorkers(>1), large candidate lists are evaluated in
+// parallel; the result is identical either way.
+func (m *Matcher) CoverAmong(p *Pattern, candidates []graph.NodeID) []graph.NodeID {
+	c := m.compile(p)
+	if !c.ok {
+		return nil
+	}
+	if m.workers > 1 && len(candidates) >= parallelThreshold {
+		return m.coverAmongParallel(&c, candidates)
+	}
+	var covered []graph.NodeID
+	for _, v := range candidates {
+		if !c.nodeOK(m.g, c.focus, v) {
+			continue
+		}
+		found := false
+		m.search(&c, v, func([]graph.NodeID) bool { found = true; return false })
+		if found {
+			covered = append(covered, v)
+		}
+	}
+	return covered
+}
+
+// FocusCandidates returns all graph nodes that satisfy the focus node's label
+// and literals — the superset of nodes p can cover.
+func (m *Matcher) FocusCandidates(p *Pattern) []graph.NodeID {
+	c := m.compile(p)
+	if !c.ok {
+		return nil
+	}
+	var out []graph.NodeID
+	for _, v := range m.g.NodesWithLabelID(c.labels[c.focus]) {
+		if c.nodeOK(m.g, c.focus, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Matches returns every node p covers in the whole graph, sorted. This is the
+// P(u_o, G) evaluation used by the case studies (pattern queries); the FGS
+// algorithms themselves only ever evaluate coverage over group nodes.
+func (m *Matcher) Matches(p *Pattern) []graph.NodeID {
+	covered := m.CoverAmong(p, m.FocusCandidates(p))
+	sort.Slice(covered, func(i, j int) bool { return covered[i] < covered[j] })
+	return covered
+}
+
+// search runs anchored backtracking. emit is called for each embedding found
+// (assign maps pattern node -> graph node); returning false stops the search.
+func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.NodeID) bool) {
+	n := len(c.labels)
+	assign := make([]graph.NodeID, n)
+	used := make(map[graph.NodeID]bool, n)
+	assign[c.order[0]] = anchor
+	used[anchor] = true
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == n {
+			return emit(assign)
+		}
+		u := c.order[pos]
+		a := c.anchorOf[pos]
+		from := assign[a.other]
+		// Candidates come from the anchor edge: if the edge leaves u, u's
+		// image must have an edge to from's image, i.e. scan In(from);
+		// otherwise scan Out(from).
+		var cands []graph.Edge
+		if a.out {
+			cands = m.g.In(from)
+		} else {
+			cands = m.g.Out(from)
+		}
+		for _, ge := range cands {
+			if ge.Label != a.label {
+				continue
+			}
+			v := ge.To
+			if used[v] || !c.nodeOK(m.g, u, v) {
+				continue
+			}
+			// Verify every other pattern edge between u and mapped nodes.
+			ok := true
+			for _, e := range c.adj[u] {
+				if c.pos[e.other] >= pos || (e.other == a.other && e.label == a.label && e.out == a.out) {
+					continue
+				}
+				w := assign[e.other]
+				if e.out {
+					if !m.g.HasEdge(v, w, e.label) {
+						ok = false
+						break
+					}
+				} else {
+					if !m.g.HasEdge(w, v, e.label) {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[u] = v
+			used[v] = true
+			cont := rec(pos + 1)
+			delete(used, v)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(1)
+}

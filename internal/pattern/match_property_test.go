@@ -1,0 +1,191 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// bruteMatchAt is a reference implementation of anchored subgraph
+// isomorphism: enumerate every injective assignment of pattern nodes to
+// graph nodes with the focus pinned, and check all constraints. Exponential,
+// only usable on tiny inputs — which is exactly what makes it a trustworthy
+// oracle for the optimized matcher.
+func bruteMatchAt(g *graph.Graph, p *Pattern, anchor graph.NodeID) bool {
+	n := len(p.Nodes)
+	assign := make([]graph.NodeID, n)
+	used := make(map[graph.NodeID]bool)
+
+	nodeOK := func(u int, v graph.NodeID) bool {
+		if g.LabelOf(v) != p.Nodes[u].Label {
+			return false
+		}
+		for _, lit := range p.Nodes[u].Literals {
+			got, ok := g.AttrString(v, lit.Key)
+			if !ok || got != lit.Val {
+				return false
+			}
+		}
+		return true
+	}
+	edgesOK := func() bool {
+		for _, e := range p.Edges {
+			lid, ok := g.EdgeLabelID(e.Label)
+			if !ok || !g.HasEdge(assign[e.From], assign[e.To], lid) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(u int) bool
+	rec = func(u int) bool {
+		if u == n {
+			return edgesOK()
+		}
+		if u == p.Focus {
+			return rec(u + 1)
+		}
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if used[v] || !nodeOK(u, v) {
+				continue
+			}
+			assign[u] = v
+			used[v] = true
+			if rec(u + 1) {
+				delete(used, v)
+				return true
+			}
+			delete(used, v)
+		}
+		return false
+	}
+
+	if !nodeOK(p.Focus, anchor) {
+		return false
+	}
+	assign[p.Focus] = anchor
+	used[anchor] = true
+	return rec(0)
+}
+
+// randomPattern grows a small random connected pattern.
+func randomPattern(rng *rand.Rand, labels, elabels []string, maxNodes int) *Pattern {
+	p := NewNodePattern(labels[rng.Intn(len(labels))])
+	if rng.Intn(2) == 0 {
+		p.Nodes[0].Literals = []Literal{{Key: "a", Val: []string{"1", "2"}[rng.Intn(2)]}}
+	}
+	size := 1 + rng.Intn(maxNodes)
+	for len(p.Nodes) < size {
+		at := rng.Intn(len(p.Nodes))
+		p = p.AddLeaf(at, Node{Label: labels[rng.Intn(len(labels))]}, elabels[rng.Intn(len(elabels))], rng.Intn(2) == 0)
+	}
+	// Occasionally close a cycle.
+	if len(p.Nodes) >= 3 && rng.Intn(2) == 0 {
+		from := rng.Intn(len(p.Nodes))
+		to := rng.Intn(len(p.Nodes))
+		if from != to {
+			if q := p.AddClosingEdge(from, to, elabels[rng.Intn(len(elabels))]); q != nil {
+				p = q
+			}
+		}
+	}
+	return p
+}
+
+// randomDenseGraph builds a small random labeled attributed graph.
+func randomDenseGraph(rng *rand.Rand, n int, labels, elabels []string) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		var attrs map[string]string
+		if rng.Intn(2) == 0 {
+			attrs = map[string]string{"a": []string{"1", "2"}[rng.Intn(2)]}
+		}
+		g.AddNode(labels[rng.Intn(len(labels))], attrs)
+	}
+	m := n * 2
+	for i := 0; i < m; i++ {
+		_ = g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), elabels[rng.Intn(len(elabels))])
+	}
+	return g
+}
+
+// TestMatchAtAgainstBruteForce cross-checks the backtracking matcher against
+// the exhaustive oracle on hundreds of random (graph, pattern, anchor)
+// triples.
+func TestMatchAtAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	labels := []string{"x", "y"}
+	elabels := []string{"e", "f"}
+	for trial := 0; trial < 150; trial++ {
+		g := randomDenseGraph(rng, 8, labels, elabels)
+		m := NewMatcher(g, 0)
+		p := randomPattern(rng, labels, elabels, 4)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid pattern: %v", trial, err)
+		}
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			want := bruteMatchAt(g, p, v)
+			got := m.MatchAt(p, v)
+			if got != want {
+				t.Fatalf("trial %d: MatchAt(%s, %d) = %v, oracle says %v", trial, p, v, got, want)
+			}
+		}
+	}
+}
+
+// TestCoveredEdgesAreRealMatches: every edge reported by CoveredEdgesAt must
+// exist in the graph and carry a label some pattern edge requires.
+func TestCoveredEdgesAreRealMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(987))
+	labels := []string{"x", "y"}
+	elabels := []string{"e", "f"}
+	for trial := 0; trial < 60; trial++ {
+		g := randomDenseGraph(rng, 8, labels, elabels)
+		m := NewMatcher(g, 0)
+		p := randomPattern(rng, labels, elabels, 4)
+		wantLabels := map[string]bool{}
+		for _, e := range p.Edges {
+			wantLabels[e.Label] = true
+		}
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			edges, ok := m.CoveredEdgesAt(p, v)
+			if !ok {
+				continue
+			}
+			if len(p.Edges) > 0 && edges.Len() == 0 {
+				t.Fatalf("trial %d: embedding exists but no covered edges", trial)
+			}
+			for e := range edges {
+				if !g.HasEdge(e.From, e.To, e.Label) {
+					t.Fatalf("trial %d: covered edge %v not in graph", trial, e)
+				}
+				if !wantLabels[g.EdgeLabelName(e.Label)] {
+					t.Fatalf("trial %d: covered edge label %q not in pattern", trial, g.EdgeLabelName(e.Label))
+				}
+			}
+		}
+	}
+}
+
+// Dual simulation must be complete w.r.t. isomorphism on random inputs: any
+// node the backtracking matcher covers is in the simulation cover.
+func TestDualSimCompleteOnRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	labels := []string{"x", "y"}
+	elabels := []string{"e", "f"}
+	for trial := 0; trial < 60; trial++ {
+		g := randomDenseGraph(rng, 8, labels, elabels)
+		m := NewMatcher(g, 0)
+		p := randomPattern(rng, labels, elabels, 4)
+		sim := m.SimCover(p)
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if m.MatchAt(p, v) {
+				if sim == nil || !sim.Has(v) {
+					t.Fatalf("trial %d: iso-covered node %d missing from dual simulation (pattern %s)", trial, v, p)
+				}
+			}
+		}
+	}
+}

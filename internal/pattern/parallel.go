@@ -1,0 +1,69 @@
+package pattern
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// Workers controls CoverAmong's parallelism: 0 or 1 evaluates sequentially;
+// higher values split large candidate lists across that many goroutines.
+// The matcher itself is stateless during a search (the graph is read-only),
+// so results are identical and in the same order either way.
+//
+// Parallelism is opt-in (default sequential) so the efficiency experiments
+// remain comparable with the paper's single-threaded measurements.
+func (m *Matcher) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	max := runtime.GOMAXPROCS(0)
+	if n > max {
+		n = max
+	}
+	m.workers = n
+}
+
+// parallelThreshold is the candidate count below which parallel evaluation
+// is not worth the goroutine overhead.
+const parallelThreshold = 256
+
+// coverAmongParallel evaluates candidates across m.workers goroutines,
+// preserving input order in the result.
+func (m *Matcher) coverAmongParallel(c *compiled, candidates []graph.NodeID) []graph.NodeID {
+	matched := make([]bool, len(candidates))
+	var wg sync.WaitGroup
+	chunk := (len(candidates) + m.workers - 1) / m.workers
+	for w := 0; w < m.workers; w++ {
+		lo := w * chunk
+		if lo >= len(candidates) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				v := candidates[i]
+				if !c.nodeOK(m.g, c.focus, v) {
+					continue
+				}
+				found := false
+				m.search(c, v, func([]graph.NodeID) bool { found = true; return false })
+				matched[i] = found
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	out := make([]graph.NodeID, 0, len(candidates)/4)
+	for i, ok := range matched {
+		if ok {
+			out = append(out, candidates[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The pattern text format mirrors the graph exchange format, so users can
+// hand-write query patterns for cmd/fgs:
+//
+//	# focus user in the Internet industry, co-reviewed by two peers
+//	n 0 user industry=Internet
+//	n 1 user
+//	n 2 user
+//	e 1 0 corev
+//	e 2 0 corev
+//	f 0
+//
+// Records: `n <idx> <label> [key=val ...]` declares a pattern node (indices
+// dense, ascending); `e <from> <to> <label>` a directed pattern edge;
+// `f <idx>` the focus (defaults to node 0). `#` starts a comment.
+
+// Parse reads a pattern in the text format and validates it.
+func Parse(r io.Reader) (*Pattern, error) {
+	p := &Pattern{}
+	focusSet := false
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("pattern: line %d: node needs index and label", lineno)
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx != len(p.Nodes) {
+				return nil, fmt.Errorf("pattern: line %d: node indices must be dense and ascending", lineno)
+			}
+			node := Node{Label: fields[2]}
+			for _, f := range fields[3:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok || k == "" {
+					return nil, fmt.Errorf("pattern: line %d: bad literal %q", lineno, f)
+				}
+				node.Literals = append(node.Literals, Literal{Key: k, Val: v})
+			}
+			sortLiterals(node.Literals)
+			p.Nodes = append(p.Nodes, node)
+		case "e":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("pattern: line %d: edge needs from, to, label", lineno)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("pattern: line %d: bad edge endpoints", lineno)
+			}
+			p.Edges = append(p.Edges, Edge{From: from, To: to, Label: fields[3]})
+		case "f":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pattern: line %d: focus needs one index", lineno)
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("pattern: line %d: bad focus index", lineno)
+			}
+			p.Focus = idx
+			focusSet = true
+		default:
+			return nil, fmt.Errorf("pattern: line %d: unknown record %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !focusSet {
+		p.Focus = 0
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseString parses a pattern from a string.
+func ParseString(s string) (*Pattern, error) { return Parse(strings.NewReader(s)) }
+
+// Format renders the pattern in the parseable text format; Parse(Format(p))
+// reproduces p.
+func Format(w io.Writer, p *Pattern) error {
+	bw := bufio.NewWriter(w)
+	for i, n := range p.Nodes {
+		fmt.Fprintf(bw, "n %d %s", i, n.Label)
+		lits := append([]Literal(nil), n.Literals...)
+		sort.Slice(lits, func(a, b int) bool { return lits[a].Key < lits[b].Key })
+		for _, l := range lits {
+			fmt.Fprintf(bw, " %s=%s", l.Key, l.Val)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, e := range p.Edges {
+		fmt.Fprintf(bw, "e %d %d %s\n", e.From, e.To, e.Label)
+	}
+	fmt.Fprintf(bw, "f %d\n", p.Focus)
+	return bw.Flush()
+}

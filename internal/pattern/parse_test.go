@@ -1,0 +1,113 @@
+package pattern
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `
+# Internet candidates with two co-reviewers
+n 0 user industry=Internet
+n 1 user
+n 2 user
+e 1 0 corev
+e 2 0 corev
+f 0
+`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Nodes) != 3 || len(p.Edges) != 2 || p.Focus != 0 {
+		t.Fatalf("parsed shape wrong: %s", p)
+	}
+	if p.Nodes[0].Literals[0] != (Literal{Key: "industry", Val: "Internet"}) {
+		t.Fatalf("literal wrong: %+v", p.Nodes[0].Literals)
+	}
+}
+
+func TestParseDefaultFocus(t *testing.T) {
+	p, err := ParseString("n 0 user\nn 1 user\ne 0 1 e\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Focus != 0 {
+		t.Fatalf("default focus = %d", p.Focus)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown record", "x 0 user\n"},
+		{"node missing label", "n 0\n"},
+		{"non-dense index", "n 1 user\n"},
+		{"bad literal", "n 0 user nokey\n"},
+		{"empty literal key", "n 0 user =v\n"},
+		{"edge fields", "n 0 user\ne 0 1\n"},
+		{"edge bad index", "n 0 user\ne a 0 l\n"},
+		{"focus fields", "n 0 user\nf\n"},
+		{"focus bad index", "n 0 user\nf x\n"},
+		{"focus out of range", "n 0 user\nf 3\n"},
+		{"edge out of range", "n 0 user\ne 0 5 l\n"},
+		{"disconnected", "n 0 user\nn 1 user\n"},
+		{"empty", "# nothing\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.src); err == nil {
+				t.Fatalf("Parse(%q) succeeded", c.src)
+			}
+		})
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	patterns := []*Pattern{
+		star(Literal{Key: "exp", Val: "5"}),
+		NewNodePattern("movie", Literal{Key: "genre", Val: "Action"}, Literal{Key: "year", Val: "1999"}),
+		{
+			Focus: 1,
+			Nodes: []Node{{Label: "a"}, {Label: "b"}, {Label: "c"}},
+			Edges: []Edge{{0, 1, "e"}, {1, 2, "f"}, {2, 0, "g"}},
+		},
+	}
+	for _, p := range patterns {
+		var buf bytes.Buffer
+		if err := Format(&buf, p); err != nil {
+			t.Fatalf("Format: %v", err)
+		}
+		q, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("Parse(Format(%s)): %v", p, err)
+		}
+		if CanonicalCode(p) != CanonicalCode(q) {
+			t.Fatalf("round trip changed the pattern:\n %s\n %s", p, q)
+		}
+		if q.Focus != p.Focus {
+			t.Fatalf("focus changed: %d vs %d", q.Focus, p.Focus)
+		}
+	}
+}
+
+func TestParsedPatternMatches(t *testing.T) {
+	g, ids := fixture(t)
+	p, err := ParseString(`
+n 0 user exp=4
+n 1 user
+n 2 user
+e 1 0 recommend
+e 2 0 recommend
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(g, 0)
+	got := m.Matches(p)
+	if len(got) != 2 || got[0] != ids[5] || got[1] != ids[8] {
+		t.Fatalf("Matches = %v, want [v5 v8]", got)
+	}
+}

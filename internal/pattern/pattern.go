@@ -1,0 +1,237 @@
+// Package pattern implements the graph patterns P(u_o) of Section II and the
+// matching machinery the FGS algorithms are built on:
+//
+//   - focused, connected patterns whose nodes carry labels and equality
+//     literals (u.A = a) and whose edges carry labels;
+//   - an anchored subgraph-isomorphism matcher ("P covers node v at the
+//     focus"), including embedding enumeration to collect the covered edge
+//     sets P_E that determine correction costs;
+//   - a dual-simulation matcher, the lossy matching semantics used by the
+//     d-sum baseline [42];
+//   - canonical codes, used by the miner to deduplicate grown patterns.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Literal is an equality constraint u.Key = Val on a pattern node.
+type Literal struct {
+	Key string
+	Val string
+}
+
+// Node is one pattern node: a required label plus zero or more literals.
+type Node struct {
+	Label    string
+	Literals []Literal
+}
+
+// Edge is one directed pattern edge between node indices.
+type Edge struct {
+	From  int
+	To    int
+	Label string
+}
+
+// Pattern is a connected graph pattern with a designated focus node
+// (Section II). Nodes are referenced by index.
+type Pattern struct {
+	Focus int
+	Nodes []Node
+	Edges []Edge
+}
+
+// NewNodePattern returns a single-node pattern: a focus with the given label
+// and literals and no edges.
+func NewNodePattern(label string, lits ...Literal) *Pattern {
+	return &Pattern{Nodes: []Node{{Label: label, Literals: lits}}}
+}
+
+// Validate reports whether the pattern is well formed: at least one node, a
+// valid focus index, edge endpoints in range, no self loops, and connected.
+func (p *Pattern) Validate() error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("pattern: no nodes")
+	}
+	if p.Focus < 0 || p.Focus >= len(p.Nodes) {
+		return fmt.Errorf("pattern: focus %d out of range [0,%d)", p.Focus, len(p.Nodes))
+	}
+	for _, e := range p.Edges {
+		if e.From < 0 || e.From >= len(p.Nodes) || e.To < 0 || e.To >= len(p.Nodes) {
+			return fmt.Errorf("pattern: edge (%d,%d) out of range", e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("pattern: self loop on node %d", e.From)
+		}
+	}
+	if !p.connected() {
+		return fmt.Errorf("pattern: not connected")
+	}
+	return nil
+}
+
+func (p *Pattern) connected() bool {
+	if len(p.Nodes) <= 1 {
+		return true
+	}
+	adj := p.undirectedAdj()
+	seen := make([]bool, len(p.Nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == len(p.Nodes)
+}
+
+func (p *Pattern) undirectedAdj() [][]int {
+	adj := make([][]int, len(p.Nodes))
+	for _, e := range p.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	return adj
+}
+
+// Radius returns the maximum undirected hop distance from the focus to any
+// pattern node, i.e. the r-bound SumGen enforces during mining.
+func (p *Pattern) Radius() int {
+	dist := make([]int, len(p.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	adj := p.undirectedAdj()
+	dist[p.Focus] = 0
+	queue := []int{p.Focus}
+	max := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				if dist[v] > max {
+					max = dist[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return max
+}
+
+// Size returns |V_P| + |E_P|, the pattern's contribution to summary size.
+func (p *Pattern) Size() int { return len(p.Nodes) + len(p.Edges) }
+
+// Clone returns a deep copy.
+func (p *Pattern) Clone() *Pattern {
+	c := &Pattern{Focus: p.Focus}
+	c.Nodes = make([]Node, len(p.Nodes))
+	for i, n := range p.Nodes {
+		c.Nodes[i] = Node{Label: n.Label, Literals: append([]Literal(nil), n.Literals...)}
+	}
+	c.Edges = append([]Edge(nil), p.Edges...)
+	return c
+}
+
+// AddLiteral returns a copy of p with an extra literal on node idx.
+func (p *Pattern) AddLiteral(idx int, lit Literal) *Pattern {
+	c := p.Clone()
+	c.Nodes[idx].Literals = append(c.Nodes[idx].Literals, lit)
+	sortLiterals(c.Nodes[idx].Literals)
+	return c
+}
+
+// AddLeaf returns a copy of p with a new node attached to node at by a
+// directed edge. If out is true the edge runs at -> new, else new -> at.
+// The new node's index is len(p.Nodes) in the copy.
+func (p *Pattern) AddLeaf(at int, n Node, edgeLabel string, out bool) *Pattern {
+	c := p.Clone()
+	idx := len(c.Nodes)
+	c.Nodes = append(c.Nodes, n)
+	if out {
+		c.Edges = append(c.Edges, Edge{From: at, To: idx, Label: edgeLabel})
+	} else {
+		c.Edges = append(c.Edges, Edge{From: idx, To: at, Label: edgeLabel})
+	}
+	return c
+}
+
+// AddClosingEdge returns a copy of p with an edge between two existing nodes,
+// or nil if that edge already exists.
+func (p *Pattern) AddClosingEdge(from, to int, label string) *Pattern {
+	for _, e := range p.Edges {
+		if e.From == from && e.To == to && e.Label == label {
+			return nil
+		}
+	}
+	c := p.Clone()
+	c.Edges = append(c.Edges, Edge{From: from, To: to, Label: label})
+	return c
+}
+
+// HasLiteral reports whether node idx already carries the literal.
+func (p *Pattern) HasLiteral(idx int, lit Literal) bool {
+	for _, l := range p.Nodes[idx].Literals {
+		if l == lit {
+			return true
+		}
+	}
+	return false
+}
+
+func sortLiterals(lits []Literal) {
+	sort.Slice(lits, func(i, j int) bool {
+		if lits[i].Key != lits[j].Key {
+			return lits[i].Key < lits[j].Key
+		}
+		return lits[i].Val < lits[j].Val
+	})
+}
+
+// String renders the pattern in a compact human-readable form, e.g.
+//
+//	[0*user{exp=5} 1 user] 0-recommend->1
+//
+// where * marks the focus.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		if i == p.Focus {
+			fmt.Fprintf(&b, "%d*%s", i, n.Label)
+		} else {
+			fmt.Fprintf(&b, "%d %s", i, n.Label)
+		}
+		if len(n.Literals) > 0 {
+			b.WriteString("{")
+			for j, l := range n.Literals {
+				if j > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "%s=%s", l.Key, l.Val)
+			}
+			b.WriteString("}")
+		}
+	}
+	b.WriteString("]")
+	for _, e := range p.Edges {
+		fmt.Fprintf(&b, " %d-%s->%d", e.From, e.Label, e.To)
+	}
+	return b.String()
+}

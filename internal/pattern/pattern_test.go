@@ -1,0 +1,329 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// fixture builds the running example of the paper (Fig. 2, simplified): a
+// talent network with recommend edges and exp/industry attributes.
+//
+//	v0(user,exp=5,industry=Internet) <- v1(user) <- v3(user)
+//	v0                               <- v2(user) <- v4(user)
+//	v5(user,exp=4,industry=Internet) <- v6(user), v7(user)
+//	v8(user,exp=4,industry=Internet) <- v9(user)
+//	v8                               <- v7
+func fixture(t *testing.T) (*graph.Graph, []graph.NodeID) {
+	t.Helper()
+	g := graph.New()
+	ids := make([]graph.NodeID, 0, 10)
+	add := func(label string, attrs map[string]string) graph.NodeID {
+		id := g.AddNode(label, attrs)
+		ids = append(ids, id)
+		return id
+	}
+	v0 := add("user", map[string]string{"exp": "5", "industry": "Internet"})
+	v1 := add("user", nil)
+	v2 := add("user", nil)
+	v3 := add("user", nil)
+	v4 := add("user", nil)
+	v5 := add("user", map[string]string{"exp": "4", "industry": "Internet"})
+	v6 := add("user", nil)
+	v7 := add("user", nil)
+	v8 := add("user", map[string]string{"exp": "4", "industry": "Internet"})
+	v9 := add("user", nil)
+	edge := func(a, b graph.NodeID) {
+		if err := g.AddEdge(a, b, "recommend"); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	edge(v1, v0)
+	edge(v2, v0)
+	edge(v3, v1)
+	edge(v4, v2)
+	edge(v6, v5)
+	edge(v7, v5)
+	edge(v9, v8)
+	edge(v7, v8)
+	return g, ids
+}
+
+// star returns the pattern: focus user recommended by two distinct users.
+func star(lits ...Literal) *Pattern {
+	return &Pattern{
+		Focus: 0,
+		Nodes: []Node{{Label: "user", Literals: lits}, {Label: "user"}, {Label: "user"}},
+		Edges: []Edge{{From: 1, To: 0, Label: "recommend"}, {From: 2, To: 0, Label: "recommend"}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := star()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid pattern rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    *Pattern
+	}{
+		{"empty", &Pattern{}},
+		{"bad focus", &Pattern{Focus: 5, Nodes: []Node{{Label: "x"}}}},
+		{"edge out of range", &Pattern{Nodes: []Node{{Label: "x"}}, Edges: []Edge{{From: 0, To: 3}}}},
+		{"self loop", &Pattern{Nodes: []Node{{Label: "x"}}, Edges: []Edge{{From: 0, To: 0}}}},
+		{"disconnected", &Pattern{Nodes: []Node{{Label: "x"}, {Label: "y"}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.p.Validate(); err == nil {
+				t.Fatal("invalid pattern accepted")
+			}
+		})
+	}
+}
+
+func TestRadiusAndSize(t *testing.T) {
+	p := &Pattern{
+		Focus: 0,
+		Nodes: []Node{{Label: "a"}, {Label: "b"}, {Label: "c"}},
+		Edges: []Edge{{From: 0, To: 1, Label: "e"}, {From: 1, To: 2, Label: "e"}},
+	}
+	if p.Radius() != 2 {
+		t.Fatalf("Radius = %d, want 2", p.Radius())
+	}
+	if p.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", p.Size())
+	}
+	if NewNodePattern("x").Radius() != 0 {
+		t.Fatal("single node radius should be 0")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := star(Literal{Key: "exp", Val: "5"})
+	c := p.Clone()
+	c.Nodes[0].Literals[0].Val = "9"
+	c.Edges[0].Label = "other"
+	if p.Nodes[0].Literals[0].Val != "5" || p.Edges[0].Label != "recommend" {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestAddLeafAndClosingEdge(t *testing.T) {
+	p := NewNodePattern("user")
+	p2 := p.AddLeaf(0, Node{Label: "user"}, "recommend", false) // new -> focus
+	if len(p2.Nodes) != 2 || len(p2.Edges) != 1 {
+		t.Fatalf("AddLeaf result wrong: %v", p2)
+	}
+	if p2.Edges[0].From != 1 || p2.Edges[0].To != 0 {
+		t.Fatalf("AddLeaf direction wrong: %+v", p2.Edges[0])
+	}
+	if len(p.Nodes) != 1 {
+		t.Fatal("AddLeaf mutated receiver")
+	}
+	p3 := p2.AddClosingEdge(0, 1, "recommend")
+	if p3 == nil || len(p3.Edges) != 2 {
+		t.Fatal("AddClosingEdge failed")
+	}
+	if p3.AddClosingEdge(0, 1, "recommend") != nil {
+		t.Fatal("duplicate closing edge accepted")
+	}
+}
+
+func TestMatchAtBasic(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	p := star()
+	// v0, v5, v8 each have two distinct recommenders.
+	for _, v := range []graph.NodeID{ids[0], ids[5], ids[8]} {
+		if !m.MatchAt(p, v) {
+			t.Errorf("star should cover v%d", v)
+		}
+	}
+	// v1 has only one recommender (v3): injectivity forbids reusing it.
+	if m.MatchAt(p, ids[1]) {
+		t.Error("star should not cover v1 (single recommender)")
+	}
+}
+
+func TestMatchAtLiterals(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	p5 := star(Literal{Key: "exp", Val: "5"})
+	if !m.MatchAt(p5, ids[0]) {
+		t.Error("exp=5 star should cover v0")
+	}
+	if m.MatchAt(p5, ids[5]) {
+		t.Error("exp=5 star should not cover v5 (exp=4)")
+	}
+	p4 := star(Literal{Key: "exp", Val: "4"}, Literal{Key: "industry", Val: "Internet"})
+	if !m.MatchAt(p4, ids[5]) || !m.MatchAt(p4, ids[8]) {
+		t.Error("exp=4 Internet star should cover v5 and v8")
+	}
+	if m.MatchAt(p4, ids[0]) {
+		t.Error("exp=4 star should not cover v0")
+	}
+}
+
+func TestMatchAtUnknownStrings(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	if m.MatchAt(NewNodePattern("alien"), ids[0]) {
+		t.Error("unknown label matched")
+	}
+	if m.MatchAt(NewNodePattern("user", Literal{Key: "nokey", Val: "x"}), ids[0]) {
+		t.Error("unknown attr key matched")
+	}
+	if m.MatchAt(NewNodePattern("user", Literal{Key: "exp", Val: "999"}), ids[0]) {
+		t.Error("unknown attr value matched")
+	}
+	p := NewNodePattern("user").AddLeaf(0, Node{Label: "user"}, "alienedge", false)
+	if m.MatchAt(p, ids[0]) {
+		t.Error("unknown edge label matched")
+	}
+}
+
+func TestMatchAtEdgeDirection(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	// focus -> other (outgoing recommend). v0 has none; v1 has one (v1->v0).
+	out := &Pattern{
+		Focus: 0,
+		Nodes: []Node{{Label: "user"}, {Label: "user"}},
+		Edges: []Edge{{From: 0, To: 1, Label: "recommend"}},
+	}
+	if m.MatchAt(out, ids[0]) {
+		t.Error("v0 has no outgoing recommend")
+	}
+	if !m.MatchAt(out, ids[1]) {
+		t.Error("v1 has outgoing recommend to v0")
+	}
+}
+
+// Chain pattern exercises matching beyond one hop: focus <- a <- b.
+func TestMatchAtChain(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	chain := &Pattern{
+		Focus: 0,
+		Nodes: []Node{{Label: "user"}, {Label: "user"}, {Label: "user"}},
+		Edges: []Edge{{From: 1, To: 0, Label: "recommend"}, {From: 2, To: 1, Label: "recommend"}},
+	}
+	if !m.MatchAt(chain, ids[0]) {
+		t.Error("v0 has 2-chain v3->v1->v0")
+	}
+	if m.MatchAt(chain, ids[5]) {
+		t.Error("v5 recommenders have no recommenders")
+	}
+}
+
+func TestMatchInjectivity(t *testing.T) {
+	// Triangle test: pattern wants two distinct recommenders; graph node with
+	// a single recommender that has a self-reinforcing structure must fail.
+	g := graph.New()
+	a := g.AddNode("user", nil)
+	b := g.AddNode("user", nil)
+	if err := g.AddEdge(b, a, "recommend"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(g, 0)
+	if m.MatchAt(star(), a) {
+		t.Error("injectivity violated: one recommender matched twice")
+	}
+}
+
+func TestCoveredEdgesAt(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	p := star()
+	edges, ok := m.CoveredEdgesAt(p, ids[0])
+	if !ok {
+		t.Fatal("star should cover v0")
+	}
+	rec, _ := g.EdgeLabelID("recommend")
+	want := []graph.EdgeRef{
+		{From: ids[1], To: ids[0], Label: rec},
+		{From: ids[2], To: ids[0], Label: rec},
+	}
+	if edges.Len() != 2 {
+		t.Fatalf("covered edges = %d, want 2", edges.Len())
+	}
+	for _, e := range want {
+		if !edges.Has(e) {
+			t.Errorf("missing covered edge %v", e)
+		}
+	}
+	if _, ok := m.CoveredEdgesAt(p, ids[1]); ok {
+		t.Error("CoveredEdgesAt should fail where MatchAt fails")
+	}
+}
+
+// With multiple embeddings the covered edge set is their union.
+func TestCoveredEdgesUnionAcrossEmbeddings(t *testing.T) {
+	g := graph.New()
+	f := g.AddNode("user", nil)
+	r1 := g.AddNode("user", nil)
+	r2 := g.AddNode("user", nil)
+	r3 := g.AddNode("user", nil)
+	for _, r := range []graph.NodeID{r1, r2, r3} {
+		if err := g.AddEdge(r, f, "recommend"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewMatcher(g, 0)
+	edges, ok := m.CoveredEdgesAt(star(), f)
+	if !ok {
+		t.Fatal("should match")
+	}
+	// Three recommenders, pattern needs two: 3 choose 2 embeddings (ordered:
+	// 6) cover all three edges.
+	if edges.Len() != 3 {
+		t.Fatalf("covered edges = %d, want union of all 3", edges.Len())
+	}
+	// With a cap of 1, only one embedding's two edges are collected.
+	m.EmbedCap = 1
+	edges, _ = m.CoveredEdgesAt(star(), f)
+	if edges.Len() != 2 {
+		t.Fatalf("capped covered edges = %d, want 2", edges.Len())
+	}
+}
+
+func TestCoverAmongAndFocusCandidates(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	p := star()
+	cands := m.FocusCandidates(p)
+	if len(cands) != 10 { // all users satisfy label with no literals
+		t.Fatalf("FocusCandidates = %d, want 10", len(cands))
+	}
+	covered := m.CoverAmong(p, cands)
+	want := graph.NodeSetOf([]graph.NodeID{ids[0], ids[5], ids[8]})
+	if len(covered) != 3 {
+		t.Fatalf("CoverAmong = %v, want 3 nodes", covered)
+	}
+	for _, v := range covered {
+		if !want.Has(v) {
+			t.Errorf("unexpected covered node %d", v)
+		}
+	}
+}
+
+func TestMatchesWholeGraph(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	got := m.Matches(star())
+	if len(got) != 3 || got[0] != ids[0] || got[1] != ids[5] || got[2] != ids[8] {
+		t.Fatalf("Matches = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := star(Literal{Key: "exp", Val: "5"})
+	s := p.String()
+	for _, want := range []string{"0*user", "exp=5", "1-recommend->0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

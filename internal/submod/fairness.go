@@ -1,0 +1,157 @@
+package submod
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// The paper expresses fairness as per-group coverage ranges [l_i, u_i] and
+// names two policies from the literature: equal opportunity [16] and
+// disparate-impact style proportionality [13]. Its conclusion lists "more
+// types of fairness constraints" as future work; the constructors below
+// implement the standard ones so users do not hand-compute bounds.
+
+// EqualOpportunity returns a copy of the groups with bounds that force a
+// (near-)equal share of the budget n per group: every group gets
+// [floor(n/card) - slack, ceil(n/card) + slack], clamped to the group size.
+// This is the [40,60]-style constraint of the paper's experiments.
+func EqualOpportunity(groups []Group, n, slack int) ([]Group, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("submod: no groups")
+	}
+	share := n / len(groups)
+	lo := share - slack
+	hi := (n + len(groups) - 1) / len(groups) + slack
+	if lo < 0 {
+		lo = 0
+	}
+	out := make([]Group, len(groups))
+	for i, g := range groups {
+		g.Lower = lo
+		g.Upper = hi
+		if g.Upper > len(g.Members) {
+			g.Upper = len(g.Members)
+		}
+		if g.Lower > g.Upper {
+			return nil, fmt.Errorf("submod: group %q too small for equal share %d", g.Name, lo)
+		}
+		out[i] = g
+	}
+	return out, nil
+}
+
+// Proportional returns a copy of the groups with bounds proportional to the
+// groups' population shares, within a tolerance alpha ∈ [0,1):
+//
+//	l_i = floor((1-alpha) · p_i · n),  u_i = ceil((1+alpha) · p_i · n)
+//
+// with p_i the group's fraction of all group members. alpha = 0.2 yields the
+// classic 80%-rule (disparate impact [13]) flavor of proportionality.
+func Proportional(groups []Group, n int, alpha float64) ([]Group, error) {
+	if alpha < 0 || alpha >= 1 {
+		return nil, fmt.Errorf("submod: alpha %v out of [0,1)", alpha)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Members)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("submod: empty groups")
+	}
+	out := make([]Group, len(groups))
+	sumLower := 0
+	for i, g := range groups {
+		p := float64(len(g.Members)) / float64(total)
+		g.Lower = int(math.Floor((1 - alpha) * p * float64(n)))
+		g.Upper = int(math.Ceil((1 + alpha) * p * float64(n)))
+		if g.Upper > len(g.Members) {
+			g.Upper = len(g.Members)
+		}
+		if g.Lower > g.Upper {
+			g.Lower = g.Upper
+		}
+		sumLower += g.Lower
+		out[i] = g
+	}
+	if sumLower > n {
+		return nil, fmt.Errorf("submod: proportional lower bounds sum to %d > n=%d", sumLower, n)
+	}
+	return out, nil
+}
+
+// AttributeDiversity is a monotone submodular utility that counts the
+// distinct values of an attribute among the selected nodes — selecting for
+// breadth (e.g. distinct cities, industries, venues) rather than influence.
+type AttributeDiversity struct {
+	g    *graph.Graph
+	key  int32
+	ok   bool
+	cur  graph.NodeSet
+	refs map[int32]int
+}
+
+// NewAttributeDiversity builds the utility over the given attribute key.
+// Nodes without the attribute contribute nothing.
+func NewAttributeDiversity(g *graph.Graph, attrKey string) *AttributeDiversity {
+	ad := &AttributeDiversity{g: g, cur: graph.NewNodeSet(0), refs: make(map[int32]int)}
+	ad.key, ad.ok = g.AttrKeyID(attrKey)
+	return ad
+}
+
+func (ad *AttributeDiversity) valueOf(v graph.NodeID) (int32, bool) {
+	if !ad.ok {
+		return 0, false
+	}
+	return ad.g.AttrValue(v, ad.key)
+}
+
+// Marginal implements Utility.
+func (ad *AttributeDiversity) Marginal(v graph.NodeID) float64 {
+	if ad.cur.Has(v) {
+		return 0
+	}
+	if val, ok := ad.valueOf(v); ok && ad.refs[val] == 0 {
+		return 1
+	}
+	return 0
+}
+
+// Add implements Utility.
+func (ad *AttributeDiversity) Add(v graph.NodeID) {
+	if ad.cur.Has(v) {
+		return
+	}
+	ad.cur.Add(v)
+	if val, ok := ad.valueOf(v); ok {
+		ad.refs[val]++
+	}
+}
+
+// Remove implements Utility.
+func (ad *AttributeDiversity) Remove(v graph.NodeID) {
+	if !ad.cur.Has(v) {
+		return
+	}
+	ad.cur.Remove(v)
+	if val, ok := ad.valueOf(v); ok {
+		if ad.refs[val]--; ad.refs[val] == 0 {
+			delete(ad.refs, val)
+		}
+	}
+}
+
+// Value implements Utility.
+func (ad *AttributeDiversity) Value() float64 { return float64(len(ad.refs)) }
+
+// Reset implements Utility.
+func (ad *AttributeDiversity) Reset() {
+	ad.cur = graph.NewNodeSet(0)
+	ad.refs = make(map[int32]int)
+}
+
+// Clone implements Utility.
+func (ad *AttributeDiversity) Clone() Utility {
+	return &AttributeDiversity{g: ad.g, key: ad.key, ok: ad.ok, cur: graph.NewNodeSet(0), refs: make(map[int32]int)}
+}

@@ -1,0 +1,201 @@
+package submod
+
+import (
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+func memberRange(lo, hi int) []graph.NodeID {
+	out := make([]graph.NodeID, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, graph.NodeID(i))
+	}
+	return out
+}
+
+func TestEqualOpportunity(t *testing.T) {
+	gs := []Group{
+		{Name: "a", Members: memberRange(0, 100)},
+		{Name: "b", Members: memberRange(100, 200)},
+	}
+	out, err := EqualOpportunity(gs, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range out {
+		if g.Lower != 40 || g.Upper != 60 {
+			t.Fatalf("group %s bounds [%d,%d], want [40,60]", g.Name, g.Lower, g.Upper)
+		}
+	}
+	// The result must be accepted by NewGroups and sum of lowers <= n.
+	groups, err := NewGroups(out...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups.SumLower() > 100 {
+		t.Fatal("equal-opportunity bounds infeasible")
+	}
+}
+
+func TestEqualOpportunityClampsToGroupSize(t *testing.T) {
+	gs := []Group{
+		{Name: "big", Members: memberRange(0, 100)},
+		{Name: "tiny", Members: memberRange(100, 130)},
+	}
+	out, err := EqualOpportunity(gs, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1].Upper > 30 {
+		t.Fatalf("tiny group upper %d exceeds its size", out[1].Upper)
+	}
+	// A group smaller than the required lower share is an error.
+	gs[1].Members = memberRange(100, 105)
+	if _, err := EqualOpportunity(gs, 60, 0); err == nil {
+		t.Fatal("impossible equal share accepted")
+	}
+}
+
+func TestEqualOpportunityEmpty(t *testing.T) {
+	if _, err := EqualOpportunity(nil, 10, 0); err == nil {
+		t.Fatal("empty groups accepted")
+	}
+}
+
+func TestProportional(t *testing.T) {
+	gs := []Group{
+		{Name: "majority", Members: memberRange(0, 300)},  // 75%
+		{Name: "minority", Members: memberRange(300, 400)}, // 25%
+	}
+	out, err := Proportional(gs, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Majority: [floor(0.8*75), ceil(1.2*75)] = [60, 90].
+	if out[0].Lower != 60 || out[0].Upper != 90 {
+		t.Fatalf("majority bounds [%d,%d], want [60,90]", out[0].Lower, out[0].Upper)
+	}
+	// Minority: [floor(0.8*25), ceil(1.2*25)] = [20, 30].
+	if out[1].Lower != 20 || out[1].Upper != 30 {
+		t.Fatalf("minority bounds [%d,%d], want [20,30]", out[1].Lower, out[1].Upper)
+	}
+	if _, err := NewGroups(out...); err != nil {
+		t.Fatalf("proportional bounds rejected by NewGroups: %v", err)
+	}
+}
+
+func TestProportionalValidation(t *testing.T) {
+	gs := []Group{{Name: "a", Members: memberRange(0, 10)}}
+	if _, err := Proportional(gs, 10, -0.1); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	if _, err := Proportional(gs, 10, 1.0); err == nil {
+		t.Fatal("alpha = 1 accepted")
+	}
+	if _, err := Proportional([]Group{{Name: "e"}}, 10, 0.1); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+}
+
+func TestProportionalZeroAlphaFeasible(t *testing.T) {
+	gs := []Group{
+		{Name: "a", Members: memberRange(0, 70)},
+		{Name: "b", Members: memberRange(70, 100)},
+	}
+	out, err := Proportional(gs, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, g := range out {
+		sum += g.Lower
+	}
+	if sum > 50 {
+		t.Fatalf("lower bounds sum %d exceeds n", sum)
+	}
+}
+
+func TestAttributeDiversity(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("user", map[string]string{"city": "NY"})
+	b := g.AddNode("user", map[string]string{"city": "NY"})
+	c := g.AddNode("user", map[string]string{"city": "SF"})
+	d := g.AddNode("user", nil) // no city
+
+	u := NewAttributeDiversity(g, "city")
+	if u.Marginal(a) != 1 {
+		t.Fatal("first NY should gain 1")
+	}
+	u.Add(a)
+	if u.Marginal(b) != 0 {
+		t.Fatal("second NY should gain 0")
+	}
+	if u.Marginal(c) != 1 {
+		t.Fatal("SF should gain 1")
+	}
+	if u.Marginal(d) != 0 {
+		t.Fatal("attribute-less node should gain 0")
+	}
+	u.Add(b)
+	u.Add(c)
+	if u.Value() != 2 {
+		t.Fatalf("Value = %v, want 2", u.Value())
+	}
+	u.Remove(a)
+	if u.Value() != 2 { // b still holds NY
+		t.Fatalf("Value after removing one NY = %v, want 2", u.Value())
+	}
+	u.Remove(b)
+	if u.Value() != 1 {
+		t.Fatalf("Value after removing both NY = %v, want 1", u.Value())
+	}
+	cl := u.Clone()
+	if cl.Value() != 0 {
+		t.Fatal("Clone should start empty")
+	}
+}
+
+func TestAttributeDiversityUnknownKey(t *testing.T) {
+	g := graph.New()
+	v := g.AddNode("user", map[string]string{"city": "NY"})
+	u := NewAttributeDiversity(g, "nokey")
+	if u.Marginal(v) != 0 {
+		t.Fatal("unknown key should yield zero gains")
+	}
+	u.Add(v)
+	if u.Value() != 0 {
+		t.Fatal("unknown key should keep value 0")
+	}
+}
+
+// AttributeDiversity must satisfy the submodularity axioms like the other
+// utilities; reuse the axiom harness.
+func TestAttributeDiversityAxioms(t *testing.T) {
+	g := graph.New()
+	cities := []string{"NY", "SF", "LA", "CHI"}
+	for i := 0; i < 30; i++ {
+		var attrs map[string]string
+		if i%3 != 0 {
+			attrs = map[string]string{"city": cities[i%len(cities)]}
+		}
+		g.AddNode("user", attrs)
+	}
+	u := NewAttributeDiversity(g, "city")
+	for trial := 0; trial < 20; trial++ {
+		u.Reset()
+		// A = {0..trial%5}, B = A ∪ {10..12}, v = 20 + trial%5.
+		for i := 0; i <= trial%5; i++ {
+			u.Add(graph.NodeID(i))
+		}
+		v := graph.NodeID(20 + trial%5)
+		gainA := u.Marginal(v)
+		for i := 10; i <= 12; i++ {
+			u.Add(graph.NodeID(i))
+		}
+		gainB := u.Marginal(v)
+		if gainB > gainA {
+			t.Fatalf("trial %d: submodularity violated: %v > %v", trial, gainB, gainA)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package submod
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// ErrInfeasible is returned when no selection can satisfy the group coverage
+// constraints (e.g. Σ l_i > n, or a group has fewer members than its lower
+// bound reachable under the budget).
+var ErrInfeasible = fmt.Errorf("submod: coverage constraints are infeasible")
+
+// FairSelect implements procedure FairSelect of Fig. 3: greedy fair
+// submodular maximization under group cardinality constraints, a
+// ½-approximation per [17]. It selects up to n nodes from ∪V maximizing F
+// subject to every group count landing in [l_i, u_i].
+//
+// The utility's state is consumed: on return, util holds the selected set.
+// The returned slice is in selection order.
+func FairSelect(groups *Groups, util Utility, n int) ([]graph.NodeID, error) {
+	if groups.SumLower() > n {
+		return nil, fmt.Errorf("%w: sum of lower bounds %d exceeds n=%d", ErrInfeasible, groups.SumLower(), n)
+	}
+	util.Reset()
+
+	// Lazy greedy: a max-heap of candidates keyed by (stale) marginal gain.
+	// Submodularity guarantees gains only shrink, so a popped candidate whose
+	// recomputed gain still beats the next heap top is the true argmax.
+	h := &gainHeap{}
+	counts := make([]int, groups.Len())
+	for gi := 0; gi < groups.Len(); gi++ {
+		for _, v := range groups.At(gi).Members {
+			heap.Push(h, gainItem{v: v, group: gi, gain: util.Marginal(v)})
+		}
+	}
+
+	var selected []graph.NodeID
+	for len(selected) < n && h.Len() > 0 {
+		top := heap.Pop(h).(gainItem)
+		if !groups.ExtendableM(counts, top.group, n) {
+			// Extendability is monotone decreasing as counts grow, so the
+			// candidate can be discarded permanently.
+			continue
+		}
+		fresh := util.Marginal(top.v)
+		if h.Len() > 0 && fresh < (*h)[0].gain {
+			top.gain = fresh
+			heap.Push(h, top)
+			continue
+		}
+		util.Add(top.v)
+		counts[top.group]++
+		selected = append(selected, top.v)
+	}
+
+	if !lowerBoundsMet(groups, counts) {
+		return nil, fmt.Errorf("%w: greedy could not meet all lower bounds (selected %d of %d)", ErrInfeasible, len(selected), n)
+	}
+	return selected, nil
+}
+
+// FairSelectPlain is the textbook (non-lazy) greedy; selections are identical
+// to FairSelect up to ties. It exists for the lazy-greedy ablation bench.
+func FairSelectPlain(groups *Groups, util Utility, n int) ([]graph.NodeID, error) {
+	if groups.SumLower() > n {
+		return nil, fmt.Errorf("%w: sum of lower bounds %d exceeds n=%d", ErrInfeasible, groups.SumLower(), n)
+	}
+	util.Reset()
+	counts := make([]int, groups.Len())
+	chosen := graph.NewNodeSet(n)
+	var selected []graph.NodeID
+	for len(selected) < n {
+		best := graph.NodeID(-1)
+		bestGroup := -1
+		bestGain := -1.0
+		for gi := 0; gi < groups.Len(); gi++ {
+			if !groups.ExtendableM(counts, gi, n) {
+				continue
+			}
+			for _, v := range groups.At(gi).Members {
+				if chosen.Has(v) {
+					continue
+				}
+				if g := util.Marginal(v); g > bestGain {
+					bestGain = g
+					best = v
+					bestGroup = gi
+				}
+			}
+		}
+		if bestGroup < 0 {
+			break
+		}
+		util.Add(best)
+		chosen.Add(best)
+		counts[bestGroup]++
+		selected = append(selected, best)
+	}
+	if !lowerBoundsMet(groups, counts) {
+		return nil, ErrInfeasible
+	}
+	return selected, nil
+}
+
+func lowerBoundsMet(groups *Groups, counts []int) bool {
+	for i := 0; i < groups.Len(); i++ {
+		if counts[i] < groups.At(i).Lower {
+			return false
+		}
+	}
+	return true
+}
+
+// gainItem is one heap entry: a candidate node with its stale marginal gain.
+type gainItem struct {
+	v     graph.NodeID
+	group int
+	gain  float64
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int { return len(h) }
+
+// Less orders by gain descending with NodeID as a deterministic tie-break,
+// so selections are reproducible across runs and platforms.
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].v < h[j].v
+}
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,201 @@
+package submod
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+func ratingsGraph(t *testing.T, ratings []float64) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for _, r := range ratings {
+		g.AddNode("user", map[string]string{"rating": floatStr(r)})
+	}
+	return g
+}
+
+func floatStr(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+func TestFairSelectRespectsBoundsAndGreed(t *testing.T) {
+	// Males (0..3) have the top ratings; without fairness the greedy would
+	// pick males only. Bounds force 2 females in.
+	g := ratingsGraph(t, []float64{9, 8, 7, 6, 5, 4, 3})
+	groups, err := NewGroups(
+		Group{Name: "m", Members: []graph.NodeID{0, 1, 2, 3}, Lower: 1, Upper: 2},
+		Group{Name: "f", Members: []graph.NodeID{4, 5, 6}, Lower: 2, Upper: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := FairSelect(groups, NewRatingSum(g, "rating"), 4)
+	if err != nil {
+		t.Fatalf("FairSelect: %v", err)
+	}
+	if len(sel) != 4 {
+		t.Fatalf("selected %d, want 4", len(sel))
+	}
+	counts := groups.Counts(sel)
+	if !groups.SatisfiesBounds(counts) {
+		t.Fatalf("bounds violated: %v", counts)
+	}
+	// Greedy picks best males 0,1 and best females 4,5.
+	want := graph.NodeSetOf([]graph.NodeID{0, 1, 4, 5})
+	for _, v := range sel {
+		if !want.Has(v) {
+			t.Fatalf("unexpected selection %v", sel)
+		}
+	}
+}
+
+func TestFairSelectFillsLowerBoundsDespiteZeroGain(t *testing.T) {
+	// Female ratings are all 0: greedy must still pick 2 of them.
+	g := ratingsGraph(t, []float64{9, 8, 7, 6, 0, 0, 0})
+	groups, _ := NewGroups(
+		Group{Name: "m", Members: []graph.NodeID{0, 1, 2, 3}, Lower: 0, Upper: 4},
+		Group{Name: "f", Members: []graph.NodeID{4, 5, 6}, Lower: 2, Upper: 3},
+	)
+	sel, err := FairSelect(groups, NewRatingSum(g, "rating"), 4)
+	if err != nil {
+		t.Fatalf("FairSelect: %v", err)
+	}
+	counts := groups.Counts(sel)
+	if counts[1] < 2 {
+		t.Fatalf("female lower bound unmet: %v", counts)
+	}
+	if counts[0] != 2 {
+		t.Fatalf("expected exactly 2 males (budget 4 - reserve 2): %v", counts)
+	}
+}
+
+func TestFairSelectInfeasible(t *testing.T) {
+	g := ratingsGraph(t, []float64{1, 2, 3})
+	groups, _ := NewGroups(
+		Group{Name: "a", Members: []graph.NodeID{0, 1}, Lower: 2, Upper: 2},
+		Group{Name: "b", Members: []graph.NodeID{2}, Lower: 1, Upper: 1},
+	)
+	if _, err := FairSelect(groups, NewRatingSum(g, "rating"), 2); err == nil {
+		t.Fatal("expected infeasibility (sum of lowers 3 > n=2)")
+	}
+}
+
+func TestFairSelectStopsAtUpperBounds(t *testing.T) {
+	g := ratingsGraph(t, []float64{9, 8, 7})
+	groups, _ := NewGroups(Group{Name: "only", Members: []graph.NodeID{0, 1, 2}, Lower: 0, Upper: 2})
+	sel, err := FairSelect(groups, NewRatingSum(g, "rating"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selected %d, upper bound is 2", len(sel))
+	}
+}
+
+// FairSelect (lazy) and FairSelectPlain must produce equally good selections;
+// with distinct gains they are identical.
+func TestLazyMatchesPlainGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 20
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.AddNode("user", map[string]string{"rating": floatStr(float64(rng.Intn(90)) + float64(i)/100.0)})
+		}
+		var m1, m2 []graph.NodeID
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				m1 = append(m1, graph.NodeID(i))
+			} else {
+				m2 = append(m2, graph.NodeID(i))
+			}
+		}
+		groups, err := NewGroups(
+			Group{Name: "a", Members: m1, Lower: 2, Upper: 5},
+			Group{Name: "b", Members: m2, Lower: 2, Upper: 5},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazySel, err1 := FairSelect(groups, NewRatingSum(g, "rating"), 6)
+		plainSel, err2 := FairSelectPlain(groups, NewRatingSum(g, "rating"), 6)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v %v", err1, err2)
+		}
+		u := NewRatingSum(g, "rating")
+		lazyVal := Eval(u, lazySel)
+		plainVal := Eval(u, plainSel)
+		if !approxEq(lazyVal, plainVal) {
+			t.Fatalf("trial %d: lazy value %v != plain value %v", trial, lazyVal, plainVal)
+		}
+	}
+}
+
+// Greedy achieves at least half the optimum (Theorem 3 invariant (1)): check
+// against brute force on small random instances with a genuinely submodular
+// (coverage) utility.
+func TestFairSelectHalfApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		g := randomSocialGraph(rng, 12, 30)
+		groups, err := NewGroups(
+			Group{Name: "a", Members: []graph.NodeID{0, 1, 2, 3, 4, 5}, Lower: 1, Upper: 3},
+			Group{Name: "b", Members: []graph.NodeID{6, 7, 8, 9, 10, 11}, Lower: 1, Upper: 3},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 4
+		sel, err := FairSelect(groups, NewNeighborCoverage(g, NeighborsIn, ""), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := NewNeighborCoverage(g, NeighborsIn, "")
+		got := Eval(u, sel)
+		opt := bruteForceOpt(groups, u, n)
+		if got < opt/2-1e-9 {
+			t.Fatalf("trial %d: greedy %v < half of optimum %v", trial, got, opt)
+		}
+	}
+}
+
+// bruteForceOpt enumerates all feasible subsets up to size n.
+func bruteForceOpt(groups *Groups, u Utility, n int) float64 {
+	all := groups.All()
+	best := 0.0
+	var rec func(start int, cur []graph.NodeID)
+	rec = func(start int, cur []graph.NodeID) {
+		counts := groups.Counts(cur)
+		if len(cur) <= n && groups.SatisfiesBounds(counts) {
+			if v := Eval(u, cur); v > best {
+				best = v
+			}
+		}
+		if len(cur) == n {
+			return
+		}
+		for i := start; i < len(all); i++ {
+			rec(i+1, append(cur, all[i]))
+		}
+	}
+	rec(0, nil)
+	return best
+}
+
+func TestFairSelectUtilityValueMatchesSelection(t *testing.T) {
+	g := ratingsGraph(t, []float64{5, 4, 3, 2})
+	groups, _ := NewGroups(Group{Name: "g", Members: []graph.NodeID{0, 1, 2, 3}, Lower: 1, Upper: 4})
+	u := NewRatingSum(g, "rating")
+	sel, err := FairSelect(groups, u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The utility is left holding the selected set.
+	if math.Abs(u.Value()-9) > 1e-9 {
+		t.Fatalf("utility value %v, want 9 (5+4); selection %v", u.Value(), sel)
+	}
+}

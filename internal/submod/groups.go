@@ -1,0 +1,170 @@
+// Package submod implements the selection half of the FGS pipeline: monotone
+// submodular utility functions, the fair greedy selection FairSelect of
+// Section IV (a ½-approximation to submodular maximization under group
+// cardinality constraints, following [17]), and the streaming variant with a
+// swap rule (¼-approximation) that Online-APXFGS (Section VI) and Inc-FGS
+// (Section VII) are built on.
+package submod
+
+import (
+	"fmt"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// Group is one node group V_i with its coverage constraint [Lower, Upper]
+// (Section II). Members must be disjoint across groups.
+type Group struct {
+	Name    string
+	Members []graph.NodeID
+	Lower   int
+	Upper   int
+}
+
+// Groups is a validated group set V with a node-to-group index.
+type Groups struct {
+	groups []Group
+	byNode map[graph.NodeID]int
+	all    []graph.NodeID
+}
+
+// NewGroups validates and indexes a group set: bounds must satisfy
+// 0 <= l_i <= u_i <= |V_i| and members must be disjoint.
+func NewGroups(gs ...Group) (*Groups, error) {
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("submod: empty group set")
+	}
+	out := &Groups{groups: gs, byNode: make(map[graph.NodeID]int)}
+	for i, g := range gs {
+		if g.Lower < 0 || g.Lower > g.Upper {
+			return nil, fmt.Errorf("submod: group %q has invalid bounds [%d,%d]", g.Name, g.Lower, g.Upper)
+		}
+		if g.Upper > len(g.Members) {
+			return nil, fmt.Errorf("submod: group %q upper bound %d exceeds size %d", g.Name, g.Upper, len(g.Members))
+		}
+		for _, v := range g.Members {
+			if prev, ok := out.byNode[v]; ok {
+				return nil, fmt.Errorf("submod: node %d in both group %q and %q", v, gs[prev].Name, g.Name)
+			}
+			out.byNode[v] = i
+			out.all = append(out.all, v)
+		}
+	}
+	return out, nil
+}
+
+// Len reports the number of groups (card(V) in the paper).
+func (gs *Groups) Len() int { return len(gs.groups) }
+
+// At returns the i-th group.
+func (gs *Groups) At(i int) Group { return gs.groups[i] }
+
+// IndexOf returns the group index of a node, if it belongs to any group.
+func (gs *Groups) IndexOf(v graph.NodeID) (int, bool) {
+	i, ok := gs.byNode[v]
+	return i, ok
+}
+
+// All returns the union of all group members (the set ∪V). The slice is
+// owned by the Groups value.
+func (gs *Groups) All() []graph.NodeID { return gs.all }
+
+// Size reports |∪V|.
+func (gs *Groups) Size() int { return len(gs.all) }
+
+// SumLower returns Σ l_i, the minimum feasible selection size.
+func (gs *Groups) SumLower() int {
+	s := 0
+	for _, g := range gs.groups {
+		s += g.Lower
+	}
+	return s
+}
+
+// Counts returns the per-group membership counts of a node set.
+func (gs *Groups) Counts(nodes []graph.NodeID) []int {
+	counts := make([]int, len(gs.groups))
+	for _, v := range nodes {
+		if i, ok := gs.byNode[v]; ok {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// CountsOfSet returns per-group counts of a NodeSet.
+func (gs *Groups) CountsOfSet(nodes graph.NodeSet) []int {
+	counts := make([]int, len(gs.groups))
+	for v := range nodes {
+		if i, ok := gs.byNode[v]; ok {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// SatisfiesBounds reports whether per-group counts lie in all [l_i, u_i].
+func (gs *Groups) SatisfiesBounds(counts []int) bool {
+	for i, g := range gs.groups {
+		if counts[i] < g.Lower || counts[i] > g.Upper {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtendableM implements the paper's procedure of the same name (Section IV):
+// the partial selection described by counts can be extended with a node of
+// group gi without losing feasibility for budget n iff
+//
+//  1. counts[gi]+1 <= u_gi, and
+//  2. Σ_j max(counts'_j, l_j) <= n, where counts' includes the new node —
+//     i.e. enough of the budget remains reserved for unmet lower bounds.
+func (gs *Groups) ExtendableM(counts []int, gi int, n int) bool {
+	if counts[gi]+1 > gs.groups[gi].Upper {
+		return false
+	}
+	total := 0
+	for j, g := range gs.groups {
+		c := counts[j]
+		if j == gi {
+			c++
+		}
+		if c < g.Lower {
+			c = g.Lower
+		}
+		total += c
+	}
+	return total <= n
+}
+
+// SwapFeasible reports whether replacing a node of group out with a node of
+// group in keeps the reserve condition for budget n (upper bounds are
+// checked directly on the adjusted counts).
+func (gs *Groups) SwapFeasible(counts []int, out, in int, n int) bool {
+	if counts[out] == 0 {
+		return false
+	}
+	adj := func(j int) int {
+		c := counts[j]
+		if j == out {
+			c--
+		}
+		if j == in {
+			c++
+		}
+		return c
+	}
+	if adj(in) > gs.groups[in].Upper {
+		return false
+	}
+	total := 0
+	for j, g := range gs.groups {
+		c := adj(j)
+		if c < g.Lower {
+			c = g.Lower
+		}
+		total += c
+	}
+	return total <= n
+}

@@ -1,0 +1,143 @@
+package submod
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+func twoGroups(t *testing.T) *Groups {
+	t.Helper()
+	gs, err := NewGroups(
+		Group{Name: "male", Members: []graph.NodeID{0, 1, 2, 3}, Lower: 1, Upper: 2},
+		Group{Name: "female", Members: []graph.NodeID{4, 5, 6}, Lower: 2, Upper: 3},
+	)
+	if err != nil {
+		t.Fatalf("NewGroups: %v", err)
+	}
+	return gs
+}
+
+func TestNewGroupsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		gs   []Group
+	}{
+		{"empty", nil},
+		{"negative lower", []Group{{Name: "g", Members: []graph.NodeID{0}, Lower: -1, Upper: 1}}},
+		{"lower above upper", []Group{{Name: "g", Members: []graph.NodeID{0}, Lower: 2, Upper: 1}}},
+		{"upper above size", []Group{{Name: "g", Members: []graph.NodeID{0}, Lower: 0, Upper: 2}}},
+		{"overlap", []Group{
+			{Name: "a", Members: []graph.NodeID{0, 1}, Upper: 1},
+			{Name: "b", Members: []graph.NodeID{1, 2}, Upper: 1},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewGroups(c.gs...); err == nil {
+				t.Fatal("invalid groups accepted")
+			}
+		})
+	}
+}
+
+func TestGroupsIndexing(t *testing.T) {
+	gs := twoGroups(t)
+	if gs.Len() != 2 || gs.Size() != 7 {
+		t.Fatalf("Len=%d Size=%d", gs.Len(), gs.Size())
+	}
+	if i, ok := gs.IndexOf(5); !ok || i != 1 {
+		t.Fatalf("IndexOf(5) = %d,%v", i, ok)
+	}
+	if _, ok := gs.IndexOf(99); ok {
+		t.Fatal("IndexOf(99) should fail")
+	}
+	if gs.SumLower() != 3 {
+		t.Fatalf("SumLower = %d, want 3", gs.SumLower())
+	}
+	counts := gs.Counts([]graph.NodeID{0, 1, 4, 99})
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+	setCounts := gs.CountsOfSet(graph.NodeSetOf([]graph.NodeID{0, 1, 4, 99}))
+	if setCounts[0] != 2 || setCounts[1] != 1 {
+		t.Fatalf("CountsOfSet = %v", setCounts)
+	}
+}
+
+func TestSatisfiesBounds(t *testing.T) {
+	gs := twoGroups(t)
+	if !gs.SatisfiesBounds([]int{1, 2}) || !gs.SatisfiesBounds([]int{2, 3}) {
+		t.Error("feasible counts rejected")
+	}
+	for _, bad := range [][]int{{0, 2}, {3, 2}, {1, 1}, {1, 4}} {
+		if gs.SatisfiesBounds(bad) {
+			t.Errorf("infeasible counts %v accepted", bad)
+		}
+	}
+}
+
+func TestExtendableM(t *testing.T) {
+	gs := twoGroups(t) // male [1,2], female [2,3]
+	n := 4
+	// Empty selection: both groups extendable (reserve 1+2=3 <= 4 after add).
+	if !gs.ExtendableM([]int{0, 0}, 0, n) || !gs.ExtendableM([]int{0, 0}, 1, n) {
+		t.Error("empty selection should be extendable in both groups")
+	}
+	// Upper bound blocks: male already at 2.
+	if gs.ExtendableM([]int{2, 0}, 0, n) {
+		t.Error("male at upper bound should not be extendable")
+	}
+	// Reserve blocks: with male at 2 and female at 0, adding a third male is
+	// blocked above; adding female is fine (2 + max(1,2)=... total 2+2+... ).
+	if !gs.ExtendableM([]int{2, 0}, 1, n) {
+		t.Error("female should be extendable")
+	}
+	// Budget reserve: n=3, counts male=1 female=0. Adding male -> counts'
+	// male=2, reserve female=2, total 4 > 3: blocked.
+	if gs.ExtendableM([]int{1, 0}, 0, 3) {
+		t.Error("reserve for female lower bound should block a second male at n=3")
+	}
+	// But adding a female is allowed: max(1,1)+max(1,2)=3 <= 3.
+	if !gs.ExtendableM([]int{1, 0}, 1, 3) {
+		t.Error("female extendable at n=3")
+	}
+}
+
+func TestSwapFeasible(t *testing.T) {
+	gs := twoGroups(t)
+	n := 4
+	// counts male=2, female=2. Swap male out, female in: female->3 <= upper.
+	if !gs.SwapFeasible([]int{2, 2}, 0, 1, n) {
+		t.Error("male->female swap should be feasible")
+	}
+	// Swap female out, male in: male 2->3 exceeds upper 2? counts male=2,
+	// in=male gives 3 > 2: infeasible.
+	if gs.SwapFeasible([]int{2, 2}, 1, 0, n) {
+		t.Error("swap exceeding male upper bound accepted")
+	}
+	// Swapping within a group is always allowed (counts unchanged).
+	if !gs.SwapFeasible([]int{2, 2}, 0, 0, n) {
+		t.Error("in-group swap rejected")
+	}
+	// Cannot swap out of an empty group.
+	if gs.SwapFeasible([]int{0, 2}, 0, 1, n) {
+		t.Error("swap out of empty group accepted")
+	}
+	// Reserve condition: n=4, counts male=2 female=2; swapping female out and
+	// male in is already blocked by upper. Try n=3 with counts male=1,
+	// female=2: swap female->male gives male=2,female=1; reserve
+	// max(2,1)+max(1,2)=4 > 3: blocked.
+	if gs.SwapFeasible([]int{1, 2}, 1, 0, 3) {
+		t.Error("swap violating reserve accepted")
+	}
+}
+
+func TestErrInfeasibleIsSentinel(t *testing.T) {
+	gs := twoGroups(t)
+	_, err := FairSelect(gs, NewCardinality(), 2) // sum of lowers is 3 > 2
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

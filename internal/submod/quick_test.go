@@ -1,0 +1,158 @@
+package submod
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// testing/quick property tests on the group-constraint machinery.
+
+// groupInstance is a random two-group instance with valid bounds, plus a
+// random partial selection (counts) within group sizes.
+type groupInstance struct {
+	groups *Groups
+	counts []int
+	n      int
+}
+
+// Generate implements quick.Generator.
+func (groupInstance) Generate(r *rand.Rand, _ int) reflect.Value {
+	sizeA := 1 + r.Intn(8)
+	sizeB := 1 + r.Intn(8)
+	mk := func(base, size int) []graph.NodeID {
+		out := make([]graph.NodeID, size)
+		for i := range out {
+			out[i] = graph.NodeID(base + i)
+		}
+		return out
+	}
+	upA := 1 + r.Intn(sizeA)
+	upB := 1 + r.Intn(sizeB)
+	gs, err := NewGroups(
+		Group{Name: "a", Members: mk(0, sizeA), Lower: r.Intn(upA + 1), Upper: upA},
+		Group{Name: "b", Members: mk(100, sizeB), Lower: r.Intn(upB + 1), Upper: upB},
+	)
+	if err != nil {
+		panic(err)
+	}
+	counts := []int{r.Intn(upA + 1), r.Intn(upB + 1)}
+	n := counts[0] + counts[1] + r.Intn(6)
+	return reflect.ValueOf(groupInstance{groups: gs, counts: counts, n: n})
+}
+
+// ExtendableM soundness: whenever it accepts a group, actually adding a node
+// of that group keeps a feasible completion possible — i.e. the reserve
+// Σ max(counts, l) still fits in n and no upper bound is broken.
+func TestQuickExtendableMSound(t *testing.T) {
+	f := func(gi groupInstance) bool {
+		for g := 0; g < gi.groups.Len(); g++ {
+			if !gi.groups.ExtendableM(gi.counts, g, gi.n) {
+				continue
+			}
+			after := append([]int(nil), gi.counts...)
+			after[g]++
+			if after[g] > gi.groups.At(g).Upper {
+				return false
+			}
+			reserve := 0
+			for j := 0; j < gi.groups.Len(); j++ {
+				c := after[j]
+				if l := gi.groups.At(j).Lower; c < l {
+					c = l
+				}
+				reserve += c
+			}
+			if reserve > gi.n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ExtendableM monotonicity: once a group is inextendable it stays so as
+// counts grow — the property the lazy greedy's candidate discarding relies
+// on.
+func TestQuickExtendableMMonotone(t *testing.T) {
+	f := func(gi groupInstance, grow uint8) bool {
+		for g := 0; g < gi.groups.Len(); g++ {
+			if gi.groups.ExtendableM(gi.counts, g, gi.n) {
+				continue // only inextendable states matter
+			}
+			bigger := append([]int(nil), gi.counts...)
+			bigger[int(grow)%len(bigger)]++
+			if gi.groups.ExtendableM(bigger, g, gi.n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SwapFeasible consistency: a feasible swap keeps every upper bound and the
+// reserve, checked directly on the adjusted counts.
+func TestQuickSwapFeasibleSound(t *testing.T) {
+	f := func(gi groupInstance) bool {
+		for out := 0; out < gi.groups.Len(); out++ {
+			for in := 0; in < gi.groups.Len(); in++ {
+				if !gi.groups.SwapFeasible(gi.counts, out, in, gi.n) {
+					continue
+				}
+				if gi.counts[out] == 0 {
+					return false // cannot swap out of an empty group
+				}
+				adj := append([]int(nil), gi.counts...)
+				adj[out]--
+				adj[in]++
+				if adj[in] > gi.groups.At(in).Upper {
+					return false
+				}
+				reserve := 0
+				for j := range adj {
+					c := adj[j]
+					if l := gi.groups.At(j).Lower; c < l {
+						c = l
+					}
+					reserve += c
+				}
+				if reserve > gi.n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CoverageError of any count vector inside the bounds is exactly 0, and any
+// vector outside is strictly positive — cross-checked against
+// SatisfiesBounds. (Uses the metrics-level definition indirectly through
+// Counts/SatisfiesBounds to keep the package dependency direction.)
+func TestQuickSatisfiesBoundsMatchesRanges(t *testing.T) {
+	f := func(gi groupInstance) bool {
+		ok := gi.groups.SatisfiesBounds(gi.counts)
+		manual := true
+		for j, c := range gi.counts {
+			if c < gi.groups.At(j).Lower || c > gi.groups.At(j).Upper {
+				manual = false
+			}
+		}
+		return ok == manual
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package submod
+
+import (
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// Decision describes what the streaming selector did with one arriving node.
+type Decision int
+
+// Streaming outcomes.
+const (
+	// Rejected: the node was not selected (it is kept in its group bucket
+	// for post-processing).
+	Rejected Decision = iota
+	// Accepted: the node was added without evicting anyone.
+	Accepted
+	// Swapped: the node replaced an earlier selection (see Evicted).
+	Swapped
+)
+
+// StreamResult reports the outcome of processing one node.
+type StreamResult struct {
+	Decision Decision
+	// Evicted is the node removed on a swap; valid only when Decision is
+	// Swapped.
+	Evicted graph.NodeID
+}
+
+// Streamer is the streaming fair submodular selector of Section VI: nodes
+// arrive one at a time; each is accepted when the partial selection is
+// extendable (procedure ExtendableM), swapped in when its gain sufficiently
+// exceeds the weight of a removable earlier pick (the swap rule of [17],
+// gain(v) >= 2·w(v⁻)), and rejected otherwise. Rejected nodes are bucketed
+// per group so post-processing can repair unmet lower bounds.
+//
+// The overall guarantee is the ¼-approximation of streaming fair submodular
+// maximization that Theorem 6 builds on.
+type Streamer struct {
+	groups *Groups
+	util   Utility
+	n      int
+
+	selected graph.NodeSet
+	order    []graph.NodeID // insertion order, for deterministic output
+	counts   []int
+	weights  map[graph.NodeID]float64 // w(v) recorded at acceptance time
+	buckets  [][]graph.NodeID         // per-group rejected nodes
+}
+
+// NewStreamer returns a streaming selector over the given groups, utility,
+// and budget n. The utility's state is owned by the streamer from now on.
+func NewStreamer(groups *Groups, util Utility, n int) *Streamer {
+	util.Reset()
+	return &Streamer{
+		groups:   groups,
+		util:     util,
+		n:        n,
+		selected: graph.NewNodeSet(n),
+		counts:   make([]int, groups.Len()),
+		weights:  make(map[graph.NodeID]float64, n),
+		buckets:  make([][]graph.NodeID, groups.Len()),
+	}
+}
+
+// Process handles one arriving group node and returns the decision. Nodes
+// outside every group, or already selected, are rejected outright.
+func (s *Streamer) Process(v graph.NodeID) StreamResult {
+	gi, ok := s.groups.IndexOf(v)
+	if !ok || s.selected.Has(v) {
+		return StreamResult{Decision: Rejected}
+	}
+	w := s.util.Marginal(v)
+
+	if len(s.order) < s.n && s.groups.ExtendableM(s.counts, gi, s.n) {
+		s.accept(v, gi, w)
+		return StreamResult{Decision: Accepted}
+	}
+
+	// Swap rule: find the removable selected node with the smallest recorded
+	// weight whose eviction keeps the selection feasible after adding v.
+	evict := graph.NodeID(-1)
+	evictWeight := 0.0
+	for _, u := range s.order {
+		ui, _ := s.groups.IndexOf(u)
+		if !s.groups.SwapFeasible(s.counts, ui, gi, s.n) {
+			continue
+		}
+		if evict < 0 || s.weights[u] < evictWeight {
+			evict = u
+			evictWeight = s.weights[u]
+		}
+	}
+	if evict >= 0 && w >= 2*evictWeight {
+		s.remove(evict)
+		s.accept(v, gi, w)
+		return StreamResult{Decision: Swapped, Evicted: evict}
+	}
+
+	s.buckets[gi] = append(s.buckets[gi], v)
+	return StreamResult{Decision: Rejected}
+}
+
+func (s *Streamer) accept(v graph.NodeID, gi int, w float64) {
+	s.util.Add(v)
+	s.selected.Add(v)
+	s.order = append(s.order, v)
+	s.counts[gi]++
+	s.weights[v] = w
+}
+
+func (s *Streamer) remove(v graph.NodeID) {
+	gi, _ := s.groups.IndexOf(v)
+	s.util.Remove(v)
+	s.selected.Remove(v)
+	s.counts[gi]--
+	delete(s.weights, v)
+	for i, u := range s.order {
+		if u == v {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Selected returns the current selection in insertion order. The slice is a
+// copy.
+func (s *Streamer) Selected() []graph.NodeID {
+	return append([]graph.NodeID(nil), s.order...)
+}
+
+// Counts returns the current per-group selection counts (a copy).
+func (s *Streamer) Counts() []int { return append([]int(nil), s.counts...) }
+
+// DeficientGroups lists groups whose selection count is below the lower
+// bound; post-processing must repair these from the buckets.
+func (s *Streamer) DeficientGroups() []int {
+	var out []int
+	for i := 0; i < s.groups.Len(); i++ {
+		if s.counts[i] < s.groups.At(i).Lower {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Bucket returns the rejected nodes of a group, in arrival order.
+func (s *Streamer) Bucket(gi int) []graph.NodeID { return s.buckets[gi] }
+
+// PostSelect repairs unmet lower bounds from the buckets: for every deficient
+// group it repeatedly adds the bucket node with the highest current marginal
+// gain while the selection stays extendable. The paper's PostSelect does the
+// same, enriching V_p (the caller then enriches P; see core.Online). It
+// returns the nodes added.
+func (s *Streamer) PostSelect() []graph.NodeID {
+	var added []graph.NodeID
+	for _, gi := range s.DeficientGroups() {
+		need := s.groups.At(gi).Lower - s.counts[gi]
+		for need > 0 {
+			best := -1
+			bestGain := -1.0
+			for i, v := range s.buckets[gi] {
+				if s.selected.Has(v) {
+					continue
+				}
+				if g := s.util.Marginal(v); g > bestGain {
+					bestGain = g
+					best = i
+				}
+			}
+			if best < 0 || !s.groups.ExtendableM(s.counts, gi, s.n) {
+				break
+			}
+			v := s.buckets[gi][best]
+			s.buckets[gi] = append(s.buckets[gi][:best], s.buckets[gi][best+1:]...)
+			s.accept(v, gi, s.util.Marginal(v))
+			added = append(added, v)
+			need--
+		}
+	}
+	return added
+}
+
+// Value returns the utility of the current selection.
+func (s *Streamer) Value() float64 { return s.util.Value() }

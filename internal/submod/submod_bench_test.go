@@ -1,0 +1,79 @@
+package submod
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+func benchSetup(b *testing.B, n int) (*graph.Graph, *Groups) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode("user", nil)
+	}
+	for i := 0; i < n*3; i++ {
+		_ = g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), "corev")
+	}
+	var a, bm []graph.NodeID
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			a = append(a, graph.NodeID(i))
+		} else {
+			bm = append(bm, graph.NodeID(i))
+		}
+	}
+	groups, err := NewGroups(
+		Group{Name: "a", Members: a, Lower: 20, Upper: 40},
+		Group{Name: "b", Members: bm, Lower: 20, Upper: 40},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, groups
+}
+
+func BenchmarkFairSelectLazy(b *testing.B) {
+	g, groups := benchSetup(b, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FairSelect(groups, NewNeighborCoverage(g, NeighborsIn, "corev"), 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFairSelectPlain(b *testing.B) {
+	g, groups := benchSetup(b, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FairSelectPlain(groups, NewNeighborCoverage(g, NeighborsIn, "corev"), 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamerProcess(b *testing.B) {
+	g, groups := benchSetup(b, 4000)
+	s := NewStreamer(groups, NewNeighborCoverage(g, NeighborsIn, "corev"), 60)
+	all := groups.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(all[i%len(all)])
+	}
+}
+
+func BenchmarkNeighborCoverageMarginal(b *testing.B) {
+	g, groups := benchSetup(b, 4000)
+	u := NewNeighborCoverage(g, NeighborsIn, "corev")
+	all := groups.All()
+	for i := 0; i < 50; i++ {
+		u.Add(all[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Marginal(all[i%len(all)])
+	}
+}

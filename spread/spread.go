@@ -1,0 +1,39 @@
+// Package spread exposes the independent-cascade substrate of the paper's
+// pandemic case study (Example 3 / Fig. 12): simulate infection spread over
+// contact edges and evaluate group-immunization vaccine allocations under
+// per-group coverage constraints.
+package spread
+
+import (
+	fgs "github.com/cwru-db/fgs"
+	"github.com/cwru-db/fgs/internal/cascade"
+)
+
+// Model configures the independent cascade: transmission probability P,
+// number of Trials averaged, RNG Seed, and an optional EdgeLabel filter.
+type Model = cascade.Model
+
+// Result reports one immunization configuration's outcome.
+type Result = cascade.ImmunizationResult
+
+// Spread runs the cascade from seeds with the vaccinated set immune and
+// returns the mean infection count.
+func Spread(g *fgs.Graph, seeds []fgs.NodeID, vaccinated fgs.NodeSet, m Model) float64 {
+	return cascade.Spread(g, seeds, vaccinated, m)
+}
+
+// TopDegreeSeeds returns the k highest-degree nodes — the seed spreaders.
+func TopDegreeSeeds(g *fgs.Graph, k int) []fgs.NodeID {
+	return cascade.TopDegreeSeeds(g, k)
+}
+
+// AllocateVaccines vaccinates, per group, the alloc[i] highest-degree
+// members outside the excluded set (typically the seeds).
+func AllocateVaccines(g *fgs.Graph, groups *fgs.Groups, alloc []int, exclude fgs.NodeSet) fgs.NodeSet {
+	return cascade.AllocateVaccines(g, groups, alloc, exclude)
+}
+
+// SimulateImmunization allocates vaccines per group and runs the cascade.
+func SimulateImmunization(g *fgs.Graph, groups *fgs.Groups, seeds []fgs.NodeID, alloc []int, m Model) Result {
+	return cascade.SimulateImmunization(g, groups, seeds, alloc, m)
+}

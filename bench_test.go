@@ -18,7 +18,14 @@ import (
 	"github.com/cwru-db/fgs/internal/experiments"
 )
 
-var benchScale = flag.Int("fgs.scale", 1, "dataset scale for figure benchmarks")
+var (
+	benchScale = flag.Int("fgs.scale", 1, "dataset scale for figure benchmarks")
+	// The figure benchmarks default to sequential execution so their times
+	// stay comparable with the paper's single-threaded measurements; opt in
+	// to the parallel mine→score pipeline with -fgs.workers=N (metric values
+	// are identical, only wall times change).
+	benchWorkers = flag.Int("fgs.workers", 0, "mining/scoring worker goroutines for figure benchmarks (0 = sequential)")
+)
 
 var (
 	suiteOnce sync.Once
@@ -26,7 +33,10 @@ var (
 )
 
 func benchSuite() *experiments.Suite {
-	suiteOnce.Do(func() { suite = experiments.New(*benchScale, 42) })
+	suiteOnce.Do(func() {
+		suite = experiments.New(*benchScale, 42)
+		suite.Workers = *benchWorkers
+	})
 	return suite
 }
 

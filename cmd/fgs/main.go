@@ -38,7 +38,7 @@ func main() {
 		utilFlag  = flag.String("utility", "coverage", "coverage:<edgelabel>, rating:<attr>, or cardinality")
 		verify    = flag.Bool("verify", true, "run rverify on the result")
 		export    = flag.String("export", "", "write the summary as JSON to this file")
-		workers   = flag.Int("workers", 0, "parallel coverage-evaluation workers (0 = sequential)")
+		workers   = flag.Int("workers", 0, "mining/scoring worker goroutines (0 = sequential; results identical)")
 		query     = flag.String("query", "", "pattern file to answer over the summary as a view")
 	)
 	flag.Parse()
@@ -64,8 +64,7 @@ func main() {
 	}
 
 	makeUtil := func() fgs.Utility { return buildUtility(g, *utilFlag) }
-	cfg := fgs.Config{R: *r, N: *n}
-	cfg.Mining.Workers = *workers
+	cfg := fgs.Config{R: *r, N: *n, Workers: *workers}
 
 	var summary *fgs.Summary
 	switch *algo {

@@ -25,14 +25,16 @@ import (
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale  = flag.Int("scale", 1, "dataset scale (1 = test-sized)")
-		seed   = flag.Int64("seed", 42, "generator seed")
-		format = flag.String("format", "table", "output format: table or csv")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Int("scale", 1, "dataset scale (1 = test-sized)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		format  = flag.String("format", "table", "output format: table or csv")
+		workers = flag.Int("workers", 0, "mining/scoring worker goroutines (0 = sequential, the paper-comparable default; metric values are identical at any setting)")
 	)
 	flag.Parse()
 
 	suite := experiments.New(*scale, *seed)
+	suite.Workers = *workers
 	runners := map[string]func() ([]experiments.Row, error){
 		"fig8a":         suite.Fig8a,
 		"fig8b":         suite.Fig8b,

@@ -79,60 +79,6 @@ func (cs *coverState) add(cand *mining.Candidate) {
 	}
 }
 
-// greedyCover runs the summarization phase of APXFGS (Fig. 3 lines 6-12):
-// repeatedly pick the extendable candidate with the best gain
-// |covered ∩ remaining| / C_P (a zero-loss pattern dominates any lossy one;
-// ties break toward more new anchors, then earlier generation) until every
-// anchor in vp is covered or no extendable candidate remains. If maxPatterns
-// > 0, at most that many patterns are chosen.
-func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) (chosen []PatternInfo, uncovered []graph.NodeID) {
-	cs := newCoverState(n)
-	remaining := graph.NodeSetOf(vp)
-	used := make([]bool, len(cands))
-
-	for remaining.Len() > 0 {
-		if maxPatterns > 0 && len(chosen) >= maxPatterns {
-			break
-		}
-		best := -1
-		bestNew := 0
-		bestCP := 0
-		for i, cand := range cands {
-			if used[i] {
-				continue
-			}
-			newAnchors := 0
-			for _, v := range cand.Covered {
-				if remaining.Has(v) {
-					newAnchors++
-				}
-			}
-			if newAnchors == 0 || !cs.extendable(cand) {
-				continue
-			}
-			if best < 0 || betterGain(newAnchors, cand.CP, bestNew, bestCP) {
-				best = i
-				bestNew = newAnchors
-				bestCP = cand.CP
-			}
-		}
-		if best < 0 {
-			break
-		}
-		used[best] = true
-		cand := cands[best]
-		cs.add(cand)
-		for _, v := range cand.Covered {
-			remaining.Remove(v)
-		}
-		chosen = append(chosen, PatternInfo{P: cand.P, Covered: cand.Covered, CoveredEdges: cand.CoveredEdges, CP: cand.CP})
-	}
-	for v := range remaining {
-		uncovered = append(uncovered, v)
-	}
-	return chosen, uncovered
-}
-
 // betterGain compares two candidates by the Fig. 3 line 11 ratio
 // |P ∩ V_p| / C_P, with C_P = 0 treated as infinite gain.
 func betterGain(newA, cpA, newB, cpB int) bool {

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"container/heap"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/mining"
+)
+
+// greedyCover runs the summarization phase of APXFGS (Fig. 3 lines 6-12):
+// repeatedly pick the extendable candidate with the best gain
+// |covered ∩ remaining| / C_P (a zero-loss pattern dominates any lossy one;
+// ties break toward more new anchors, then earlier generation) until every
+// anchor in vp is covered or no extendable candidate remains. If maxPatterns
+// > 0, at most that many patterns are chosen.
+//
+// This is the incremental implementation: instead of rescanning every
+// candidate's overlap with the remaining set each round
+// (O(rounds × candidates × |Covered|), see greedyCoverScan), it maintains
+// per-candidate counts — remainingCount = |Covered ∩ remaining| and
+// newCount = |Covered \ chosen-cover| — updated through an inverted
+// node→candidates index only for candidates intersecting the just-chosen
+// pattern, plus a lazy max-heap on the cross-multiplied gain. Both counts are
+// monotone non-increasing as the cover grows, which makes the lazy heap exact
+// and lets two of the scan's per-round skips become permanent drops:
+// remainingCount = 0 can never recover, and the feasibility bound
+// |cover ∪ Covered| = cover + newCount only grows. Output (chosen order and
+// uncovered set) is identical to greedyCoverScan on every input.
+func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) (chosen []PatternInfo, uncovered []graph.NodeID) {
+	remaining := graph.NodeSetOf(vp)
+	covered := graph.NewNodeSet(0)
+
+	// Inverted index over every node any candidate covers, plus the two
+	// per-candidate counts.
+	byNode := make(map[graph.NodeID][]int32)
+	remainingCount := make([]int, len(cands))
+	newCount := make([]int, len(cands))
+	for i, cand := range cands {
+		newCount[i] = len(cand.Covered)
+		for _, v := range cand.Covered {
+			byNode[v] = append(byNode[v], int32(i))
+			if remaining.Has(v) {
+				remainingCount[i]++
+			}
+		}
+	}
+
+	// The heap orders candidates by betterGain on their count *at push time*;
+	// stale entries (count since decreased) rank no lower than their true
+	// position, so the classic lazy-greedy pop/refresh/re-sift loop finds the
+	// exact argmax. The comparator's final index-ascending tie-break mirrors
+	// the scan's first-strictly-better selection.
+	h := &coverHeap{cands: cands}
+	for i := range cands {
+		if remainingCount[i] > 0 {
+			h.entries = append(h.entries, coverEntry{idx: int32(i), gain: int32(remainingCount[i])})
+		}
+	}
+	heap.Init(h)
+
+	dropped := make([]bool, len(cands))
+	for remaining.Len() > 0 {
+		if maxPatterns > 0 && len(chosen) >= maxPatterns {
+			break
+		}
+		best := -1
+		for h.Len() > 0 {
+			top := h.entries[0]
+			i := int(top.idx)
+			cur := remainingCount[i]
+			if dropped[i] || cur == 0 {
+				// Covers nothing still remaining; counts never increase, so
+				// the candidate is permanently out (the scan's newAnchors == 0
+				// skip, made permanent).
+				dropped[i] = true
+				heap.Pop(h)
+				continue
+			}
+			if int(top.gain) != cur {
+				// Stale: refresh the key in place and re-sift.
+				h.entries[0].gain = int32(cur)
+				heap.Fix(h, 0)
+				continue
+			}
+			if covered.Len()+newCount[i] > n {
+				// |cover ∪ Covered| only grows as the cover does, so a
+				// candidate that breaks the n cap now always will (the scan's
+				// extendable check, made permanent).
+				dropped[i] = true
+				heap.Pop(h)
+				continue
+			}
+			best = i
+			heap.Pop(h)
+			break
+		}
+		if best < 0 {
+			break
+		}
+		dropped[best] = true
+		cand := cands[best]
+		// Commit the choice, updating counts only for candidates sharing a
+		// newly covered or newly removed node.
+		for _, v := range cand.Covered {
+			if !covered.Has(v) {
+				covered.Add(v)
+				for _, j := range byNode[v] {
+					newCount[j]--
+				}
+			}
+			if remaining.Has(v) {
+				remaining.Remove(v)
+				for _, j := range byNode[v] {
+					remainingCount[j]--
+				}
+			}
+		}
+		chosen = append(chosen, PatternInfo{P: cand.P, Covered: cand.Covered, CoveredEdges: cand.CoveredEdges, CP: cand.CP})
+	}
+	for v := range remaining {
+		uncovered = append(uncovered, v)
+	}
+	return chosen, uncovered
+}
+
+// coverEntry is one heap entry: a candidate index and its remaining-cover
+// count at push/refresh time.
+type coverEntry struct {
+	idx  int32
+	gain int32
+}
+
+// coverHeap is a max-heap over candidates ordered by betterGain(gain, CP),
+// ties broken toward earlier generation (lower index).
+type coverHeap struct {
+	cands   []*mining.Candidate
+	entries []coverEntry
+}
+
+func (h *coverHeap) Len() int { return len(h.entries) }
+
+func (h *coverHeap) Less(a, b int) bool {
+	ea, eb := h.entries[a], h.entries[b]
+	ga, gb := int(ea.gain), int(eb.gain)
+	cpa, cpb := h.cands[ea.idx].CP, h.cands[eb.idx].CP
+	if betterGain(ga, cpa, gb, cpb) {
+		return true
+	}
+	if betterGain(gb, cpb, ga, cpa) {
+		return false
+	}
+	return ea.idx < eb.idx
+}
+
+func (h *coverHeap) Swap(a, b int) { h.entries[a], h.entries[b] = h.entries[b], h.entries[a] }
+
+func (h *coverHeap) Push(x any) { h.entries = append(h.entries, x.(coverEntry)) }
+
+func (h *coverHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	x := old[n-1]
+	h.entries = old[:n-1]
+	return x
+}
+
+// greedyCoverScan is the straightforward O(rounds × candidates × |Covered|)
+// implementation greedyCover replaced. It is retained as the behavioral
+// reference: the equivalence property test and the benchmarks compare the
+// incremental implementation against it.
+func greedyCoverScan(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) (chosen []PatternInfo, uncovered []graph.NodeID) {
+	cs := newCoverState(n)
+	remaining := graph.NodeSetOf(vp)
+	used := make([]bool, len(cands))
+
+	for remaining.Len() > 0 {
+		if maxPatterns > 0 && len(chosen) >= maxPatterns {
+			break
+		}
+		best := -1
+		bestNew := 0
+		bestCP := 0
+		for i, cand := range cands {
+			if used[i] {
+				continue
+			}
+			newAnchors := 0
+			for _, v := range cand.Covered {
+				if remaining.Has(v) {
+					newAnchors++
+				}
+			}
+			if newAnchors == 0 || !cs.extendable(cand) {
+				continue
+			}
+			if best < 0 || betterGain(newAnchors, cand.CP, bestNew, bestCP) {
+				best = i
+				bestNew = newAnchors
+				bestCP = cand.CP
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		cand := cands[best]
+		cs.add(cand)
+		for _, v := range cand.Covered {
+			remaining.Remove(v)
+		}
+		chosen = append(chosen, PatternInfo{P: cand.P, Covered: cand.Covered, CoveredEdges: cand.CoveredEdges, CP: cand.CP})
+	}
+	for v := range remaining {
+		uncovered = append(uncovered, v)
+	}
+	return chosen, uncovered
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/mining"
+)
+
+// benchCoverInstance builds a cover instance shaped like real SumGen output:
+// many candidates with Zipf-ish overlapping coverage over a universe sized so
+// the greedy runs for a few hundred rounds.
+func benchCoverInstance(nCands, universe int) (cands []*mining.Candidate, vp []graph.NodeID) {
+	rng := rand.New(rand.NewSource(3))
+	cands = make([]*mining.Candidate, 0, nCands)
+	for i := 0; i < nCands; i++ {
+		size := 1 + rng.Intn(12)
+		set := graph.NewNodeSet(size)
+		for len(set) < size {
+			// Bias toward low IDs so candidates overlap heavily, as broad
+			// patterns over real anchors do.
+			v := rng.Intn(universe)
+			if rng.Intn(3) > 0 {
+				v = rng.Intn(1 + universe/4)
+			}
+			set.Add(graph.NodeID(v))
+		}
+		covered := make([]graph.NodeID, 0, size)
+		for v := range set {
+			covered = append(covered, v)
+		}
+		sortNodes(covered)
+		cands = append(cands, &mining.Candidate{
+			Covered:      covered,
+			CoveredEdges: graph.NewEdgeSet(0),
+			CP:           rng.Intn(30),
+		})
+	}
+	vp = make([]graph.NodeID, universe)
+	for i := range vp {
+		vp[i] = graph.NodeID(i)
+	}
+	return cands, vp
+}
+
+// BenchmarkGreedyCover compares the incremental lazy-heap implementation
+// against the per-round rescan it replaced, across candidate-set sizes.
+func BenchmarkGreedyCover(b *testing.B) {
+	impls := []struct {
+		name string
+		fn   func([]*mining.Candidate, []graph.NodeID, int, int) ([]PatternInfo, []graph.NodeID)
+	}{
+		{"incremental", greedyCover},
+		{"scan", greedyCoverScan},
+	}
+	for _, size := range []struct{ cands, universe int }{
+		{200, 300}, {1000, 800}, {4000, 2000},
+	} {
+		cands, vp := benchCoverInstance(size.cands, size.universe)
+		for _, impl := range impls {
+			b.Run(fmt.Sprintf("impl=%s/cands=%d", impl.name, size.cands), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					impl.fn(cands, vp, size.universe, 0)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/gen"
+	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/pattern"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// requireSameSummary asserts two summaries are byte-identical in every field
+// the algorithms define (timings excluded).
+func requireSameSummary(t *testing.T, want, got *Summary) {
+	t.Helper()
+	if want.String() != got.String() {
+		t.Fatalf("summaries differ:\nsequential:\n%s\nparallel:\n%s", want, got)
+	}
+	if len(want.Patterns) != len(got.Patterns) {
+		t.Fatalf("|P| differs: %d vs %d", len(want.Patterns), len(got.Patterns))
+	}
+	for i := range want.Patterns {
+		w, g := want.Patterns[i], got.Patterns[i]
+		if pattern.CanonicalCode(w.P) != pattern.CanonicalCode(g.P) {
+			t.Fatalf("pattern %d differs: %s vs %s", i, w.P, g.P)
+		}
+		if w.CP != g.CP {
+			t.Fatalf("pattern %d CP differs: %d vs %d", i, w.CP, g.CP)
+		}
+		if len(w.Covered) != len(g.Covered) {
+			t.Fatalf("pattern %d |Covered| differs: %d vs %d", i, len(w.Covered), len(g.Covered))
+		}
+		for j := range w.Covered {
+			if w.Covered[j] != g.Covered[j] {
+				t.Fatalf("pattern %d Covered[%d] differs", i, j)
+			}
+		}
+		if w.CoveredEdges.Len() != g.CoveredEdges.Len() {
+			t.Fatalf("pattern %d |P_E| differs: %d vs %d", i, w.CoveredEdges.Len(), g.CoveredEdges.Len())
+		}
+		for e := range w.CoveredEdges {
+			if !g.CoveredEdges.Has(e) {
+				t.Fatalf("pattern %d P_E missing edge %v", i, e)
+			}
+		}
+	}
+	if len(want.Covered) != len(got.Covered) {
+		t.Fatalf("|P_V| differs: %d vs %d", len(want.Covered), len(got.Covered))
+	}
+	for i := range want.Covered {
+		if want.Covered[i] != got.Covered[i] {
+			t.Fatalf("P_V differs at %d", i)
+		}
+	}
+	if want.CL != got.CL {
+		t.Fatalf("C_l differs: %d vs %d", want.CL, got.CL)
+	}
+	if want.Utility != got.Utility {
+		t.Fatalf("utility differs: %v vs %v", want.Utility, got.Utility)
+	}
+	if want.Corrections.Len() != got.Corrections.Len() {
+		t.Fatalf("|C| differs: %d vs %d", want.Corrections.Len(), got.Corrections.Len())
+	}
+	for e := range want.Corrections {
+		if !got.Corrections.Has(e) {
+			t.Fatalf("corrections missing edge %v", e)
+		}
+	}
+	if len(want.Uncovered) != len(got.Uncovered) {
+		t.Fatalf("|uncovered| differs: %d vs %d", len(want.Uncovered), len(got.Uncovered))
+	}
+	for i := range want.Uncovered {
+		if want.Uncovered[i] != got.Uncovered[i] {
+			t.Fatalf("uncovered differs at %d", i)
+		}
+	}
+}
+
+// TestAPXFGSParallelDeterminism runs the full select→mine→summarize pipeline
+// on the scale-1 LKI dataset with Workers=8 and requires output identical to
+// the sequential run. This is the end-to-end acceptance check behind the
+// parallel engine: parallelism may change wall time only, never the summary.
+func TestAPXFGSParallelDeterminism(t *testing.T) {
+	g := gen.LKI(11, 1)
+	groups, err := gen.GroupsByAttr(g, "user", "gender", []string{"male", "female"}, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		R: 2, N: 40,
+		Mining: mining.Config{MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 80},
+	}
+	seq, err := APXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = w
+		par, err := APXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameSummary(t, seq, par)
+	}
+}
+
+// TestKAPXFGSParallelDeterminism covers the k-bounded variant the same way:
+// its swap phase consumes the candidate list in generation order, so it too
+// must be invariant under the worker count.
+func TestKAPXFGSParallelDeterminism(t *testing.T) {
+	g := gen.LKI(11, 1)
+	groups, err := gen.GroupsByAttr(g, "user", "gender", []string{"male", "female"}, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		R: 2, K: 6, N: 40,
+		Mining: mining.Config{MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 80},
+	}
+	seq, err := KAPXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Workers = 8
+	par, err := KAPXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSummary(t, seq, par)
+}

@@ -43,6 +43,11 @@ type Config struct {
 	// PerNodePatterns caps candidates mined per arriving node in the online
 	// and incremental algorithms. Default 25.
 	PerNodePatterns int
+	// Workers is the single parallelism knob for the whole pipeline: it flows
+	// into Mining.Workers (candidate scoring pool, matcher fan-out, E_v^r
+	// cache warming) unless that is set explicitly. 0/1 = sequential; results
+	// are identical at any setting.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +60,9 @@ func (c Config) withDefaults() Config {
 	c.Mining.Radius = c.R
 	if c.PerNodePatterns <= 0 {
 		c.PerNodePatterns = 25
+	}
+	if c.Mining.Workers == 0 {
+		c.Mining.Workers = c.Workers
 	}
 	return c
 }
@@ -200,8 +208,8 @@ func buildSummary(cfg Config, chosen []PatternInfo, er *mining.ErCache, util sub
 		CL:          cl,
 		// Evaluate on a clone: the caller's utility may hold live streaming
 		// state that Eval's Reset would corrupt.
-		Utility: submod.Eval(util.Clone(), covered),
-		Uncovered:   sortNodes(uncovered),
-		Stats:       stats,
+		Utility:   submod.Eval(util.Clone(), covered),
+		Uncovered: sortNodes(uncovered),
+		Stats:     stats,
 	}
 }

@@ -29,7 +29,7 @@ func (s *Suite) AblationGainRule() ([]Row, error) {
 		return nil, err
 	}
 	er := mining.NewErCache(lki, 2)
-	mcfg := miningCfg()
+	mcfg := miningCfg(s.Workers)
 	mcfg.Radius = 2
 	cands := mining.SumGen(lki, vp, vp, mcfg, er)
 
@@ -101,7 +101,7 @@ func (s *Suite) AblationSeedPatterns() ([]Row, error) {
 		return nil, err
 	}
 	er := mining.NewErCache(lki, 2)
-	mcfg := miningCfg()
+	mcfg := miningCfg(s.Workers)
 	mcfg.Radius = 2
 	cands := mining.SumGen(lki, vp, vp, mcfg, er)
 

@@ -43,7 +43,7 @@ func (s *Suite) CaseTalent() ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{R: 2, N: 100, Mining: miningCfg()}
+	cfg := core.Config{R: 2, N: 100, Mining: miningCfg(s.Workers)}
 	sum, err := core.APXFGS(lki, groups, submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev"), cfg)
 	if err != nil {
 		return nil, err
@@ -132,7 +132,7 @@ func (s *Suite) PandemicPatterns() (*core.Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{R: 1, N: 10, Mining: miningCfg()}
+	cfg := core.Config{R: 1, N: 10, Mining: miningCfg(s.Workers)}
 	util := submod.NewNeighborCoverage(g, submod.NeighborsBoth, "contact")
 	return core.APXFGS(g, groups, util, cfg)
 }

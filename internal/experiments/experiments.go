@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -38,6 +39,12 @@ type Row struct {
 type Suite struct {
 	Scale int
 	Seed  int64
+	// Workers opts the pattern-based algorithms into the parallel
+	// mine→score pipeline (core.Config.Workers). The default 0 keeps every
+	// figure single-threaded, preserving comparability with the paper's
+	// measurements; any setting produces identical metric values, only the
+	// reported wall times change.
+	Workers int
 
 	graphs map[string]*graph.Graph
 }
@@ -74,10 +81,11 @@ func (s *Suite) Dataset(name string) *graph.Graph {
 // setting bundles one dataset's group/utility construction for the shared
 // Exp-1/Exp-2 configuration (card(V)=2, bounds [40,60]).
 type setting struct {
-	name   string
-	g      *graph.Graph
-	groups *submod.Groups
-	util   func() submod.Utility
+	name    string
+	g       *graph.Graph
+	groups  *submod.Groups
+	util    func() submod.Utility
+	workers int
 }
 
 // standardSettings builds the three per-dataset configurations of
@@ -99,17 +107,18 @@ func (s *Suite) standardSettings(lower, upper int) []setting {
 		panic(err)
 	}
 	return []setting{
-		{name: "DBP", g: dbp, groups: dbpGroups, util: func() submod.Utility { return submod.NewRatingSum(dbp, "rating") }},
-		{name: "LKI", g: lki, groups: lkiGroups, util: func() submod.Utility { return submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev") }},
-		{name: "Cite", g: cite, groups: citeGroups, util: func() submod.Utility { return submod.NewNeighborCoverage(cite, submod.NeighborsIn, "cite") }},
+		{name: "DBP", g: dbp, groups: dbpGroups, util: func() submod.Utility { return submod.NewRatingSum(dbp, "rating") }, workers: s.Workers},
+		{name: "LKI", g: lki, groups: lkiGroups, util: func() submod.Utility { return submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev") }, workers: s.Workers},
+		{name: "Cite", g: cite, groups: citeGroups, util: func() submod.Utility { return submod.NewNeighborCoverage(cite, submod.NeighborsIn, "cite") }, workers: s.Workers},
 	}
 }
 
 // miningCfg is the shared pattern-search budget. Small pattern sizes keep
 // subgraph-isomorphism costs polynomial in practice, as the paper's T_I
-// argument assumes.
-func miningCfg() mining.Config {
-	return mining.Config{MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 150}
+// argument assumes. workers > 1 opts into the parallel scoring pipeline
+// (identical output, lower wall time).
+func miningCfg(workers int) mining.Config {
+	return mining.Config{MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 150, Workers: workers}
 }
 
 // algoOutcome normalizes one algorithm's run for scoring.
@@ -123,7 +132,7 @@ type algoOutcome struct {
 
 // runAPXFGS executes APXFGS and normalizes its output.
 func runAPXFGS(st setting, r, n int) (algoOutcome, error) {
-	cfg := core.Config{R: r, N: n, Mining: miningCfg()}
+	cfg := core.Config{R: r, N: n, Mining: miningCfg(st.workers)}
 	start := time.Now()
 	sum, err := core.APXFGS(st.g, st.groups, st.util(), cfg)
 	if err != nil {
@@ -138,7 +147,7 @@ func runAPXFGS(st setting, r, n int) (algoOutcome, error) {
 
 // runKAPXFGS executes the k-bounded variant.
 func runKAPXFGS(st setting, r, k, n int) (algoOutcome, error) {
-	cfg := core.Config{R: r, K: k, N: n, Mining: miningCfg()}
+	cfg := core.Config{R: r, K: k, N: n, Mining: miningCfg(st.workers)}
 	start := time.Now()
 	sum, err := core.KAPXFGS(st.g, st.groups, st.util(), cfg)
 	if err != nil {
@@ -153,7 +162,7 @@ func runKAPXFGS(st setting, r, k, n int) (algoOutcome, error) {
 
 // runOnline executes Online-APXFGS over the group nodes as a stream.
 func runOnline(st setting, r, k, n int) (algoOutcome, error) {
-	cfg := core.Config{R: r, K: k, N: n, Mining: miningCfg()}
+	cfg := core.Config{R: r, K: k, N: n, Mining: miningCfg(st.workers)}
 	start := time.Now()
 	o := core.NewOnline(st.g, st.groups, st.util(), cfg)
 	o.ProcessAll(st.groups.All())
@@ -174,6 +183,33 @@ func fromBaseline(res baseline.Result) algoOutcome {
 }
 
 // runAll runs the full algorithm lineup of Exp-1 on one setting.
+// algoOrder is the canonical emission order for runAll's outcomes: map
+// iteration is randomized per process, and figure rows must come out in the
+// same order every run (the CSV writer, unlike FormatRows, does not sort).
+var algoOrder = []string{"APXFGS", "Online-APXFGS", "Grami", "d-sum", "MMPG", "Mosso"}
+
+// orderedAlgos returns the outcome keys present in outcomes, in canonical
+// order (any key outside algoOrder follows, sorted).
+func orderedAlgos(outcomes map[string]algoOutcome) []string {
+	algos := make([]string, 0, len(outcomes))
+	for _, a := range algoOrder {
+		if _, ok := outcomes[a]; ok {
+			algos = append(algos, a)
+		}
+	}
+	if len(algos) < len(outcomes) {
+		rest := make([]string, 0, len(outcomes)-len(algos))
+		for a := range outcomes {
+			if !slices.Contains(algoOrder, a) {
+				rest = append(rest, a)
+			}
+		}
+		sort.Strings(rest)
+		algos = append(algos, rest...)
+	}
+	return algos
+}
+
 func (s *Suite) runAll(st setting, r, k, n int) (map[string]algoOutcome, error) {
 	out := make(map[string]algoOutcome, 6)
 	apx, err := runKAPXFGS(st, r, k, n)
@@ -186,9 +222,9 @@ func (s *Suite) runAll(st setting, r, k, n int) (map[string]algoOutcome, error) 
 		return nil, fmt.Errorf("%s: Online: %w", st.name, err)
 	}
 	out["Online-APXFGS"] = onl
-	out["Grami"] = fromBaseline(baseline.Grami(st.g, st.groups, baseline.GramiConfig{R: r, K: k, N: n, Mining: miningCfg()}))
-	out["d-sum"] = fromBaseline(baseline.DSum(st.g, st.groups, baseline.DSumConfig{D: r, K: k, N: n, Mining: miningCfg()}))
-	out["MMPG"] = fromBaseline(baseline.MMPG(st.g, st.groups, baseline.MMPGConfig{R: r, K: k, N: n, Mining: miningCfg()}))
+	out["Grami"] = fromBaseline(baseline.Grami(st.g, st.groups, baseline.GramiConfig{R: r, K: k, N: n, Mining: miningCfg(st.workers)}))
+	out["d-sum"] = fromBaseline(baseline.DSum(st.g, st.groups, baseline.DSumConfig{D: r, K: k, N: n, Mining: miningCfg(st.workers)}))
+	out["MMPG"] = fromBaseline(baseline.MMPG(st.g, st.groups, baseline.MMPGConfig{R: r, K: k, N: n, Mining: miningCfg(st.workers)}))
 	out["Mosso"] = fromBaseline(baseline.SummarizeStatic(st.g, st.groups, n, s.Seed))
 	return out, nil
 }

@@ -47,7 +47,7 @@ func (s *Suite) exp3(checkpoints int) (ratioRows, timeRows []Row, err error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("exp3: %w", err)
 	}
-	cfg := core.Config{R: r, N: n, Mining: miningCfg()}
+	cfg := core.Config{R: r, N: n, Mining: miningCfg(s.Workers)}
 	incUtil := submod.NewNeighborCoverage(gSeen, submod.NeighborsIn, "corev")
 	maintainer, _ := core.NewMaintainer(gSeen, groups, incUtil, cfg)
 	mosso := baseline.NewMosso(s.Seed)

@@ -35,7 +35,8 @@ func (s *Suite) exp1(exp, metric string) ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", exp, err)
 		}
-		for algo, o := range outcomes {
+		for _, algo := range orderedAlgos(outcomes) {
+			o := outcomes[algo]
 			covErr, compRatio := score(st.g, st.groups, r, o)
 			v := covErr
 			if metric == "compression_ratio" {
@@ -57,7 +58,8 @@ func (s *Suite) Fig8c() ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig8c k=%d: %w", k, err)
 		}
-		for algo, o := range outcomes {
+		for _, algo := range orderedAlgos(outcomes) {
+			o := outcomes[algo]
 			_, compRatio := score(st.g, st.groups, r, o)
 			rows = append(rows, Row{Exp: "fig8c", Dataset: st.name, Algo: algo, XLabel: "k", X: float64(k), Metric: "compression_ratio", Value: compRatio})
 		}
@@ -96,7 +98,8 @@ func (s *Suite) Fig8d() ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig8d card=%d: %w", card, err)
 		}
-		for algo, o := range outcomes {
+		for _, algo := range orderedAlgos(outcomes) {
+			o := outcomes[algo]
 			covErr, _ := score(st.g, st.groups, r, o)
 			rows = append(rows, Row{Exp: "fig8d", Dataset: "LKI", Algo: algo, XLabel: "card", X: float64(card), Metric: "coverage_error", Value: covErr})
 		}
@@ -122,7 +125,8 @@ func (s *Suite) Fig8e() ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig8e n=%d: %w", n, err)
 		}
-		for algo, o := range outcomes {
+		for _, algo := range orderedAlgos(outcomes) {
+			o := outcomes[algo]
 			_, compRatio := score(st.g, st.groups, r, o)
 			rows = append(rows, Row{Exp: "fig8e", Dataset: "LKI", Algo: algo, XLabel: "n", X: float64(n), Metric: "compression_ratio", Value: compRatio})
 		}
@@ -148,7 +152,8 @@ func (s *Suite) Fig8f() ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig8f l=%d: %w", l, err)
 		}
-		for algo, o := range outcomes {
+		for _, algo := range orderedAlgos(outcomes) {
+			o := outcomes[algo]
 			_, compRatio := score(st.g, st.groups, r, o)
 			rows = append(rows, Row{Exp: "fig8f", Dataset: "LKI", Algo: algo, XLabel: "l", X: float64(l), Metric: "compression_ratio", Value: compRatio})
 		}

@@ -52,8 +52,8 @@ func (s *Suite) patternLineup(st setting, r, k, n int) (map[string]algoOutcome, 
 		return nil, err
 	}
 	out["Online-APXFGS"] = onl
-	out["Grami"] = fromBaseline(baseline.Grami(st.g, st.groups, baseline.GramiConfig{R: r, K: k, N: n, Mining: miningCfg()}))
-	out["d-sum"] = fromBaseline(baseline.DSum(st.g, st.groups, baseline.DSumConfig{D: r, K: k, N: n, Mining: miningCfg()}))
+	out["Grami"] = fromBaseline(baseline.Grami(st.g, st.groups, baseline.GramiConfig{R: r, K: k, N: n, Mining: miningCfg(st.workers)}))
+	out["d-sum"] = fromBaseline(baseline.DSum(st.g, st.groups, baseline.DSumConfig{D: r, K: k, N: n, Mining: miningCfg(st.workers)}))
 	return out, nil
 }
 
@@ -83,7 +83,7 @@ func (s *Suite) Fig9c() ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig9c n=%d: %w", n, err)
 		}
-		st := setting{name: "LKI", g: lki, groups: groups, util: util}
+		st := setting{name: "LKI", g: lki, groups: groups, util: util, workers: s.Workers}
 		outcomes, err := s.patternLineup(st, r, k, n)
 		if err != nil {
 			return nil, fmt.Errorf("fig9c n=%d: %w", n, err)
@@ -105,7 +105,7 @@ func (s *Suite) Fig9d() ([]Row, error) {
 	}
 	var rows []Row
 	for r := 1; r <= 5; r++ {
-		st := setting{name: "LKI", g: lki, groups: groups, util: util}
+		st := setting{name: "LKI", g: lki, groups: groups, util: util, workers: s.Workers}
 		outcomes, err := s.patternLineup(st, r, k, n)
 		if err != nil {
 			return nil, fmt.Errorf("fig9d r=%d: %w", r, err)

@@ -1,0 +1,137 @@
+package mining
+
+import (
+	"sync"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// erShards is the stripe count of ErCache. A modest power of two keeps the
+// per-shard maps small while making lock collisions between scoring workers
+// unlikely (workers touch disjoint covered-node sets most of the time).
+const erShards = 32
+
+// ErCache memoizes per-node r-hop edge sets E_v^r, which SumGen and the FGS
+// algorithms query repeatedly for the same nodes.
+//
+// The cache is safe for concurrent use: entries live in erShards stripes,
+// each behind its own mutex, so the parallel scoring pipeline can share one
+// cache across workers. Cached EdgeSets are returned by reference and must be
+// treated as immutable by callers (every caller in this repository only
+// reads them or copies them into fresh sets).
+type ErCache struct {
+	g      *graph.Graph
+	r      int
+	shards [erShards]erShard
+}
+
+type erShard struct {
+	mu sync.Mutex
+	m  map[graph.NodeID]graph.EdgeSet
+}
+
+// NewErCache returns a cache for radius r over g.
+func NewErCache(g *graph.Graph, r int) *ErCache {
+	c := &ErCache{g: g, r: r}
+	for i := range c.shards {
+		c.shards[i].m = make(map[graph.NodeID]graph.EdgeSet)
+	}
+	return c
+}
+
+// Radius returns the cache's r.
+func (c *ErCache) Radius() int { return c.r }
+
+func (c *ErCache) shardOf(v graph.NodeID) *erShard {
+	return &c.shards[uint64(v)%erShards]
+}
+
+// Get returns E_v^r, computing and memoizing it on first use. The BFS runs
+// under the shard lock: the graph is read-only during mining, and holding the
+// lock means concurrent requests for the same hot node compute it once
+// instead of racing on duplicate work.
+func (c *ErCache) Get(v graph.NodeID) graph.EdgeSet {
+	s := c.shardOf(v)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if es, ok := s.m[v]; ok {
+		return es
+	}
+	es := c.g.RHopEdges(v, c.r)
+	s.m[v] = es
+	return es
+}
+
+// UnionOf returns the union E_X^r over a node set. The result is a fresh set
+// pre-sized to the sum of the member sizes (an upper bound on the union), so
+// building it never rehashes.
+func (c *ErCache) UnionOf(nodes []graph.NodeID) graph.EdgeSet {
+	sets := make([]graph.EdgeSet, len(nodes))
+	total := 0
+	for i, v := range nodes {
+		sets[i] = c.Get(v)
+		total += sets[i].Len()
+	}
+	u := graph.NewEdgeSet(total)
+	for _, es := range sets {
+		u.AddAll(es)
+	}
+	return u
+}
+
+// Invalidate drops cached entries for the given nodes (used by Inc-FGS when
+// edge insertions change neighborhoods).
+func (c *ErCache) Invalidate(nodes []graph.NodeID) {
+	for _, v := range nodes {
+		s := c.shardOf(v)
+		s.mu.Lock()
+		delete(s.m, v)
+		s.mu.Unlock()
+	}
+}
+
+// Warm precomputes E_v^r for the given nodes across workers goroutines,
+// so subsequent Get calls from scoring workers hit the cache instead of
+// serializing BFS work behind shard locks. workers <= 1 warms sequentially.
+// Duplicate nodes are computed once; Warm returns after every node is cached.
+func (c *ErCache) Warm(nodes []graph.NodeID, workers int) {
+	if len(nodes) == 0 {
+		return
+	}
+	if workers <= 1 || len(nodes) == 1 {
+		for _, v := range nodes {
+			c.Get(v)
+		}
+		return
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() (graph.NodeID, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= len(nodes) {
+			return 0, false
+		}
+		v := nodes[next]
+		next++
+		return v, true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := take()
+				if !ok {
+					return
+				}
+				c.Get(v)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -31,6 +31,7 @@ func Frequent(g *graph.Graph, universe []graph.NodeID, cfg Config, topK, minSup 
 	}
 	cfg.MinCover = minSup
 	m := pattern.NewMatcher(g, cfg.EmbedCap)
+	m.SetWorkers(cfg.Workers)
 	eng := &engine{
 		g:          g,
 		m:          m,
@@ -44,7 +45,11 @@ func Frequent(g *graph.Graph, universe []graph.NodeID, cfg Config, topK, minSup 
 		noFallback: true,
 	}
 	eng.buildTemplates()
-	eng.run()
+	if cfg.Workers > 1 {
+		eng.runParallel()
+	} else {
+		eng.run()
+	}
 
 	out := make([]*FreqPattern, 0, len(eng.out))
 	for _, c := range eng.out {

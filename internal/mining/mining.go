@@ -46,9 +46,13 @@ type Config struct {
 	// sets it: the paper's UpdateP works at node level (cost O(|E_v^r| +
 	// N_v·T_I)), and the final summary re-scores patterns globally anyway.
 	ScoreAnchorsOnly bool
-	// Workers parallelizes coverage evaluation over large universes
-	// (pattern.Matcher.SetWorkers); 0/1 = sequential. Results are identical
-	// either way.
+	// Workers parallelizes the mine→score pipeline: candidate scoring
+	// (coverage evaluation, covered-edge collection, C_P) runs on a pool of
+	// this many goroutines with results committed in generation order, the
+	// matcher splits large coverage evaluations across the same count
+	// (pattern.Matcher.SetWorkers), and the E_v^r cache is pre-warmed in
+	// parallel. 0/1 = fully sequential. Output is byte-identical either way;
+	// see runParallel for the determinism argument.
 	Workers int
 }
 
@@ -104,49 +108,6 @@ func (c *Candidate) CoversAnyOf(set graph.NodeSet) bool {
 	return false
 }
 
-// ErCache memoizes per-node r-hop edge sets E_v^r, which SumGen and the FGS
-// algorithms query repeatedly for the same nodes.
-type ErCache struct {
-	g *graph.Graph
-	r int
-	m map[graph.NodeID]graph.EdgeSet
-}
-
-// NewErCache returns a cache for radius r over g.
-func NewErCache(g *graph.Graph, r int) *ErCache {
-	return &ErCache{g: g, r: r, m: make(map[graph.NodeID]graph.EdgeSet)}
-}
-
-// Radius returns the cache's r.
-func (c *ErCache) Radius() int { return c.r }
-
-// Get returns E_v^r, computing and memoizing it on first use.
-func (c *ErCache) Get(v graph.NodeID) graph.EdgeSet {
-	if es, ok := c.m[v]; ok {
-		return es
-	}
-	es := c.g.RHopEdges(v, c.r)
-	c.m[v] = es
-	return es
-}
-
-// UnionOf returns the union E_X^r over a node set.
-func (c *ErCache) UnionOf(nodes []graph.NodeID) graph.EdgeSet {
-	u := graph.NewEdgeSet(0)
-	for _, v := range nodes {
-		u.AddAll(c.Get(v))
-	}
-	return u
-}
-
-// Invalidate drops cached entries for the given nodes (used by Inc-FGS when
-// edge insertions change neighborhoods).
-func (c *ErCache) Invalidate(nodes []graph.NodeID) {
-	for _, v := range nodes {
-		delete(c.m, v)
-	}
-}
-
 // SumGen mines candidate patterns from the r-hop neighborhoods of anchors
 // (the selected nodes V_p) and evaluates their coverage over universe — the
 // node set the summary describes. In the select-and-summarize pipeline the
@@ -177,7 +138,18 @@ func SumGen(g *graph.Graph, anchors []graph.NodeID, universe []graph.NodeID, cfg
 		seen:     make(map[string]bool),
 	}
 	eng.buildTemplates()
-	eng.run()
+	if cfg.Workers > 1 {
+		// Pre-warm E_v^r for every node score() can touch, so workers read
+		// the cache instead of serializing BFS work behind shard locks.
+		if cfg.ScoreAnchorsOnly {
+			er.Warm(anchors, cfg.Workers)
+		} else {
+			er.Warm(universe, cfg.Workers)
+		}
+		eng.runParallel()
+	} else {
+		eng.run()
+	}
 	return eng.out
 }
 
@@ -255,23 +227,28 @@ func (e *engine) buildTemplates() {
 	}
 }
 
-func (e *engine) run() {
-	// Fallback seeds first: full-literal singletons per anchor, deduped.
-	if !e.noFallback {
-		for _, v := range e.anchors {
-			p := e.fullLiteralPattern(v)
-			code := pattern.CanonicalCode(p)
-			if e.seen[code] {
-				continue
-			}
-			e.seen[code] = true
-			if cand := e.score(p, true); cand != nil {
-				e.out = append(e.out, cand)
-			}
-		}
+// fallbackSeeds returns the deduped full-literal fallback singletons in
+// anchor order, marking their codes as seen.
+func (e *engine) fallbackSeeds() []*pattern.Pattern {
+	if e.noFallback {
+		return nil
 	}
+	var seeds []*pattern.Pattern
+	for _, v := range e.anchors {
+		p := e.fullLiteralPattern(v)
+		code := pattern.CanonicalCode(p)
+		if e.seen[code] {
+			continue
+		}
+		e.seen[code] = true
+		seeds = append(seeds, p)
+	}
+	return seeds
+}
 
-	// Label-only seeds for every label occurring among anchors.
+// pushLabelSeeds enqueues a label-only seed for every label occurring among
+// the anchors, in sorted label order.
+func (e *engine) pushLabelSeeds() {
 	labels := map[string]bool{}
 	var labelList []string
 	for _, v := range e.anchors {
@@ -285,6 +262,17 @@ func (e *engine) run() {
 	for _, l := range labelList {
 		e.push(pattern.NewNodePattern(l))
 	}
+}
+
+func (e *engine) run() {
+	// Fallback seeds first: full-literal singletons per anchor, deduped.
+	for _, p := range e.fallbackSeeds() {
+		if cand := e.score(p, true); cand != nil {
+			e.out = append(e.out, cand)
+		}
+	}
+
+	e.pushLabelSeeds()
 
 	// MaxPatterns budgets grown patterns; fallbacks are always kept so the
 	// greedy cover can complete.
@@ -364,16 +352,25 @@ func (e *engine) score(p *pattern.Pattern, fallback bool) *Candidate {
 			}
 		}
 	}
-	coveredEdges := graph.NewEdgeSet(0)
+	// Pre-size both hot-path sets: coveredEdges grows toward one embedding's
+	// edge count per score node, and counted is bounded by the union of the
+	// score nodes' E_v^r (whose per-node sizes the cache already knows).
+	erSets := make([]graph.EdgeSet, len(scoreNodes))
+	erTotal := 0
+	for i, v := range scoreNodes {
+		erSets[i] = e.er.Get(v)
+		erTotal += erSets[i].Len()
+	}
+	coveredEdges := graph.NewEdgeSet(len(p.Edges) * len(scoreNodes))
 	for _, v := range scoreNodes {
 		if es, ok := e.m.CoveredEdgesAt(p, v); ok {
 			coveredEdges.AddAll(es)
 		}
 	}
 	cp := 0
-	counted := graph.NewEdgeSet(0)
-	for _, v := range scoreNodes {
-		for ref := range e.er.Get(v) {
+	counted := graph.NewEdgeSet(erTotal)
+	for _, es := range erSets {
+		for ref := range es {
 			if counted.Has(ref) {
 				continue
 			}

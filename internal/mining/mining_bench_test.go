@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -35,6 +36,40 @@ func BenchmarkSumGen(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		er := NewErCache(g, 2)
 		SumGen(g, anchors, anchors, cfg, er)
+	}
+}
+
+// BenchmarkSumGenParallel sweeps the worker count over the same workload as
+// BenchmarkSumGen (workers=1 is the sequential engine). The speedup scales
+// with available cores — on a single-core machine the sweep only measures
+// pipeline overhead, so run it on multicore hardware to reproduce the
+// speedup numbers; output is byte-identical at every setting either way.
+func BenchmarkSumGenParallel(b *testing.B) {
+	g, anchors := benchNetwork(b, 4000)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := Config{Radius: 2, MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 100, Workers: w}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				er := NewErCache(g, 2)
+				SumGen(g, anchors, anchors, cfg, er)
+			}
+		})
+	}
+}
+
+// BenchmarkErCacheWarm measures parallel pre-warming of E_v^r across worker
+// counts (workers=1 is a plain sequential fill).
+func BenchmarkErCacheWarm(b *testing.B) {
+	g, _ := benchNetwork(b, 4000)
+	nodes := g.NodesWithLabel("user")[:1000]
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				NewErCache(g, 2).Warm(nodes, w)
+			}
+		})
 	}
 }
 

@@ -12,6 +12,12 @@ import (
 // The matcher itself is stateless during a search (the graph is read-only),
 // so results are identical and in the same order either way.
 //
+// The requested count is clamped to runtime.GOMAXPROCS(0) *at call time* —
+// more goroutines than schedulable threads only add overhead. The clamped
+// value is what m.workers stores, so coverAmongParallel always fans out to
+// exactly the clamped count; callers reading back the effective parallelism
+// should account for the clamp rather than assume their requested n.
+//
 // Parallelism is opt-in (default sequential) so the efficiency experiments
 // remain comparable with the paper's single-threaded measurements.
 func (m *Matcher) SetWorkers(n int) {
@@ -59,7 +65,16 @@ func (m *Matcher) coverAmongParallel(c *compiled, candidates []graph.NodeID) []g
 		}(lo, hi)
 	}
 	wg.Wait()
-	out := make([]graph.NodeID, 0, len(candidates)/4)
+	// Size the result exactly from the matched count: the len/4 guess this
+	// replaces forced append-regrowth on selective patterns and wasted
+	// capacity on broad ones.
+	count := 0
+	for _, ok := range matched {
+		if ok {
+			count++
+		}
+	}
+	out := make([]graph.NodeID, 0, count)
 	for i, ok := range matched {
 		if ok {
 			out = append(out, candidates[i])

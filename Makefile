@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race lint fgslint vet staticcheck govulncheck bench
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent packages again under the race detector (mirrors CI).
+race:
+	$(GO) test -race ./internal/mining/ ./internal/pattern/ ./internal/core/ ./internal/graph/
+
+# lint is the offline gate: go vet plus the repo's own determinism & safety
+# multichecker (see DESIGN.md "Determinism contract & lint"). staticcheck and
+# govulncheck are run by CI's lint job and locally only if installed.
+lint: vet fgslint
+
+vet:
+	$(GO) vet ./...
+
+fgslint:
+	$(GO) run ./cmd/fgslint ./...
+
+staticcheck:
+	staticcheck ./...
+
+govulncheck:
+	govulncheck ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -timeout 120m

@@ -1,0 +1,96 @@
+// Command fgslint is the repository's determinism & safety linter: a go
+// vet-style multichecker that enforces the contract behind the promise that
+// summaries and figures are byte-identical across runs and worker counts.
+//
+// Usage:
+//
+//	fgslint ./...                    # whole module (what CI runs)
+//	fgslint ./internal/experiments   # one package
+//	fgslint -checks maporder,detrand ./internal/...
+//
+// Analyzers (see DESIGN.md "Determinism contract & lint"):
+//
+//	maporder        map iteration order reaching an append/write path unsorted
+//	detrand         global math/rand, unseeded rand.New, time.Now in deterministic packages
+//	nopanic         panic/log.Fatal/os.Exit in library packages
+//	lockdiscipline  copied mutex-bearing structs; Lock without same-function Unlock
+//
+// A finding is suppressed by "//lint:allow <analyzer> <why>" on the flagged
+// line or the line above it. fgslint exits 1 if any finding remains, 2 on
+// usage or load errors. It is built entirely on the standard library's
+// go/ast and go/types, so it runs offline with no module downloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/cwru-db/fgs/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "all", "comma-separated analyzer names, or 'all'")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fgslint [-checks list] [./... | ./pkg/... | ./pkg]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgslint:", err)
+		os.Exit(2)
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgslint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgslint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgslint:", err)
+		os.Exit(2)
+	}
+
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgslint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fgslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"sort"
 
 	fgs "github.com/cwru-db/fgs"
 	"github.com/cwru-db/fgs/datasets"
@@ -45,8 +46,13 @@ func main() {
 		"PhD candidates":      "n 0 user degree=PhD\n",
 		"Finance candidates":  "n 0 user industry=Finance\n",
 	}
-	for name, src := range queries {
-		p, err := fgs.ParsePatternString(src)
+	names := make([]string, 0, len(queries))
+	for name := range queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p, err := fgs.ParsePatternString(queries[name])
 		if err != nil {
 			log.Fatal(err)
 		}

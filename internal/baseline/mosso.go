@@ -131,7 +131,17 @@ func (m *Mosso) RemoveEdge(u, v graph.NodeID) {
 // supernode x should join to form dense blocks (e.g. the leaves of a hub).
 func (m *Mosso) tryMove(x graph.NodeID) {
 	from := m.sn[x]
+	// Candidates are deduped with a set but *evaluated* in discovery order:
+	// ranging over the set itself would let map iteration order break ties in
+	// the best-move scan below, making summaries differ run to run.
 	cands := make(map[int]bool)
+	var candOrder []int
+	addCand := func(s int) {
+		if s != from && !cands[s] {
+			cands[s] = true
+			candOrder = append(candOrder, s)
+		}
+	}
 	neighbors := make([]graph.NodeID, 0, m.adj[x].Len())
 	for y := range m.adj[x] {
 		neighbors = append(neighbors, y)
@@ -139,9 +149,7 @@ func (m *Mosso) tryMove(x graph.NodeID) {
 	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
 	m.rng.Shuffle(len(neighbors), func(i, j int) { neighbors[i], neighbors[j] = neighbors[j], neighbors[i] })
 	for _, y := range neighbors {
-		if s := m.sn[y]; s != from {
-			cands[s] = true
-		}
+		addCand(m.sn[y])
 		// Co-neighbor sampling through y: one deterministic pick per
 		// neighbor keeps moves O(deg) and runs reproducible.
 		z := graph.NodeID(-1)
@@ -151,9 +159,7 @@ func (m *Mosso) tryMove(x graph.NodeID) {
 			}
 		}
 		if z >= 0 {
-			if s := m.sn[z]; s != from {
-				cands[s] = true
-			}
+			addCand(m.sn[z])
 		}
 		if len(cands) >= m.SampleMoves {
 			break
@@ -161,7 +167,7 @@ func (m *Mosso) tryMove(x graph.NodeID) {
 	}
 	bestTo := -1
 	bestDelta := 0
-	for to := range cands {
+	for _, to := range candOrder {
 		if d := m.moveDelta(x, to); d < bestDelta {
 			bestDelta = d
 			bestTo = to

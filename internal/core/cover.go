@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"slices"
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
@@ -120,6 +121,9 @@ func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns in
 	for v := range remaining {
 		uncovered = append(uncovered, v)
 	}
+	// The remaining set is a map; sort so the uncovered list is identical on
+	// every run regardless of iteration order (fgslint maporder).
+	slices.Sort(uncovered)
 	return chosen, uncovered
 }
 
@@ -213,5 +217,8 @@ func greedyCoverScan(cands []*mining.Candidate, vp []graph.NodeID, n, maxPattern
 	for v := range remaining {
 		uncovered = append(uncovered, v)
 	}
+	// The remaining set is a map; sort so the uncovered list is identical on
+	// every run regardless of iteration order (fgslint maporder).
+	slices.Sort(uncovered)
 	return chosen, uncovered
 }

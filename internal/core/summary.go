@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -198,7 +199,9 @@ func buildSummary(cfg Config, chosen []PatternInfo, er *mining.ErCache, util sub
 	for v := range coveredSet {
 		covered = append(covered, v)
 	}
-	sortNodes(covered)
+	// Inline sort (not sortNodes) so fgslint's maporder can prove the
+	// map-iteration order never reaches the summary.
+	slices.Sort(covered)
 	corrections := er.UnionOf(covered).Minus(coveredEdges)
 	return &Summary{
 		R:           cfg.R,

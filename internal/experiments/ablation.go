@@ -162,14 +162,14 @@ func (s *Suite) AblationLazyGreedy() ([]Row, error) {
 	}
 	n := 100
 
-	start := time.Now()
+	start := time.Now() //lint:allow detrand runtime is the measured variable of the timing figures, not summary content
 	lazySel, err := submod.FairSelect(groups, submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev"), n)
 	if err != nil {
 		return nil, err
 	}
 	lazyDur := time.Since(start)
 
-	start = time.Now()
+	start = time.Now() //lint:allow detrand runtime is the measured variable of the timing figures, not summary content
 	plainSel, err := submod.FairSelectPlain(groups, submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev"), n)
 	if err != nil {
 		return nil, err

@@ -29,8 +29,12 @@ func (s *Suite) Fig8b() ([]Row, error) {
 
 func (s *Suite) exp1(exp, metric string) ([]Row, error) {
 	r, k, n, lower, upper := s.exp1Params()
+	settings, err := s.standardSettings(lower, upper)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", exp, err)
+	}
 	var rows []Row
-	for _, st := range s.standardSettings(lower, upper) {
+	for _, st := range settings {
 		outcomes, err := s.runAll(st, r, k, n)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", exp, err)
@@ -51,7 +55,11 @@ func (s *Suite) exp1(exp, metric string) ([]Row, error) {
 // Fig8c reproduces Fig. 8(c): compression ratio on DBP as k varies 10..50.
 func (s *Suite) Fig8c() ([]Row, error) {
 	r, _, n, lower, upper := s.exp1Params()
-	st := s.standardSettings(lower, upper)[0] // DBP
+	settings, err := s.standardSettings(lower, upper)
+	if err != nil {
+		return nil, fmt.Errorf("fig8c: %w", err)
+	}
+	st := settings[0] // DBP
 	var rows []Row
 	for _, k := range []int{10, 20, 30, 40, 50} {
 		outcomes, err := s.runAll(st, r, k, n)

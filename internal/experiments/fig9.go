@@ -27,8 +27,12 @@ func timeRows(exp, dataset, xLabel string, x float64, outcomes map[string]algoOu
 // dataset under the Exp-1 setting.
 func (s *Suite) Fig9a() ([]Row, error) {
 	r, k, n, lower, upper := s.exp1Params()
+	settings, err := s.standardSettings(lower, upper)
+	if err != nil {
+		return nil, fmt.Errorf("fig9a: %w", err)
+	}
 	var rows []Row
-	for _, st := range s.standardSettings(lower, upper) {
+	for _, st := range settings {
 		outcomes, err := s.runAll(st, r, k, n)
 		if err != nil {
 			return nil, fmt.Errorf("fig9a: %w", err)
@@ -60,7 +64,11 @@ func (s *Suite) patternLineup(st setting, r, k, n int) (map[string]algoOutcome, 
 // Fig9b reproduces Fig. 9(b): time on DBP as k varies 10..50.
 func (s *Suite) Fig9b() ([]Row, error) {
 	r, _, n, lower, upper := s.exp1Params()
-	st := s.standardSettings(lower, upper)[0] // DBP
+	settings, err := s.standardSettings(lower, upper)
+	if err != nil {
+		return nil, fmt.Errorf("fig9b: %w", err)
+	}
+	st := settings[0] // DBP
 	var rows []Row
 	for _, k := range []int{10, 20, 30, 40, 50} {
 		outcomes, err := s.patternLineup(st, r, k, n)

@@ -15,7 +15,11 @@ func TestScaleFeasibility(t *testing.T) {
 	var times []time.Duration
 	for _, scale := range []int{1, 4} {
 		s := New(scale, 42)
-		st := s.standardSettings(40, 60)[1] // LKI
+		settings, err := s.standardSettings(40, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := settings[1] // LKI
 		start := time.Now()
 		if _, err := runKAPXFGS(st, 2, 20, 100); err != nil {
 			t.Fatal(err)

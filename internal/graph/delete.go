@@ -18,7 +18,9 @@ func (g *Graph) RemoveEdge(from, to NodeID, label string) error {
 	}
 	if !removeAdj(&g.in[to], from, LabelID(lid)) {
 		// The two adjacency lists are maintained together; disagreement is a
-		// corrupted store, not a user error.
+		// corrupted store, not a user error. Exercised by
+		// TestRemoveEdgeAdjacencyInvariant.
+		//lint:allow nopanic vetted invariant check — corruption must not be survivable
 		panic("graph: adjacency lists out of sync")
 	}
 	g.numEdges--

@@ -33,9 +33,9 @@ func TestRemoveEdge(t *testing.T) {
 func TestRemoveEdgeErrors(t *testing.T) {
 	g, ids := buildDiamond(t)
 	cases := []struct {
-		name      string
-		from, to  NodeID
-		label     string
+		name     string
+		from, to NodeID
+		label    string
 	}{
 		{"unknown label", ids[0], ids[1], "nosuch"},
 		{"wrong direction", ids[1], ids[0], "recommend"},
@@ -106,4 +106,32 @@ func TestAddRemoveInterleavingConsistent(t *testing.T) {
 	if g.NumEdges() != want {
 		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), want)
 	}
+}
+
+// TestRemoveEdgeAdjacencyInvariant exercises the vetted panic branch of
+// RemoveEdge (the //lint:allow nopanic site in delete.go): when the
+// in-adjacency list disagrees with the out-list, the store is corrupted and
+// RemoveEdge must panic instead of limping on — the two lists are maintained
+// together, so disagreement can only mean memory corruption or a concurrent
+// writer, and a summary built on such a graph would silently be wrong.
+func TestRemoveEdgeAdjacencyInvariant(t *testing.T) {
+	g := New()
+	a := g.AddNode("user", nil)
+	b := g.AddNode("user", nil)
+	if err := g.AddEdge(a, b, "follows"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the store: drop the mirror entry from the in-list only.
+	g.in[b] = nil
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("RemoveEdge on a corrupted store returned instead of panicking")
+		}
+		if msg, ok := r.(string); !ok || msg != "graph: adjacency lists out of sync" {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	_ = g.RemoveEdge(a, b, "follows")
+	t.Fatal("unreachable: RemoveEdge must panic on a desynced store")
 }

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand enforces the reproducibility half of the determinism contract
+// inside the deterministic packages (core, mining, pattern, submod,
+// experiments): no global math/rand functions (they draw from the
+// process-seeded global source), no rand.New without an inline seeded
+// source, and no time.Now (results must not depend on the wall clock).
+//
+// internal/gen is deliberately outside the list: it is the seeded dataset
+// generator, and its *rand.Rand instances are constructed from explicit
+// seeds. Wall-clock timing that only feeds reported runtime statistics —
+// never summary content — takes //lint:allow detrand with a why-comment.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "flag global math/rand, unseeded rand.New, and time.Now in deterministic packages",
+	Run:  runDetRand,
+}
+
+// detPackages are the import-path segments of the packages under the
+// determinism contract.
+var detPackages = []string{
+	"internal/core",
+	"internal/mining",
+	"internal/pattern",
+	"internal/submod",
+	"internal/experiments",
+}
+
+// isDeterministicPkg matches pkgPath against detPackages on path-segment
+// boundaries, so fixture trees like "detrand/internal/core" match while
+// "internal/corev2" does not.
+func isDeterministicPkg(pkgPath string) bool {
+	for _, seg := range detPackages {
+		if pkgPath == seg ||
+			strings.HasSuffix(pkgPath, "/"+seg) ||
+			strings.Contains(pkgPath, "/"+seg+"/") ||
+			strings.HasPrefix(pkgPath, seg+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// seededConstructors are math/rand(/v2) functions that yield a source from
+// an explicit seed; rand.New over one of these is reproducible.
+var seededConstructors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !isDeterministicPkg(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true // method call (e.g. rng.Intn on a seeded *rand.Rand) — fine
+			}
+			pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pkgName.Imported().Path(); path {
+			case "math/rand", "math/rand/v2":
+				checkRandCall(pass, call, sel, path)
+			case "time":
+				if sel.Sel.Name == "Now" {
+					pass.Report(call.Pos(), "time.Now in deterministic package %s: results must not depend on the wall clock", pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRandCall(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr, randPath string) {
+	name := sel.Sel.Name
+	switch {
+	case seededConstructors[name] || name == "NewZipf":
+		return // building a seeded source (or derived distribution) is the fix, not the bug
+	case name == "New":
+		// rand.New(src) is reproducible only when src is visibly seeded:
+		// a direct rand.NewSource/NewPCG/NewChaCha8(...) call.
+		if len(call.Args) >= 1 {
+			if inner, ok := call.Args[0].(*ast.CallExpr); ok {
+				if innerSel, ok := inner.Fun.(*ast.SelectorExpr); ok && seededConstructors[innerSel.Sel.Name] {
+					return
+				}
+			}
+		}
+		pass.Report(call.Pos(), "rand.New without an inline seeded source: construct as rand.New(rand.NewSource(seed)) so runs are reproducible")
+	default:
+		pass.Report(call.Pos(), "global %s.%s draws from the process-seeded source: use a seeded *rand.Rand instead", randPkgName(randPath), name)
+	}
+}
+
+func randPkgName(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

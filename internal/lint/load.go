@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path      string // import path
+	Dir       string // absolute directory
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader type-checks packages of a single module from source. Imports inside
+// the module resolve recursively through the loader itself; everything else
+// (the standard library) resolves through the toolchain's source importer,
+// so no compiled export data or module downloads are needed. One Loader
+// shares a FileSet and a package cache across all Load calls.
+type Loader struct {
+	ModPath string // module path from go.mod ("" for bare GOPATH-style trees)
+	ModDir  string // absolute module root
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*Package
+}
+
+// NewLoader returns a loader rooted at modDir, reading the module path from
+// modDir/go.mod. Pass modPath "" via NewTreeLoader for fixture trees.
+func NewLoader(modDir string) (*Loader, error) {
+	modDir, err := filepath.Abs(modDir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", modDir)
+	}
+	return newLoader(modPath, modDir), nil
+}
+
+// NewTreeLoader returns a loader for a GOPATH-style source tree (used by the
+// analysistest fixtures): the import path of a package is its path relative
+// to root.
+func NewTreeLoader(root string) (*Loader, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	return newLoader("", root), nil
+}
+
+func newLoader(modPath, modDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModPath: modPath,
+		ModDir:  modDir,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:   make(map[string]*Package),
+	}
+}
+
+// dirFor maps an import path handled by this loader to a directory, or ""
+// if the path belongs to the standard library.
+func (l *Loader) dirFor(path string) string {
+	switch {
+	case l.ModPath == "":
+		dir := filepath.Join(l.ModDir, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+		return ""
+	case path == l.ModPath:
+		return l.ModDir
+	default:
+		if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+			return filepath.Join(l.ModDir, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+}
+
+// pathFor maps a directory under the loader's root to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside %s", dir, l.ModDir)
+	}
+	rel = filepath.ToSlash(rel)
+	if l.ModPath == "" {
+		return rel, nil
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	return l.ModPath + "/" + rel, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom, routing module-local paths to
+// recursive source loading and everything else to the stdlib importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if d := l.dirFor(path); d != "" {
+		pkg, err := l.load(path, d)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// LoadDir loads and type-checks the package in dir (non-test files only).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	path, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs, _ := filepath.Abs(dir)
+	return l.load(path, abs)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	l.cache[path] = nil // cycle marker
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Syntax: files, Types: tpkg, TypesInfo: info}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every buildable non-test .go file in dir, in name order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// PackageDirs returns every directory under root containing at least one
+// non-test .go file, sorted, skipping testdata, hidden, and VCS directories.
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, "_") && !strings.HasPrefix(name, ".") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// LoadPatterns resolves fgslint's command-line patterns against the loader's
+// module: "./..." (everything), "./dir/..." (a subtree), or "./dir".
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var pkgs []*Package
+	addDir := func(dir string) error {
+		if seen[dir] {
+			return nil
+		}
+		seen[dir] = true
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := PackageDirs(l.ModDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				if err := addDir(d); err != nil {
+					return nil, err
+				}
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.ModDir, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			dirs, err := PackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				if err := addDir(d); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			if err := addDir(filepath.Join(l.ModDir, filepath.FromSlash(pat))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline enforces the two locking rules of the concurrent subsystem
+// (the sharded E_v^r cache and the matcher/miner fan-out):
+//
+//  1. Lock-bearing structs (anything containing a sync.Mutex, RWMutex,
+//     WaitGroup, Once, Cond, Map, or Pool by value) must never be copied:
+//     no by-value receivers or parameters, no by-value range over shard
+//     arrays, no plain assignment from an existing value. A copied mutex is
+//     a distinct mutex — the original's lock protects nothing.
+//  2. Every mu.Lock()/mu.RLock() must have a matching Unlock/RUnlock on the
+//     same expression somewhere in the same function (defer counts). Locks
+//     that intentionally cross function boundaries take //lint:allow
+//     lockdiscipline with a why-comment.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag copies of mutex-bearing structs and Lock calls without a same-function Unlock",
+	Run:  runLockDiscipline,
+}
+
+// syncNoCopy are the sync types that must not be copied after first use.
+var syncNoCopy = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Cond": true, "Map": true, "Pool": true,
+}
+
+// lockBearing reports whether values of t embed a sync lock by value
+// (directly, through struct fields, or through arrays).
+func lockBearing(t types.Type) bool {
+	return lockBearingRec(t, make(map[types.Type]bool))
+}
+
+func lockBearingRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncNoCopy[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockBearingRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockBearingRec(u.Elem(), seen)
+	}
+	return false
+}
+
+func runLockDiscipline(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n.Recv, n.Type)
+				checkLockPairing(pass, n.Body)
+			case *ast.FuncLit:
+				checkSignature(pass, nil, n.Type)
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, n)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// `_ = s` evaluates but does not copy into a usable place.
+					if i < len(n.Lhs) && !isBlank(n.Lhs[i]) {
+						checkValueCopy(pass, rhs)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkValueCopy(pass, v)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature flags by-value receivers and parameters of lock-bearing
+// struct types.
+func checkSignature(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if lockBearing(tv.Type) {
+				pass.Report(field.Pos(), "%s passes lock-bearing %s by value: use a pointer so the lock is shared, not copied", what, tv.Type)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+}
+
+// checkRangeCopy flags `for _, v := range xs` where the element carries a
+// lock — the shard-array shape: iterate by index instead.
+func checkRangeCopy(pass *Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil || isBlank(rs.Value) {
+		return
+	}
+	id, ok := rs.Value.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		if obj = pass.TypesInfo.Uses[id]; obj == nil {
+			return
+		}
+	}
+	if lockBearing(obj.Type()) {
+		pass.Report(rs.Value.Pos(), "range copies lock-bearing %s per element: iterate by index (for i := range ...) and take &xs[i]", obj.Type())
+	}
+}
+
+// checkValueCopy flags assignments whose right-hand side copies an existing
+// lock-bearing value (an identifier, field, element, or dereference).
+// Composite literals and function-call results are fresh values with zeroed
+// or intentionally-returned locks and are not flagged.
+func checkValueCopy(pass *Pass, rhs ast.Expr) {
+	switch unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[rhs]
+	if !ok {
+		return
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if lockBearing(tv.Type) {
+		pass.Report(rhs.Pos(), "assignment copies lock-bearing %s: take a pointer instead", tv.Type)
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// lockMethods maps a sync lock-acquisition method to its required release.
+var lockMethods = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// checkLockPairing verifies that every Lock/RLock on a sync type inside body
+// (including nested closures) has a matching Unlock/RUnlock on the textually
+// same receiver expression somewhere in the same top-level function.
+func checkLockPairing(pass *Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	type lockSite struct {
+		key  string
+		need string
+		call *ast.CallExpr
+	}
+	var locks []lockSite
+	released := make(map[string]bool) // "expr.Unlock" seen
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name, ok := syncMethod(pass, sel)
+		if !ok {
+			return true
+		}
+		key := types.ExprString(sel.X)
+		if need, isAcquire := lockMethods[name]; isAcquire {
+			locks = append(locks, lockSite{key: key, need: need, call: call})
+		} else if name == "Unlock" || name == "RUnlock" {
+			released[key+"."+name] = true
+		}
+		return true
+	})
+	for _, l := range locks {
+		if !released[l.key+"."+l.need] {
+			pass.Report(l.call.Pos(), "%s.%s() without a matching %s.%s() in this function: release on every path (prefer defer)",
+				l.key, lockAcquireName(l.need), l.key, l.need)
+		}
+	}
+}
+
+func lockAcquireName(release string) string {
+	if release == "RUnlock" {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// syncMethod resolves sel to a method of a sync package type and returns its
+// name; ok is false for anything else (including same-named methods on
+// non-sync types).
+func syncMethod(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	var obj types.Object
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		obj = s.Obj()
+	} else {
+		obj = pass.TypesInfo.Uses[sel.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose iteration order can
+// reach an ordered sink — an append to a slice that outlives the loop, or a
+// Write/Print/Encode-style call — without an intervening sort. Go randomizes
+// map iteration per process, so any such path makes output differ from run
+// to run: exactly the bug class that broke the experiments harness's CSV row
+// order in PR 1.
+//
+// The canonical fixes are (a) collect the keys, sort them, and range over
+// the sorted slice, or (b) append inside the loop and sort the result before
+// it is consumed — the analyzer recognizes (b) when the appended-to slice is
+// passed to a sort.* or slices.Sort* call after the loop in the same
+// function. Genuinely order-independent iterations (e.g. feeding a
+// commutative reduction into another map) take //lint:allow maporder with a
+// why-comment.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order reaches an append/write path without a sort",
+	Run:  runMapOrder,
+}
+
+// emitMethods are call names treated as ordered sinks when invoked inside a
+// map-range body: io/fmt/csv/json writers and string builders.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteAll": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			// A loop binding neither key nor value cannot leak element order
+			// through its body.
+			if isBlank(rs.Key) && isBlank(rs.Value) {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingFunc(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+func isBlank(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// enclosingFunc returns the body of the innermost enclosing function
+// declaration or literal — the scope searched for a post-loop sort.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fn ast.Node) {
+	type appendSink struct {
+		obj  types.Object
+		name string
+	}
+	var appends []appendSink
+	reported := false
+	report := func(format string, args ...any) {
+		if !reported {
+			pass.Report(rs.For, format, args...)
+			reported = true
+		}
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && emitMethods[sel.Sel.Name] {
+				report("map iteration order reaches %s.%s; iterate over sorted keys instead", types.ExprString(sel.X), sel.Sel.Name)
+				return false
+			}
+		case *ast.AssignStmt:
+			// x = append(x, ...) / x := append(x, ...) with x declared
+			// outside the loop.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				obj := rootObject(pass, n.Lhs[i])
+				if obj == nil || within(obj.Pos(), rs) {
+					continue // loop-local accumulator; order cannot escape
+				}
+				appends = append(appends, appendSink{obj, types.ExprString(n.Lhs[i])})
+			}
+		}
+		return true
+	})
+	if reported {
+		return
+	}
+	for _, a := range appends {
+		if !sortedAfter(pass, fn, a.obj, rs.End()) {
+			report("map iteration order reaches append to %s, which is never sorted afterwards; sort it or iterate over sorted keys", a.name)
+			return
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// rootObject resolves the base identifier of x / x.f / x[i] to its object.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[v]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortFuncs lists package-level sorting entry points whose first argument is
+// the slice being ordered.
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Strings": true, "Ints": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether fn contains, after pos, a recognized sort call
+// whose argument resolves to obj.
+func sortedAfter(pass *Pass, fn ast.Node, obj types.Object, pos token.Pos) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok || !sortFuncs[pkgName.Imported().Path()][sel.Sel.Name] {
+			return true
+		}
+		arg := call.Args[0]
+		// Unwrap sort.Sort(byX(keys))-style conversions and interface wraps.
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = conv.Args[0]
+		}
+		if rootObject(pass, arg) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos <= n.End()
+}

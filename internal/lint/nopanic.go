@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic flags panic, log.Fatal*, and os.Exit in library packages: library
+// code must return errors and let the CLIs decide exit codes, so that a
+// malformed dataset or a failed figure run surfaces as a message and a
+// nonzero fgsbench exit instead of a stack trace mid-experiment.
+//
+// main packages (cmd/*, examples/*) are exempt — exiting is their job.
+// Vetted invariant checks that guard data-structure corruption (not user
+// error), like the adjacency-sync assertion in internal/graph/delete.go,
+// take //lint:allow nopanic with a why-comment and a regression test that
+// exercises the panic branch.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "flag panic/log.Fatal/os.Exit in library packages",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "panic" {
+					if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+						pass.Report(call.Pos(), "panic in library package %s: return an error instead (//lint:allow nopanic only for vetted invariant checks)", pass.PkgPath)
+					}
+				}
+			case *ast.SelectorExpr:
+				pkgID, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				name := fun.Sel.Name
+				switch pkgName.Imported().Path() {
+				case "log":
+					if name == "Fatal" || name == "Fatalf" || name == "Fatalln" || name == "Panic" || name == "Panicf" || name == "Panicln" {
+						pass.Report(call.Pos(), "log.%s in library package %s: return an error and let the caller decide the exit code", name, pass.PkgPath)
+					}
+				case "os":
+					if name == "Exit" {
+						pass.Report(call.Pos(), "os.Exit in library package %s: return an error and let the caller decide the exit code", pass.PkgPath)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsClean runs the full fgslint suite over the whole module and
+// requires zero findings — the same gate CI applies via `go run
+// ./cmd/fgslint ./...`. Having it as a plain test means a plain `go test
+// ./...` also enforces the determinism contract, and a newly introduced
+// violation fails with the analyzer's message and position.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; loader is missing the module", len(pkgs), root)
+	}
+	diags, err := RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d finding(s); fix them or add a //lint:allow <analyzer> <why> escape hatch", len(diags))
+	}
+}

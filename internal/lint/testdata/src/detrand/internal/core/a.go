@@ -1,0 +1,37 @@
+// Fixture for the detrand analyzer inside a deterministic package (the
+// fixture path ends in internal/core, so the contract applies).
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn draws from the process-seeded source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+func unseededNew(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand\.New without an inline seeded source`
+}
+
+func seededNew(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: visibly seeded
+}
+
+func methodOnSeeded(rng *rand.Rand) int {
+	return rng.Intn(10) // ok: method on a seeded generator
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+func allowedTiming() time.Duration {
+	start := time.Now() //lint:allow detrand timing feeds reported stats only
+	return time.Since(start)
+}

@@ -1,0 +1,13 @@
+// Fixture for the detrand analyzer outside the deterministic packages:
+// internal/gen is the seeded generator package and is exempt, so nothing in
+// this file is flagged.
+package gen
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Noise() int { return rand.Intn(10) }
+
+func Stamp() time.Time { return time.Now() }

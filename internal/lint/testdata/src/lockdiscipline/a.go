@@ -1,0 +1,115 @@
+// Fixture for the lockdiscipline analyzer: the shard-cache shapes from
+// internal/mining/ercache.go, both correct and broken.
+package lockdiscipline
+
+import "sync"
+
+type Shard struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+type Cache struct {
+	shards [4]Shard
+}
+
+func (c *Cache) get(k int) int { // ok: pointer receiver, defer unlock
+	s := &c.shards[k%4]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+func (c Cache) badReceiver() {} // want `receiver passes lock-bearing`
+
+func badParam(s Shard) {} // want `parameter passes lock-bearing`
+
+func okPointerParam(s *Shard) {} // ok: shared, not copied
+
+func badRange(c *Cache) int {
+	n := 0
+	for _, s := range c.shards { // want `range copies lock-bearing`
+		n += len(s.m)
+	}
+	return n
+}
+
+func okIndexRange(c *Cache) int {
+	n := 0
+	for i := range c.shards { // ok: element accessed through &c.shards[i]
+		s := &c.shards[i]
+		n += len(s.m)
+	}
+	return n
+}
+
+func badCopy(c *Cache) int {
+	s := c.shards[0] // want `assignment copies lock-bearing`
+	return len(s.m)
+}
+
+func freshValue() int {
+	s := Shard{m: map[int]int{}} // ok: composite literal, lock not yet in use
+	return len(s.m)
+}
+
+func badLock(c *Cache) {
+	c.shards[0].mu.Lock() // want `c\.shards\[0\]\.mu\.Lock\(\) without a matching`
+	_ = c.shards[0].m
+}
+
+func unlockOnEveryBranch(c *Cache, cond bool) { // ok: direct unlock on both paths
+	c.shards[1].mu.Lock()
+	if cond {
+		c.shards[1].mu.Unlock()
+		return
+	}
+	c.shards[1].mu.Unlock()
+}
+
+func lockInsideClosure(c *Cache) func() int { // ok: pair lives in the same closure
+	return func() int {
+		c.shards[2].mu.Lock()
+		defer c.shards[2].mu.Unlock()
+		return len(c.shards[2].m)
+	}
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (r *rw) read() int { // ok: RLock paired with RUnlock
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+func (r *rw) badRead() int {
+	r.mu.RLock() // want `r\.mu\.RLock\(\) without a matching`
+	return r.v
+}
+
+func (r *rw) mismatchedRead() int {
+	r.mu.RLock() // want `r\.mu\.RLock\(\) without a matching r\.mu\.RUnlock`
+	defer r.mu.Unlock()
+	return r.v
+}
+
+func allowedCrossFunc(r *rw) {
+	//lint:allow lockdiscipline handed off: releaseRW is the documented pair
+	r.mu.Lock()
+}
+
+func releaseRW(r *rw) {
+	r.mu.Unlock()
+}
+
+type notALock struct{}
+
+func (notALock) Lock() {}
+
+func sameNameDifferentType(n notALock) {
+	n.Lock() // ok: not a sync type
+}

@@ -1,0 +1,111 @@
+// Fixture for the maporder analyzer: map iterations whose order reaches an
+// ordered sink must be flagged; sorted or order-independent ones must not.
+package maporder
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func emitsUnsorted(m map[string]int) []string {
+	var rows []string
+	for k := range m { // want `map iteration order reaches append to rows`
+		rows = append(rows, k)
+	}
+	return rows
+}
+
+func printsDirectly(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func writesToBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order reaches b\.WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func sortedAfterLoop(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // ok: keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type pair struct {
+	k string
+	n int
+}
+
+func sortedStructsAfterLoop(m map[string]int) []pair {
+	var ps []pair
+	for k, n := range m { // ok: ps is sorted below
+		ps = append(ps, pair{k, n})
+	}
+	slices.SortFunc(ps, func(a, b pair) int { return strings.Compare(a.k, b.k) })
+	return ps
+}
+
+func loopLocalAccumulator(m map[string][]int) int {
+	total := 0
+	for _, vs := range m { // ok: commutative reduction, no ordered sink
+		sum := 0
+		for _, v := range vs {
+			sum += v
+		}
+		total += sum
+	}
+	return total
+}
+
+func localSliceInsideLoop(m map[string][]int) int {
+	n := 0
+	for _, vs := range m { // ok: parts never outlives one iteration
+		var parts []int
+		parts = append(parts, vs...)
+		n += len(parts)
+	}
+	return n
+}
+
+func buildsAnotherMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // ok: a map is an unordered sink
+		out[v] = k
+	}
+	return out
+}
+
+func blankLoop(m map[string]int) int {
+	n := 0
+	for range m { // ok: neither key nor value is bound
+		n++
+	}
+	return n
+}
+
+func allowed(m map[string]int) []string {
+	var rows []string
+	//lint:allow maporder rows is order-insensitive: the caller treats it as a set
+	for k := range m {
+		rows = append(rows, k)
+	}
+	return rows
+}
+
+func sortedBeforeLoopOnly(m map[string]int) []string {
+	var rows []string
+	sort.Strings(rows)
+	for k := range m { // want `map iteration order reaches append to rows`
+		rows = append(rows, k)
+	}
+	return rows
+}

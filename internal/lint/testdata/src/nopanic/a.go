@@ -1,0 +1,48 @@
+// Fixture for the nopanic analyzer in a library (non-main) package.
+package nopanic
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+func panics() {
+	panic("boom") // want `panic in library package`
+}
+
+func fatals() {
+	log.Fatal("boom") // want `log\.Fatal in library package`
+}
+
+func fatalfs(err error) {
+	log.Fatalf("boom: %v", err) // want `log\.Fatalf in library package`
+}
+
+func exits() {
+	os.Exit(1) // want `os\.Exit in library package`
+}
+
+func returnsError() error {
+	return errors.New("boom") // ok: errors are the contract
+}
+
+func wrapsError(err error) error {
+	return fmt.Errorf("context: %w", err) // ok
+}
+
+func vetted(ok bool) {
+	if !ok {
+		//lint:allow nopanic vetted invariant check — corruption must not be survivable
+		panic("corrupted store")
+	}
+}
+
+type logger struct{}
+
+func (logger) Fatal(v ...any) {}
+
+func notTheLogPackage(l logger) {
+	l.Fatal("x") // ok: same-named method on a non-log type
+}

@@ -1,0 +1,16 @@
+// Fixture for the nopanic analyzer in a main package: CLIs own their exit
+// codes, so nothing here is flagged.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		log.Fatal("usage: cmdfixture")
+	}
+	defer os.Exit(0)
+	panic("mains may panic")
+}

@@ -212,17 +212,20 @@ func (e *engine) buildTemplates() {
 			e.templates[toL] = append(e.templates[toL], k2.t)
 		}
 	}
-	// Deterministic extension order.
+	// Deterministic extension order: the buckets were appended in EdgeSet
+	// (map) iteration order, so sort each one. Sorting e.templates[l] in
+	// place (rather than through an alias) also lets fgslint's maporder
+	// prove the append above is neutralized.
 	for l := range e.templates {
-		ts := e.templates[l]
-		sort.Slice(ts, func(i, j int) bool {
-			if ts[i].edgeLabel != ts[j].edgeLabel {
-				return ts[i].edgeLabel < ts[j].edgeLabel
+		sort.Slice(e.templates[l], func(i, j int) bool {
+			a, b := e.templates[l][i], e.templates[l][j]
+			if a.edgeLabel != b.edgeLabel {
+				return a.edgeLabel < b.edgeLabel
 			}
-			if ts[i].otherLabel != ts[j].otherLabel {
-				return ts[i].otherLabel < ts[j].otherLabel
+			if a.otherLabel != b.otherLabel {
+				return a.otherLabel < b.otherLabel
 			}
-			return !ts[i].out && ts[j].out
+			return !a.out && b.out
 		})
 	}
 }

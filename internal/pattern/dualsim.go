@@ -9,7 +9,7 @@ import (
 //
 //   - v satisfies u's label and literals,
 //   - for every pattern edge (u,u',l) some v' in sim(u') has edge (v,v',l),
-//   - for every pattern edge (u'',u,l) some v'' in sim(u'') has edge (v'',v,l).
+//   - for every pattern edge (u”,u,l) some v” in sim(u”) has edge (v”,v,l).
 //
 // Dual simulation is the lossy matching semantics of d-summaries [42]: it
 // preserves parent/child label structure but not injectivity or cycles, and

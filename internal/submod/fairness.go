@@ -23,7 +23,7 @@ func EqualOpportunity(groups []Group, n, slack int) ([]Group, error) {
 	}
 	share := n / len(groups)
 	lo := share - slack
-	hi := (n + len(groups) - 1) / len(groups) + slack
+	hi := (n+len(groups)-1)/len(groups) + slack
 	if lo < 0 {
 		lo = 0
 	}

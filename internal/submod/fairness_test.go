@@ -65,7 +65,7 @@ func TestEqualOpportunityEmpty(t *testing.T) {
 
 func TestProportional(t *testing.T) {
 	gs := []Group{
-		{Name: "majority", Members: memberRange(0, 300)},  // 75%
+		{Name: "majority", Members: memberRange(0, 300)},   // 75%
 		{Name: "minority", Members: memberRange(300, 400)}, // 25%
 	}
 	out, err := Proportional(gs, 100, 0.2)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fgslint vet staticcheck govulncheck bench
+.PHONY: all build test race lint fgslint vet staticcheck govulncheck bench bench-ci
 
 all: build test lint
 
@@ -12,7 +12,7 @@ test:
 
 # The concurrent packages again under the race detector (mirrors CI).
 race:
-	$(GO) test -race ./internal/mining/ ./internal/pattern/ ./internal/core/ ./internal/graph/
+	$(GO) test -race ./internal/mining/ ./internal/pattern/ ./internal/core/ ./internal/graph/ ./internal/obs/
 
 # lint is the offline gate: go vet plus the repo's own determinism & safety
 # multichecker (see DESIGN.md "Determinism contract & lint"). staticcheck and
@@ -33,3 +33,11 @@ govulncheck:
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 120m
+
+# bench-ci mirrors CI's bench job: the performance-sensitive paths only,
+# with the raw -json stream archived under a dated name for benchstat diffs.
+bench-ci:
+	$(GO) test -json -run '^$$' \
+		-bench 'BenchmarkGreedyCover|BenchmarkSumGenParallel|BenchmarkErCacheHit|BenchmarkSumGenObs' \
+		-benchmem ./internal/core/ ./internal/mining/ \
+		| tee "BENCH_$$(date -u +%F).json"

@@ -40,6 +40,10 @@ func main() {
 		export    = flag.String("export", "", "write the summary as JSON to this file")
 		workers   = flag.Int("workers", 0, "mining/scoring worker goroutines (0 = sequential; results identical)")
 		query     = flag.String("query", "", "pattern file to answer over the summary as a view")
+
+		traceOut   = flag.String("fgs.trace", "", "write a Chrome trace of the run's phase spans to this file")
+		metricsOut = flag.String("fgs.metrics-out", "", "write runtime counters in Prometheus text format to this file")
+		obsSummary = flag.Bool("fgs.obs-summary", false, "print the runtime-counter summary table to stderr")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -65,6 +69,14 @@ func main() {
 
 	makeUtil := func() fgs.Utility { return buildUtility(g, *utilFlag) }
 	cfg := fgs.Config{R: *r, N: *n, Workers: *workers}
+
+	// Observability is opt-in: any obs flag installs a collector. It changes
+	// nothing about the summary (see DESIGN.md §8).
+	var observer *fgs.Observer
+	if *traceOut != "" || *metricsOut != "" || *obsSummary {
+		observer = fgs.NewObserver(nil)
+		cfg.Obs = observer
+	}
 
 	var summary *fgs.Summary
 	switch *algo {
@@ -130,6 +142,50 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "summary exported to %s\n", *export)
 	}
+
+	if observer != nil {
+		if err := exportObs(observer, *traceOut, *metricsOut, *obsSummary); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// exportObs writes whatever the observer collected: the Chrome trace, the
+// Prometheus text file, and/or a summary table on stderr.
+func exportObs(o *fgs.Observer, tracePath, metricsPath string, table bool) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := fgs.WriteChromeTrace(f, o.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", tracePath)
+	}
+	ms := append(o.Reg.Gather(), fgs.PhaseMetrics(o.Trace)...)
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := fgs.WritePrometheus(f, ms); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", metricsPath)
+	}
+	if table {
+		fmt.Fprint(os.Stderr, fgs.FormatMetricTable(ms))
+	}
+	return nil
 }
 
 func buildUtility(g *fgs.Graph, spec string) fgs.Utility {

@@ -15,12 +15,15 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // mounted on the -fgs.metrics-addr listener
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/cwru-db/fgs/internal/experiments"
+	"github.com/cwru-db/fgs/internal/obs"
 )
 
 func main() {
@@ -30,11 +33,27 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		format  = flag.String("format", "table", "output format: table or csv")
 		workers = flag.Int("workers", 0, "mining/scoring worker goroutines (0 = sequential, the paper-comparable default; metric values are identical at any setting)")
+
+		traceOut    = flag.String("fgs.trace", "", "write a Chrome trace of the run's phase spans to this file")
+		metricsOut  = flag.String("fgs.metrics-out", "", "write runtime counters in Prometheus text format to this file")
+		metricsAddr = flag.String("fgs.metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof on this address while the run lasts")
+		obsSummary  = flag.Bool("fgs.obs-summary", false, "print the runtime-counter summary table to stderr")
 	)
 	flag.Parse()
 
 	suite := experiments.New(*scale, *seed)
 	suite.Workers = *workers
+
+	// Observability is opt-in: any obs flag installs a collector on the suite.
+	// Collection never changes figure values (DESIGN.md §8).
+	var observer *obs.Observer
+	if *traceOut != "" || *metricsOut != "" || *metricsAddr != "" || *obsSummary {
+		observer = obs.NewObserver(nil)
+		suite.Obs = observer
+	}
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, observer)
+	}
 	runners := map[string]func() ([]experiments.Row, error){
 		"fig8a":         suite.Fig8a,
 		"fig8b":         suite.Fig8b,
@@ -73,12 +92,17 @@ func main() {
 
 	var all []experiments.Row
 	for _, e := range selected {
+		// A per-figure span wraps every run of the figure's algorithms; the
+		// algorithm spans nest inside it in the exported trace.
+		sp := observer.GetTrace().Start(e)
 		start := time.Now()
 		rows, err := runners[e]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fgsbench: %s: %v\n", e, err)
 			os.Exit(1)
 		}
+		sp.SetArg("rows", int64(len(rows)))
+		sp.End()
 		fmt.Fprintf(os.Stderr, "fgsbench: %s done in %v (%d rows)\n", e, time.Since(start).Round(time.Millisecond), len(rows))
 		all = append(all, rows...)
 	}
@@ -94,6 +118,76 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fgsbench: unknown format %q\n", *format)
 		os.Exit(2)
 	}
+
+	if observer != nil {
+		if err := exportObs(observer, *traceOut, *metricsOut, *obsSummary); err != nil {
+			fmt.Fprintln(os.Stderr, "fgsbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// gatherAll merges the component counters with the per-phase span metrics.
+func gatherAll(o *obs.Observer) []obs.Metric {
+	return append(o.Reg.Gather(), obs.PhaseMetrics(o.Trace)...)
+}
+
+// serveMetrics exposes /metrics in the Prometheus text format plus the
+// net/http/pprof handlers (imported for effect onto the default mux) on addr
+// for the duration of the run.
+func serveMetrics(addr string, o *obs.Observer) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := obs.WritePrometheus(w, gatherAll(o)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "fgsbench: metrics listener: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "fgsbench: serving /metrics and /debug/pprof on %s\n", addr)
+}
+
+// exportObs writes whatever the observer collected: the Chrome trace, the
+// Prometheus text file, and/or a summary table on stderr.
+func exportObs(o *obs.Observer, tracePath, metricsPath string, table bool) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, o.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fgsbench: trace written to %s\n", tracePath)
+	}
+	if metricsPath != "" || table {
+		ms := gatherAll(o)
+		if metricsPath != "" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				return err
+			}
+			if err := obs.WritePrometheus(f, ms); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "fgsbench: metrics written to %s\n", metricsPath)
+		}
+		if table {
+			fmt.Fprint(os.Stderr, obs.FormatTable(ms))
+		}
+	}
+	return nil
 }
 
 // writeCSV emits one row per data point for plotting tools.

@@ -45,6 +45,7 @@ import (
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/metrics"
 	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/obs"
 	"github.com/cwru-db/fgs/internal/pattern"
 	"github.com/cwru-db/fgs/internal/submod"
 )
@@ -249,6 +250,42 @@ func WriteSummaryJSON(w io.Writer, s *Summary, g *Graph) error { return s.WriteJ
 func ReadSummaryJSON(r io.Reader, g *Graph, embedCap int) (*Summary, error) {
 	return core.ReadSummaryJSON(r, g, embedCap)
 }
+
+// Observability (see DESIGN.md §8). An Observer collects phase spans and
+// runtime counters from every algorithm it is attached to via Config.Obs;
+// the exporters render what it gathered. Collection is off (and near-free)
+// when Config.Obs is nil, and never affects summary content either way.
+type (
+	// Observer bundles a span trace, a metric registry, and a clock.
+	Observer = obs.Observer
+	// Trace is a hierarchical span collector (exportable as a Chrome trace).
+	Trace = obs.Trace
+	// MetricRegistry aggregates counters, gauges, and histograms.
+	MetricRegistry = obs.Registry
+	// Metric is one gathered metric sample.
+	Metric = obs.Metric
+	// Clock is the time source observers and algorithms read.
+	Clock = obs.Clock
+)
+
+// NewObserver returns an observer with a fresh trace and registry on the
+// given clock (nil = system clock). Attach it via Config.Obs.
+func NewObserver(clock Clock) *Observer { return obs.NewObserver(clock) }
+
+// WriteChromeTrace exports a trace in the Chrome tracing JSON format
+// (load it at chrome://tracing or https://ui.perfetto.dev).
+func WriteChromeTrace(w io.Writer, t *Trace) error { return obs.WriteChromeTrace(w, t) }
+
+// WritePrometheus renders metrics in the Prometheus text exposition format.
+func WritePrometheus(w io.Writer, ms []Metric) error { return obs.WritePrometheus(w, ms) }
+
+// PhaseMetrics converts a trace's completed spans into per-phase duration
+// and count metrics, for export alongside the component counters.
+func PhaseMetrics(t *Trace) []Metric { return obs.PhaseMetrics(t) }
+
+// FormatMetricTable renders metrics as a compact aligned text table — the
+// CLIs' end-of-run summary.
+func FormatMetricTable(ms []Metric) string { return obs.FormatTable(ms) }
 
 // CoverageError is the normalized group-constraint violation C_eps of the
 // paper's evaluation; 0 when every group's coverage lands in [l_i, u_i].

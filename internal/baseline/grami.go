@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"time"
-
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
 	"github.com/cwru-db/fgs/internal/pattern"
@@ -32,7 +30,8 @@ type GramiConfig struct {
 // Grami is lossless in this adaptation: corrections are charged for every
 // r-hop edge of the covered nodes that no selected pattern describes.
 func Grami(g *graph.Graph, groups *submod.Groups, cfg GramiConfig) Result {
-	start := time.Now()
+	clock := cfg.Mining.Obs.GetClock()
+	start := clock.Now()
 	if cfg.MinSup <= 0 {
 		cfg.MinSup = 2
 	}
@@ -56,7 +55,7 @@ func Grami(g *graph.Graph, groups *submod.Groups, cfg GramiConfig) Result {
 		Covered:       covered,
 		StructureSize: structure,
 		Corrections:   corrections,
-		Elapsed:       time.Since(start),
+		Elapsed:       clock.Now().Sub(start),
 	}
 }
 

@@ -2,7 +2,6 @@ package baseline
 
 import (
 	"sort"
-	"time"
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
@@ -36,7 +35,8 @@ type MMPGConfig struct {
 // Reformulations inherently grow the seed ("adding edges"), which is why
 // MMPG produces the largest summaries in Fig. 8(b).
 func MMPG(g *graph.Graph, groups *submod.Groups, cfg MMPGConfig) Result {
-	start := time.Now()
+	clock := cfg.Mining.Obs.GetClock()
+	start := clock.Now()
 	if cfg.Lambda <= 0 || cfg.Lambda >= 1 {
 		cfg.Lambda = 0.5
 	}
@@ -133,7 +133,7 @@ func MMPG(g *graph.Graph, groups *submod.Groups, cfg MMPGConfig) Result {
 		Covered:       covered,
 		StructureSize: structure,
 		Corrections:   corrections,
-		Elapsed:       time.Since(start),
+		Elapsed:       clock.Now().Sub(start),
 	}
 }
 

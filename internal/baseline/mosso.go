@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/obs"
 	"github.com/cwru-db/fgs/internal/submod"
 )
 
@@ -406,7 +407,8 @@ func (m *Mosso) Result(groups *submod.Groups, n int, elapsed time.Duration) Resu
 // SummarizeStatic feeds every edge of g (in a deterministic order) through
 // the incremental summarizer — the static-comparison mode of Exp-1.
 func SummarizeStatic(g *graph.Graph, groups *submod.Groups, n int, seed int64) Result {
-	start := time.Now()
+	clock := obs.System()
+	start := clock.Now()
 	m := NewMosso(seed)
 	for from := graph.NodeID(0); int(from) < g.NumNodes(); from++ {
 		for _, e := range g.Out(from) {
@@ -414,5 +416,5 @@ func SummarizeStatic(g *graph.Graph, groups *submod.Groups, n int, seed int64) R
 		}
 	}
 	m.Compact(2)
-	return m.Result(groups, n, time.Since(start))
+	return m.Result(groups, n, clock.Now().Sub(start))
 }

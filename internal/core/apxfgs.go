@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
@@ -25,26 +24,28 @@ import (
 // reported in Summary.Uncovered.
 func APXFGS(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Config) (*Summary, error) {
 	cfg = cfg.withDefaults()
-	var stats Stats
+	run := startRun(cfg.Obs, "apxfgs")
 
-	start := time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
-	vp, err := submod.FairSelect(groups, util, cfg.N)
+	sp := run.phase(PhaseSelect)
+	vp, err := submod.FairSelectObs(groups, util, cfg.N, run.reg)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: selection phase: %w", err)
 	}
-	stats.SelectTime = time.Since(start)
 
-	start = time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
+	sp = run.phase(PhaseMine)
 	er := mining.NewErCache(g, cfg.R)
+	run.register(er)
 	cands := mining.SumGen(g, vp, vp, cfg.Mining, er)
-	stats.MineTime = time.Since(start)
-	stats.Candidates = len(cands)
+	sp.SetArg("candidates", int64(len(cands)))
+	sp.End()
 
-	start = time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
-	chosen, uncovered := greedyCover(cands, vp, cfg.N, 0)
-	stats.SummarizeTime = time.Since(start)
+	sp = run.phase(PhaseSummarize)
+	chosen, uncovered := greedyCover(cands, vp, cfg.N, 0, run.reg)
+	sp.SetArg("patterns", int64(len(chosen)))
+	sp.End()
 
-	return buildSummary(cfg, chosen, er, util, uncovered, stats), nil
+	return buildSummary(cfg, chosen, er, util, uncovered, run.finish(len(cands), 0)), nil
 }
 
 // coverState tracks the partial summary during the greedy loops. Candidate

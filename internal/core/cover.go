@@ -6,6 +6,7 @@ import (
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/obs"
 )
 
 // greedyCover runs the summarization phase of APXFGS (Fig. 3 lines 6-12):
@@ -27,7 +28,19 @@ import (
 // remainingCount = 0 can never recover, and the feasibility bound
 // |cover ∪ Covered| = cover + newCount only grows. Output (chosen order and
 // uncovered set) is identical to greedyCoverScan on every input.
-func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) (chosen []PatternInfo, uncovered []graph.NodeID) {
+//
+// Iteration counters (rounds, heap pops, stale re-scans, permanent drops)
+// accumulate in locals and are reported to reg once at the end — zero cost
+// in the loop, nothing at all when reg is nil.
+func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int, reg *obs.Registry) (chosen []PatternInfo, uncovered []graph.NodeID) {
+	var rounds, pops, rescans, drops int64
+	defer func() {
+		reg.Add("fgs_cover_rounds_total", "Greedy cover rounds (patterns chosen).", nil, rounds)
+		reg.Add("fgs_cover_heap_pops_total", "Lazy-heap pops in greedyCover.", nil, pops)
+		reg.Add("fgs_cover_heap_rescans_total", "Stale-entry refresh+re-sift operations in greedyCover.", nil, rescans)
+		reg.Add("fgs_cover_drops_total", "Candidates permanently dropped from the greedyCover heap.", nil, drops)
+	}()
+
 	remaining := graph.NodeSetOf(vp)
 	covered := graph.NewNodeSet(0)
 
@@ -74,11 +87,14 @@ func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns in
 				// the candidate is permanently out (the scan's newAnchors == 0
 				// skip, made permanent).
 				dropped[i] = true
+				drops++
+				pops++
 				heap.Pop(h)
 				continue
 			}
 			if int(top.gain) != cur {
 				// Stale: refresh the key in place and re-sift.
+				rescans++
 				h.entries[0].gain = int32(cur)
 				heap.Fix(h, 0)
 				continue
@@ -88,10 +104,13 @@ func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns in
 				// candidate that breaks the n cap now always will (the scan's
 				// extendable check, made permanent).
 				dropped[i] = true
+				drops++
+				pops++
 				heap.Pop(h)
 				continue
 			}
 			best = i
+			pops++
 			heap.Pop(h)
 			break
 		}
@@ -99,6 +118,7 @@ func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns in
 			break
 		}
 		dropped[best] = true
+		rounds++
 		cand := cands[best]
 		// Commit the choice, updating counts only for candidates sharing a
 		// newly covered or newly removed node.

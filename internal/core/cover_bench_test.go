@@ -52,7 +52,9 @@ func BenchmarkGreedyCover(b *testing.B) {
 		name string
 		fn   func([]*mining.Candidate, []graph.NodeID, int, int) ([]PatternInfo, []graph.NodeID)
 	}{
-		{"incremental", greedyCover},
+		{"incremental", func(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) ([]PatternInfo, []graph.NodeID) {
+			return greedyCover(cands, vp, n, maxPatterns, nil)
+		}},
 		{"scan", greedyCoverScan},
 	}
 	for _, size := range []struct{ cands, universe int }{

@@ -6,6 +6,7 @@ import (
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/obs"
 	"github.com/cwru-db/fgs/internal/pattern"
 )
 
@@ -67,7 +68,9 @@ func TestGreedyCoverMatchesScan(t *testing.T) {
 		if rng.Intn(2) == 0 {
 			maxPatterns = 1 + rng.Intn(5)
 		}
-		gotChosen, gotUnc := greedyCover(cands, vp, n, maxPatterns)
+		// A live registry here doubles as a check that counter reporting
+		// cannot perturb the algorithm's output.
+		gotChosen, gotUnc := greedyCover(cands, vp, n, maxPatterns, obs.NewRegistry())
 		wantChosen, wantUnc := greedyCoverScan(cands, vp, n, maxPatterns)
 		if len(gotChosen) != len(wantChosen) {
 			t.Fatalf("trial %d (n=%d, max=%d): chose %d patterns, scan chose %d",
@@ -119,7 +122,7 @@ func TestGreedyCoverEdgeCases(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			gotC, gotU := greedyCover(tc.cands, tc.vp, tc.n, tc.maxPatterns)
+			gotC, gotU := greedyCover(tc.cands, tc.vp, tc.n, tc.maxPatterns, nil)
 			wantC, wantU := greedyCoverScan(tc.cands, tc.vp, tc.n, tc.maxPatterns)
 			if len(gotC) != len(wantC) || len(sortNodes(gotU)) != len(sortNodes(wantU)) {
 				t.Fatalf("chose %d/%d patterns, uncovered %d/%d", len(gotC), len(wantC), len(gotU), len(wantU))

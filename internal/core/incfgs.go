@@ -6,6 +6,7 @@ import (
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/obs"
 	"github.com/cwru-db/fgs/internal/pattern"
 	"github.com/cwru-db/fgs/internal/submod"
 )
@@ -42,6 +43,14 @@ type Maintainer struct {
 
 	patterns []PatternInfo
 	matcher  *pattern.Matcher
+
+	run *runObs
+	// clock is the sanctioned timing source for TimeBatch.
+	clock obs.Clock
+	// candidates and windows (applied batches) accumulate across ApplyDelta
+	// calls; timings live in the span tree.
+	candidates int
+	windows    int
 }
 
 // NewMaintainer builds the maintainer and computes the initial summary by
@@ -49,6 +58,7 @@ type Maintainer struct {
 // uniformly). The utility's state is owned by the maintainer.
 func NewMaintainer(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Config) (*Maintainer, *Summary) {
 	cfg = cfg.withDefaults()
+	run := startRun(cfg.Obs, "incfgs")
 	m := &Maintainer{
 		g:       g,
 		groups:  groups,
@@ -57,11 +67,17 @@ func NewMaintainer(g *graph.Graph, groups *submod.Groups, util submod.Utility, c
 		sel:     submod.NewStreamer(groups, util, cfg.N),
 		util:    util,
 		matcher: pattern.NewMatcher(g, cfg.Mining.EmbedCap),
+		run:     run,
+		clock:   cfg.Obs.GetClock(),
 	}
+	run.register(m.er)
+	run.register(m.sel)
+	sp := run.phase(PhaseSelect)
 	for _, v := range groups.All() {
 		m.sel.Process(v)
 	}
 	m.sel.PostSelect()
+	sp.End()
 	m.recover(m.sel.Selected())
 	return m, m.Summary()
 }
@@ -112,6 +128,7 @@ func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
 	if applied == 0 {
 		return m.Summary(), firstErr
 	}
+	m.windows++
 
 	// Affected region: every node within r of an inserted endpoint has a
 	// changed E_v^r.
@@ -131,6 +148,7 @@ func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
 
 	// Incremental selection: stream affected group nodes; their marginal
 	// gains may have improved with the new edges.
+	sp := m.run.phase(PhaseSelect)
 	selectedBefore := graph.NodeSetOf(m.sel.Selected())
 	for _, v := range affectedGroup {
 		if !selectedBefore.Has(v) {
@@ -138,6 +156,7 @@ func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
 		}
 	}
 	m.sel.PostSelect()
+	sp.End()
 	selected := m.sel.Selected()
 	selectedSet := graph.NodeSetOf(selected)
 
@@ -145,6 +164,7 @@ func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
 	// 5-6); re-verify coverage and re-score those touching the affected
 	// region, since new edges can both create matches and change C_P.
 	affectedSet := graph.NodeSetOf(affected)
+	sp = m.run.phase(PhaseSummarize)
 	kept := m.patterns[:0]
 	for _, pi := range m.patterns {
 		touches := false
@@ -162,6 +182,7 @@ func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
 		}
 	}
 	m.patterns = kept
+	sp.End()
 
 	m.recover(selected)
 	return m.Summary(), firstErr
@@ -199,9 +220,15 @@ func (m *Maintainer) recover(selected []graph.NodeID) {
 	if len(uncovered) == 0 {
 		return
 	}
+	sp := m.run.phase(PhaseMine)
 	mcfg := m.cfg.Mining
 	mcfg.MaxPatterns = m.cfg.PerNodePatterns * len(uncovered)
 	cands := mining.SumGen(m.g, uncovered, selected, mcfg, m.er)
+	m.candidates += len(cands)
+	sp.End()
+
+	sp = m.run.phase(PhaseSummarize)
+	defer sp.End()
 
 	// Seed the greedy with the existing patterns' coverage so feasibility is
 	// judged against the whole summary.
@@ -262,16 +289,16 @@ func (m *Maintainer) Summary() *Summary {
 			uncovered = append(uncovered, v)
 		}
 	}
-	return buildSummary(m.cfg, append([]PatternInfo(nil), m.patterns...), m.er, m.util, uncovered, Stats{})
+	return buildSummary(m.cfg, append([]PatternInfo(nil), m.patterns...), m.er, m.util, uncovered, m.run.stats(m.candidates, m.windows))
 }
 
 // Selected exposes the current selection V_p.
 func (m *Maintainer) Selected() []graph.NodeID { return m.sel.Selected() }
 
-// timeBatch is a helper for benchmarks: apply a batch and report elapsed
-// time.
+// TimeBatch is a helper for benchmarks: apply a batch and report elapsed
+// time via the maintainer's sanctioned clock.
 func (m *Maintainer) TimeBatch(batch []EdgeUpdate) (*Summary, time.Duration, error) {
-	start := time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
+	start := m.clock.Now()
 	s, err := m.ApplyBatch(batch)
-	return s, time.Since(start), err
+	return s, m.clock.Now().Sub(start), err
 }

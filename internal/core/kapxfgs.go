@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/obs"
 	"github.com/cwru-db/fgs/internal/submod"
 )
 
@@ -26,31 +26,42 @@ func KAPXFGS(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Con
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("core: KAPXFGS requires K > 0 (got %d); use APXFGS for unbounded patterns", cfg.K)
 	}
-	var stats Stats
+	run := startRun(cfg.Obs, "kapxfgs")
 
-	start := time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
-	vp, err := submod.FairSelect(groups, util, cfg.N)
+	sp := run.phase(PhaseSelect)
+	vp, err := submod.FairSelectObs(groups, util, cfg.N, run.reg)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: selection phase: %w", err)
 	}
-	stats.SelectTime = time.Since(start)
 
-	start = time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
+	sp = run.phase(PhaseMine)
 	er := mining.NewErCache(g, cfg.R)
+	run.register(er)
 	cands := mining.SumGen(g, vp, vp, cfg.Mining, er)
-	stats.MineTime = time.Since(start)
-	stats.Candidates = len(cands)
+	sp.SetArg("candidates", int64(len(cands)))
+	sp.End()
 
-	start = time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
-	chosen, uncovered := maxCoverSelect(cands, vp, cfg, er)
-	stats.SummarizeTime = time.Since(start)
+	sp = run.phase(PhaseSummarize)
+	chosen, uncovered := maxCoverSelect(cands, vp, cfg, er, run.reg)
+	sp.SetArg("patterns", int64(len(chosen)))
+	sp.End()
 
-	return buildSummary(cfg, chosen, er, util, uncovered, stats), nil
+	return buildSummary(cfg, chosen, er, util, uncovered, run.finish(len(cands), 0)), nil
 }
 
 // maxCoverSelect picks up to k candidates maximizing edge coverage of
-// E^r_{V_p}, then repairs V_p node coverage by swapping.
-func maxCoverSelect(cands []*mining.Candidate, vp []graph.NodeID, cfg Config, er *mining.ErCache) ([]PatternInfo, []graph.NodeID) {
+// E^r_{V_p}, then repairs V_p node coverage by swapping. Iteration counters
+// (rounds, candidate scans, repair swaps) are reported to reg at the end —
+// zero overhead inside the loops, nothing when reg is nil.
+func maxCoverSelect(cands []*mining.Candidate, vp []graph.NodeID, cfg Config, er *mining.ErCache, reg *obs.Registry) ([]PatternInfo, []graph.NodeID) {
+	var rounds, scans, swaps int64
+	defer func() {
+		reg.Add("fgs_cover_rounds_total", "Greedy cover rounds (patterns chosen).", nil, rounds)
+		reg.Add("fgs_cover_candidate_scans_total", "Candidate evaluations across greedy cover rounds.", nil, scans)
+		reg.Add("fgs_cover_swaps_total", "Repair-phase pattern swaps in KAPXFGS.", nil, swaps)
+	}()
+
 	universe := er.UnionOf(vp)
 	chosenIdx := make([]int, 0, cfg.K)
 	used := make([]bool, len(cands))
@@ -64,6 +75,7 @@ func maxCoverSelect(cands []*mining.Candidate, vp []graph.NodeID, cfg Config, er
 			if used[i] {
 				continue
 			}
+			scans++
 			if !feasibleTogether(cands, append(chosenIdx, i), cfg.N) {
 				continue
 			}
@@ -80,6 +92,7 @@ func maxCoverSelect(cands []*mining.Candidate, vp []graph.NodeID, cfg Config, er
 		}
 		used[best] = true
 		chosenIdx = append(chosenIdx, best)
+		rounds++
 		for e := range cands[best].CoveredEdges {
 			if universe.Has(e) {
 				coveredEdges.Add(e)
@@ -176,6 +189,7 @@ func maxCoverSelect(cands []*mining.Candidate, vp []graph.NodeID, cfg Config, er
 			used[in] = true
 			chosenIdx = append(chosenIdx[:out], chosenIdx[out+1:]...)
 			chosenIdx = append(chosenIdx, in)
+			swaps++
 			progressed = true
 			break
 		}

@@ -160,7 +160,7 @@ func TestMaxCoverSelectSwapPath(t *testing.T) {
 	vp := []graph.NodeID{a, b}
 	cfg := Config{R: 1, K: 1, N: 2}.withDefaults()
 	er := mining.NewErCache(g, 1)
-	chosen, uncovered := maxCoverSelect([]*mining.Candidate{rich, broad}, vp, cfg, er)
+	chosen, uncovered := maxCoverSelect([]*mining.Candidate{rich, broad}, vp, cfg, er, nil)
 	if len(uncovered) != 0 {
 		t.Fatalf("swap repair failed: uncovered %v", uncovered)
 	}

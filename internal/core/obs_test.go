@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/obs"
+)
+
+// TestObserverInertForSummaries is the observability safety property: running
+// any algorithm with a full collector attached (spans + registry + frozen
+// clock) must produce a byte-identical summary to running with collection
+// off. The observer may only ever read what happens, never steer it.
+func TestObserverInertForSummaries(t *testing.T) {
+	type algo struct {
+		name string
+		run  func(t *testing.T, o *obs.Observer) []byte
+	}
+	algos := []algo{
+		{"apxfgs", func(t *testing.T, o *obs.Observer) []byte {
+			g, groups, util := talentFixture(t)
+			cfg := defaultCfg()
+			cfg.Obs = o
+			s, err := APXFGS(g, groups, util, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := s.WriteJSON(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}},
+		{"kapxfgs", func(t *testing.T, o *obs.Observer) []byte {
+			g, groups, util := talentFixture(t)
+			cfg := defaultCfg()
+			cfg.K = 3
+			cfg.Obs = o
+			s, err := KAPXFGS(g, groups, util, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := s.WriteJSON(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}},
+		{"online", func(t *testing.T, o *obs.Observer) []byte {
+			g, groups, util := talentFixture(t)
+			cfg := defaultCfg()
+			cfg.K = 4
+			cfg.Obs = o
+			on := NewOnline(g, groups, util, cfg)
+			on.ProcessAll(groups.All())
+			s, err := on.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := s.WriteJSON(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}},
+	}
+	for _, a := range algos {
+		t.Run(a.name, func(t *testing.T) {
+			off := a.run(t, nil)
+			on := a.run(t, obs.NewObserver(obs.NewFrozen(time.Unix(0, 0))))
+			if !bytes.Equal(off, on) {
+				t.Fatalf("summary changed when tracing was enabled:\noff: %s\non:  %s", off, on)
+			}
+		})
+	}
+}
+
+// TestStatsFromSpans checks that core.Stats is a faithful view of the span
+// tree: phase durations come from the recorded spans (driven here by a
+// frozen clock the algorithms cannot tick), and phases appear in execution
+// order.
+func TestStatsFromSpans(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	cfg.Obs = obs.NewObserver(obs.NewFrozen(time.Unix(100, 0)))
+	s, err := APXFGS(g, groups, util, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Stats.Phases) == 0 {
+		t.Fatal("no phases recorded")
+	}
+	wantOrder := []string{PhaseSelect, PhaseMine, PhaseSummarize}
+	for i, ph := range s.Stats.Phases {
+		if i >= len(wantOrder) || ph.Name != wantOrder[i] {
+			t.Fatalf("phase order %v, want prefix of %v", s.Stats.Phases, wantOrder)
+		}
+		if ph.Count != 1 {
+			t.Fatalf("phase %s ran %d times, want 1", ph.Name, ph.Count)
+		}
+		// The frozen clock never advances, so every span is zero-length.
+		if ph.Time != 0 {
+			t.Fatalf("phase %s duration %v under a frozen clock", ph.Name, ph.Time)
+		}
+	}
+	if s.Stats.Candidates == 0 {
+		t.Fatal("candidate count not recorded")
+	}
+	if got := s.Stats.Total(); got != 0 {
+		t.Fatalf("Total() = %v under a frozen clock", got)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
@@ -33,7 +32,12 @@ type Online struct {
 
 	patterns []PatternInfo
 	util     submod.Utility
-	stats    Stats
+
+	run *runObs
+	// candidates and windows accumulate across Process calls; the phase
+	// timings themselves live in the span tree (see Stats).
+	candidates int
+	windows    int
 }
 
 // NewOnline prepares a streaming summarizer. The utility's state is owned by
@@ -41,21 +45,27 @@ type Online struct {
 // it unbounded.
 func NewOnline(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Config) *Online {
 	cfg = cfg.withDefaults()
-	return &Online{
+	run := startRun(cfg.Obs, "online")
+	o := &Online{
 		g:      g,
 		groups: groups,
 		cfg:    cfg,
 		er:     mining.NewErCache(g, cfg.R),
 		sel:    submod.NewStreamer(groups, util, cfg.N),
 		util:   util,
+		run:    run,
 	}
+	run.register(o.er)
+	run.register(o.sel)
+	return o
 }
 
-// Process consumes one arriving group node.
+// Process consumes one arriving group node (one stream window).
 func (o *Online) Process(v graph.NodeID) {
-	start := time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
+	o.windows++
+	sp := o.run.phase(PhaseSelect)
 	res := o.sel.Process(v)
-	o.stats.SelectTime += time.Since(start)
+	sp.End()
 	switch res.Decision {
 	case submod.Accepted:
 		o.updateP(v)
@@ -74,7 +84,7 @@ func (o *Online) ProcessAll(nodes []graph.NodeID) {
 
 // updateP implements procedure UpdateP (Fig. 6) for one newly selected node.
 func (o *Online) updateP(v graph.NodeID) {
-	start := time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
+	sp := o.run.phase(PhaseMine)
 	mcfg := o.cfg.Mining
 	mcfg.MaxPatterns = o.cfg.PerNodePatterns
 	// Localized mining from E_v^r; coverage is evaluated over the current
@@ -83,11 +93,11 @@ func (o *Online) updateP(v graph.NodeID) {
 	// O(|E_v^r| + N_v·T_I). Finish's global re-scoring repairs the totals.
 	mcfg.ScoreAnchorsOnly = true
 	cands := mining.SumGen(o.g, []graph.NodeID{v}, o.sel.Selected(), mcfg, o.er)
-	o.stats.Candidates += len(cands)
-	o.stats.MineTime += time.Since(start)
+	o.candidates += len(cands)
+	sp.End()
 
-	start = time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
-	defer func() { o.stats.SummarizeTime += time.Since(start) }()
+	sp = o.run.phase(PhaseSummarize)
+	defer sp.End()
 
 	if o.coveredSet().Has(v) {
 		return // an existing pattern already covers the newcomer
@@ -250,9 +260,9 @@ func (o *Online) coveredSet() graph.NodeSet {
 // Finish runs post-processing (PostSelect for deficient groups, plus pattern
 // updates for the nodes it adds) and returns the final r-summary.
 func (o *Online) Finish() (*Summary, error) {
-	start := time.Now() //lint:allow detrand wall-clock timing feeds reported Stats only, never summary content
+	sp := o.run.phase(PhaseSelect)
 	added := o.sel.PostSelect()
-	o.stats.SelectTime += time.Since(start)
+	sp.End()
 	for _, v := range added {
 		o.updateP(v)
 	}
@@ -275,7 +285,8 @@ func (o *Online) Finish() (*Summary, error) {
 		return nil, fmt.Errorf("core: online pattern budget violated: %d > %d", len(o.patterns), o.cfg.K)
 	}
 	o.rescoreAll()
-	return buildSummary(o.cfg, o.patterns, o.er, o.util, uncovered, o.stats), nil
+	o.run.reg.Add("fgs_online_windows_total", "Stream windows processed by Online-APXFGS.", nil, int64(o.windows))
+	return buildSummary(o.cfg, o.patterns, o.er, o.util, uncovered, o.run.finish(o.candidates, o.windows)), nil
 }
 
 // rescoreAll re-evaluates every pattern against the final selection: covers
@@ -303,8 +314,9 @@ func (o *Online) rescoreAll() {
 	o.patterns = kept
 }
 
-// Stats exposes the accumulated phase timings so far.
-func (o *Online) Stats() Stats { return o.stats }
+// Stats exposes the accumulated phase timings so far, derived from the span
+// tree (safe to call mid-stream: only completed phase spans are counted).
+func (o *Online) Stats() Stats { return o.run.stats(o.candidates, o.windows) }
 
 // Selected returns the current streaming selection.
 func (o *Online) Selected() []graph.NodeID { return o.sel.Selected() }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"github.com/cwru-db/fgs/internal/obs"
+)
+
+// Span taxonomy (DESIGN.md §8): each algorithm run is a root span named
+// after the algorithm, with one child span per pipeline phase.
+const (
+	PhaseSelect    = "select"
+	PhaseMine      = "mine"
+	PhaseSummarize = "summarize"
+)
+
+// runObs carries one algorithm run's observability state. Every run has one,
+// even with no caller-supplied Observer: a private trace is cheap (a handful
+// of spans) and keeps Stats an honest view of the spans actually recorded,
+// rather than a parallel bookkeeping path that could drift.
+type runObs struct {
+	tr   *obs.Trace
+	reg  *obs.Registry // nil when no collector is installed
+	root obs.Span
+}
+
+// startRun opens the root span for one algorithm run. When the observer
+// carries a trace, spans land there (and show up in -fgs.trace exports);
+// otherwise a private trace backs the Stats view alone.
+func startRun(o *obs.Observer, name string) *runObs {
+	tr := o.GetTrace()
+	if tr == nil {
+		tr = obs.NewTrace(o.GetClock())
+	}
+	return &runObs{tr: tr, reg: o.GetReg(), root: tr.Start(name)}
+}
+
+// phase opens a child span for one pipeline phase.
+func (r *runObs) phase(name string) obs.Span { return r.root.Child(name) }
+
+// register adds a metrics source to the run's registry (no-op when none).
+func (r *runObs) register(s obs.Source) { r.reg.Register(s) }
+
+// finish closes the root span and derives the run's Stats from the span
+// tree.
+func (r *runObs) finish(candidates, windows int) Stats {
+	r.root.End()
+	return r.stats(candidates, windows)
+}
+
+// stats derives a Stats view from the run's direct child spans without
+// closing the root — streaming algorithms expose progress mid-run.
+func (r *runObs) stats(candidates, windows int) Stats {
+	return statsView(r.tr, r.root.ID(), candidates, windows)
+}
+
+// statsView merges the completed direct children of the given root span by
+// name, in first-execution order. Filtering on the parent id keeps runs
+// sharing one trace (successive figures in fgsbench) from leaking into each
+// other's Stats.
+func statsView(tr *obs.Trace, rootID int32, candidates, windows int) Stats {
+	st := Stats{Candidates: candidates, Windows: windows}
+	for _, rec := range tr.Records() {
+		if rec.Parent != rootID || !rec.Done {
+			continue
+		}
+		found := false
+		for i := range st.Phases {
+			if st.Phases[i].Name == rec.Name {
+				st.Phases[i].Time += rec.Dur
+				st.Phases[i].Count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			st.Phases = append(st.Phases, PhaseStat{Name: rec.Name, Time: rec.Dur, Count: 1})
+		}
+	}
+	return st
+}

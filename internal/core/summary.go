@@ -24,6 +24,7 @@ import (
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/obs"
 	"github.com/cwru-db/fgs/internal/pattern"
 	"github.com/cwru-db/fgs/internal/submod"
 )
@@ -49,6 +50,9 @@ type Config struct {
 	// cache warming) unless that is set explicitly. 0/1 = sequential; results
 	// are identical at any setting.
 	Workers int
+	// Obs receives phase spans and runtime counters. Nil disables collection
+	// beyond the Stats view; it flows into Mining.Obs unless that is set.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Mining.Workers == 0 {
 		c.Mining.Workers = c.Workers
+	}
+	if c.Mining.Obs == nil {
+		c.Mining.Obs = c.Obs
 	}
 	return c
 }
@@ -99,17 +106,55 @@ type Summary struct {
 	Stats Stats
 }
 
-// Stats carries per-phase timings and counters.
-type Stats struct {
-	SelectTime    time.Duration
-	MineTime      time.Duration
-	SummarizeTime time.Duration
-	// Candidates is N, the number of patterns generated and verified.
-	Candidates int
+// PhaseStat is the aggregated timing of one named pipeline phase.
+type PhaseStat struct {
+	Name string
+	Time time.Duration
+	// Count is the number of spans merged into this phase (1 for batch runs;
+	// the per-window invocation count for streaming runs).
+	Count int
 }
 
-// Total returns the end-to-end time.
-func (s Stats) Total() time.Duration { return s.SelectTime + s.MineTime + s.SummarizeTime }
+// Stats carries per-phase timings and counters. It is a view derived from
+// the run's span tree (see statsView), so Total can never drift from the
+// phases actually run.
+type Stats struct {
+	// Phases lists the run's phases in first-execution order.
+	Phases []PhaseStat
+	// Candidates is N, the number of patterns generated and verified.
+	Candidates int
+	// Windows counts stream windows processed (online/incremental runs only),
+	// so per-window averages are computable from exported metrics.
+	Windows int
+}
+
+// Phase returns the aggregated duration of the named phase (0 if absent).
+func (s Stats) Phase(name string) time.Duration {
+	for _, p := range s.Phases {
+		if p.Name == name {
+			return p.Time
+		}
+	}
+	return 0
+}
+
+// SelectTime returns the selection-phase duration.
+func (s Stats) SelectTime() time.Duration { return s.Phase(PhaseSelect) }
+
+// MineTime returns the mining-phase duration.
+func (s Stats) MineTime() time.Duration { return s.Phase(PhaseMine) }
+
+// SummarizeTime returns the summarization-phase duration.
+func (s Stats) SummarizeTime() time.Duration { return s.Phase(PhaseSummarize) }
+
+// Total returns the end-to-end time: the sum over all recorded phases.
+func (s Stats) Total() time.Duration {
+	var t time.Duration
+	for _, p := range s.Phases {
+		t += p.Time
+	}
+	return t
+}
 
 // NumPatterns returns |P|.
 func (s *Summary) NumPatterns() int { return len(s.Patterns) }

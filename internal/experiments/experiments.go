@@ -18,6 +18,7 @@ import (
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/metrics"
 	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/obs"
 	"github.com/cwru-db/fgs/internal/submod"
 )
 
@@ -45,9 +46,18 @@ type Suite struct {
 	// measurements; any setting produces identical metric values, only the
 	// reported wall times change.
 	Workers int
+	// Obs, when set, threads the observability collector through every run:
+	// phase spans land in Obs.Trace, component counters in Obs.Reg, and all
+	// figure timings use Obs' clock. Nil keeps collection off (the runs then
+	// time themselves against the system clock, as before).
+	Obs *obs.Observer
 
 	graphs map[string]*graph.Graph
 }
+
+// clock returns the suite's timing source: Obs' clock when set, the system
+// clock otherwise (GetClock is nil-safe).
+func (s *Suite) clock() obs.Clock { return s.Obs.GetClock() }
 
 // New returns a suite at the given scale.
 func New(scale int, seed int64) *Suite {
@@ -89,6 +99,7 @@ type setting struct {
 	groups  *submod.Groups
 	util    func() submod.Utility
 	workers int
+	obs     *obs.Observer
 }
 
 // standardSettings builds the three per-dataset configurations of
@@ -113,9 +124,9 @@ func (s *Suite) standardSettings(lower, upper int) ([]setting, error) {
 		return nil, fmt.Errorf("Cite groups: %w", err)
 	}
 	return []setting{
-		{name: "DBP", g: dbp, groups: dbpGroups, util: func() submod.Utility { return submod.NewRatingSum(dbp, "rating") }, workers: s.Workers},
-		{name: "LKI", g: lki, groups: lkiGroups, util: func() submod.Utility { return submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev") }, workers: s.Workers},
-		{name: "Cite", g: cite, groups: citeGroups, util: func() submod.Utility { return submod.NewNeighborCoverage(cite, submod.NeighborsIn, "cite") }, workers: s.Workers},
+		{name: "DBP", g: dbp, groups: dbpGroups, util: func() submod.Utility { return submod.NewRatingSum(dbp, "rating") }, workers: s.Workers, obs: s.Obs},
+		{name: "LKI", g: lki, groups: lkiGroups, util: func() submod.Utility { return submod.NewNeighborCoverage(lki, submod.NeighborsIn, "corev") }, workers: s.Workers, obs: s.Obs},
+		{name: "Cite", g: cite, groups: citeGroups, util: func() submod.Utility { return submod.NewNeighborCoverage(cite, submod.NeighborsIn, "cite") }, workers: s.Workers, obs: s.Obs},
 	}, nil
 }
 
@@ -136,10 +147,12 @@ type algoOutcome struct {
 	elapsed     time.Duration
 }
 
-// runAPXFGS executes APXFGS and normalizes its output.
+// runAPXFGS executes APXFGS and normalizes its output. Timings come from the
+// setting's obs clock (system clock when no observer is installed).
 func runAPXFGS(st setting, r, n int) (algoOutcome, error) {
-	cfg := core.Config{R: r, N: n, Mining: miningCfg(st.workers)}
-	start := time.Now() //lint:allow detrand runtime is the measured variable of the timing figures, not summary content
+	cfg := core.Config{R: r, N: n, Mining: miningCfg(st.workers), Obs: st.obs}
+	clock := st.obs.GetClock()
+	start := clock.Now()
 	sum, err := core.APXFGS(st.g, st.groups, st.util(), cfg)
 	if err != nil {
 		return algoOutcome{}, err
@@ -148,13 +161,14 @@ func runAPXFGS(st setting, r, n int) (algoOutcome, error) {
 	for _, pi := range sum.Patterns {
 		structure += pi.P.Size()
 	}
-	return algoOutcome{covered: sum.Covered, structure: structure, corrections: sum.Corrections.Len(), elapsed: time.Since(start)}, nil
+	return algoOutcome{covered: sum.Covered, structure: structure, corrections: sum.Corrections.Len(), elapsed: clock.Now().Sub(start)}, nil
 }
 
 // runKAPXFGS executes the k-bounded variant.
 func runKAPXFGS(st setting, r, k, n int) (algoOutcome, error) {
-	cfg := core.Config{R: r, K: k, N: n, Mining: miningCfg(st.workers)}
-	start := time.Now() //lint:allow detrand runtime is the measured variable of the timing figures, not summary content
+	cfg := core.Config{R: r, K: k, N: n, Mining: miningCfg(st.workers), Obs: st.obs}
+	clock := st.obs.GetClock()
+	start := clock.Now()
 	sum, err := core.KAPXFGS(st.g, st.groups, st.util(), cfg)
 	if err != nil {
 		return algoOutcome{}, err
@@ -163,13 +177,14 @@ func runKAPXFGS(st setting, r, k, n int) (algoOutcome, error) {
 	for _, pi := range sum.Patterns {
 		structure += pi.P.Size()
 	}
-	return algoOutcome{covered: sum.Covered, structure: structure, corrections: sum.Corrections.Len(), elapsed: time.Since(start)}, nil
+	return algoOutcome{covered: sum.Covered, structure: structure, corrections: sum.Corrections.Len(), elapsed: clock.Now().Sub(start)}, nil
 }
 
 // runOnline executes Online-APXFGS over the group nodes as a stream.
 func runOnline(st setting, r, k, n int) (algoOutcome, error) {
-	cfg := core.Config{R: r, K: k, N: n, Mining: miningCfg(st.workers)}
-	start := time.Now() //lint:allow detrand runtime is the measured variable of the timing figures, not summary content
+	cfg := core.Config{R: r, K: k, N: n, Mining: miningCfg(st.workers), Obs: st.obs}
+	clock := st.obs.GetClock()
+	start := clock.Now()
 	o := core.NewOnline(st.g, st.groups, st.util(), cfg)
 	o.ProcessAll(st.groups.All())
 	sum, err := o.Finish()
@@ -180,7 +195,7 @@ func runOnline(st setting, r, k, n int) (algoOutcome, error) {
 	for _, pi := range sum.Patterns {
 		structure += pi.P.Size()
 	}
-	return algoOutcome{covered: sum.Covered, structure: structure, corrections: sum.Corrections.Len(), elapsed: time.Since(start)}, nil
+	return algoOutcome{covered: sum.Covered, structure: structure, corrections: sum.Corrections.Len(), elapsed: clock.Now().Sub(start)}, nil
 }
 
 // fromBaseline adapts a baseline.Result.

@@ -7,9 +7,10 @@ func TestMapOrder(t *testing.T) {
 }
 
 func TestDetRand(t *testing.T) {
-	// One deterministic package (flagged) and the exempt generator package
-	// (clean) in the same run.
-	runFixture(t, DetRand, "detrand/internal/core", "detrand/internal/gen")
+	// One deterministic package (flagged), the exempt generator package
+	// (clean), and the obs package (rand flagged, time.Now sanctioned) in the
+	// same run.
+	runFixture(t, DetRand, "detrand/internal/core", "detrand/internal/gen", "detrand/internal/obs")
 }
 
 func TestNoPanic(t *testing.T) {
@@ -67,9 +68,13 @@ func TestIsDeterministicPkg(t *testing.T) {
 		"github.com/cwru-db/fgs/internal/mining":    true,
 		"detrand/internal/experiments":              true,
 		"internal/pattern":                          true,
+		"github.com/cwru-db/fgs/internal/obs":       true,
 		"github.com/cwru-db/fgs/internal/gen":       false,
 		"github.com/cwru-db/fgs/internal/corestuff": false,
 		"github.com/cwru-db/fgs/internal/graph":     false,
+	}
+	if !isObsPkg("github.com/cwru-db/fgs/internal/obs") || isObsPkg("github.com/cwru-db/fgs/internal/core") {
+		t.Error("isObsPkg misclassifies the sanctioned clock package")
 	}
 	for path, want := range cases {
 		if got := isDeterministicPkg(path); got != want {

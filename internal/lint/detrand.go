@@ -14,8 +14,10 @@ import (
 //
 // internal/gen is deliberately outside the list: it is the seeded dataset
 // generator, and its *rand.Rand instances are constructed from explicit
-// seeds. Wall-clock timing that only feeds reported runtime statistics —
-// never summary content — takes //lint:allow detrand with a why-comment.
+// seeds. Wall-clock access goes through obs.Clock: internal/obs is the one
+// package allowed to call time.Now (obs.System wraps it), so deterministic
+// code takes a Clock and timing figures read it instead of the wall clock
+// directly.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "flag global math/rand, unseeded rand.New, and time.Now in deterministic packages",
@@ -30,6 +32,17 @@ var detPackages = []string{
 	"internal/pattern",
 	"internal/submod",
 	"internal/experiments",
+	"internal/obs",
+}
+
+// obsPackage is the sanctioned wall-clock source: the rest of the contract
+// (no global math/rand, no unseeded rand.New) applies to it like any other
+// deterministic package, but its time.Now calls are the implementation of
+// obs.System and are therefore permitted.
+const obsPackage = "internal/obs"
+
+func isObsPkg(pkgPath string) bool {
+	return pkgPath == obsPackage || strings.HasSuffix(pkgPath, "/"+obsPackage)
 }
 
 // isDeterministicPkg matches pkgPath against detPackages on path-segment
@@ -79,8 +92,8 @@ func runDetRand(pass *Pass) error {
 			case "math/rand", "math/rand/v2":
 				checkRandCall(pass, call, sel, path)
 			case "time":
-				if sel.Sel.Name == "Now" {
-					pass.Report(call.Pos(), "time.Now in deterministic package %s: results must not depend on the wall clock", pass.PkgPath)
+				if sel.Sel.Name == "Now" && !isObsPkg(pass.PkgPath) {
+					pass.Report(call.Pos(), "time.Now in deterministic package %s: results must not depend on the wall clock (read an obs.Clock instead)", pass.PkgPath)
 				}
 			}
 			return true

@@ -1,0 +1,15 @@
+// Fixture for the detrand analyzer inside internal/obs: the package is under
+// the determinism contract (global math/rand is still flagged) but is the
+// sanctioned wall-clock source, so its time.Now calls are permitted.
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+func SystemNow() time.Time { return time.Now() } // ok: obs wraps the wall clock
+
+func Jitter() int {
+	return rand.Intn(10) // want `global rand\.Intn draws from the process-seeded source`
+}

@@ -1,9 +1,11 @@
 package mining
 
 import (
+	"strconv"
 	"sync"
 
 	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/obs"
 )
 
 // erShards is the stripe count of ErCache. A modest power of two keeps the
@@ -28,6 +30,11 @@ type ErCache struct {
 type erShard struct {
 	mu sync.Mutex
 	m  map[graph.NodeID]graph.EdgeSet
+	// Always-on counters, read/written under mu the Get/Invalidate paths
+	// already hold — no extra synchronization, no allocation.
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 // NewErCache returns a cache for radius r over g.
@@ -55,8 +62,10 @@ func (c *ErCache) Get(v graph.NodeID) graph.EdgeSet {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if es, ok := s.m[v]; ok {
+		s.hits++
 		return es
 	}
+	s.misses++
 	es := c.g.RHopEdges(v, c.r)
 	s.m[v] = es
 	return es
@@ -85,9 +94,35 @@ func (c *ErCache) Invalidate(nodes []graph.NodeID) {
 	for _, v := range nodes {
 		s := c.shardOf(v)
 		s.mu.Lock()
-		delete(s.m, v)
+		if _, ok := s.m[v]; ok {
+			s.evictions++
+			delete(s.m, v)
+		}
 		s.mu.Unlock()
 	}
+}
+
+// ObsMetrics snapshots the per-shard hit/miss/eviction counters and the
+// entry count as labeled series, implementing obs.Source. Runs registering
+// fresh caches into one registry merge by summation at Gather time.
+func (c *ErCache) ObsMetrics() []obs.Metric {
+	out := make([]obs.Metric, 0, 3*erShards+1)
+	entries := int64(0)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits, misses, evictions, n := s.hits, s.misses, s.evictions, len(s.m)
+		s.mu.Unlock()
+		entries += int64(n)
+		labels := []obs.Label{{Key: "shard", Val: strconv.Itoa(i)}}
+		out = append(out,
+			obs.Metric{Name: "fgs_ercache_hits_total", Help: "E_v^r cache hits per shard.", Kind: obs.KindCounter, Labels: labels, Value: float64(hits)},
+			obs.Metric{Name: "fgs_ercache_misses_total", Help: "E_v^r cache misses (BFS computations) per shard.", Kind: obs.KindCounter, Labels: labels, Value: float64(misses)},
+			obs.Metric{Name: "fgs_ercache_evictions_total", Help: "E_v^r cache invalidations per shard.", Kind: obs.KindCounter, Labels: labels, Value: float64(evictions)},
+		)
+	}
+	out = append(out, obs.Metric{Name: "fgs_ercache_entries", Help: "Cached E_v^r entries across all shards.", Kind: obs.KindGauge, Value: float64(entries)})
+	return out
 }
 
 // Warm precomputes E_v^r for the given nodes across workers goroutines,

@@ -1,0 +1,30 @@
+package mining
+
+import "github.com/cwru-db/fgs/internal/obs"
+
+// miningMetrics holds the engine's runtime counters. It exists only when a
+// collector is installed (engine.mm is nil otherwise), so the sequential and
+// uninstrumented paths pay a single nil check.
+type miningMetrics struct {
+	// emitted counts candidates appended to the output.
+	emitted obs.Counter
+	// pruned counts patterns cut by the anti-monotone anchor-coverage check.
+	pruned obs.Counter
+	// specDiscards counts speculatively scored patterns discarded past the
+	// MaxPatterns budget by the in-order committer.
+	specDiscards obs.Counter
+	// queueDepth samples the worker pool's in-flight job count (submitted −
+	// received) at each submission.
+	queueDepth obs.Histogram
+}
+
+// ObsMetrics implements obs.Source.
+func (m *miningMetrics) ObsMetrics() []obs.Metric {
+	depth := m.queueDepth.Snapshot()
+	return []obs.Metric{
+		{Name: "fgs_mining_candidates_total", Help: "Candidates emitted by SumGen.", Kind: obs.KindCounter, Value: float64(m.emitted.Load())},
+		{Name: "fgs_mining_pruned_total", Help: "Patterns pruned by the anti-monotone anchor-coverage check.", Kind: obs.KindCounter, Value: float64(m.pruned.Load())},
+		{Name: "fgs_mining_spec_discards_total", Help: "Speculatively scored patterns discarded past the MaxPatterns budget.", Kind: obs.KindCounter, Value: float64(m.specDiscards.Load())},
+		{Name: "fgs_mining_queue_depth", Help: "Worker-pool in-flight jobs sampled at each submission.", Kind: obs.KindHistogram, Hist: &depth},
+	}
+}

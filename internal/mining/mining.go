@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/obs"
 	"github.com/cwru-db/fgs/internal/pattern"
 )
 
@@ -54,6 +55,10 @@ type Config struct {
 	// parallel. 0/1 = fully sequential. Output is byte-identical either way;
 	// see runParallel for the determinism argument.
 	Workers int
+	// Obs receives the engine's runtime counters (queue depth, speculation
+	// discards, prunes) and the matcher's search counters. Nil disables
+	// collection; mining never reads the clock.
+	Obs *obs.Observer
 }
 
 // withDefaults fills zero fields.
@@ -137,6 +142,13 @@ func SumGen(g *graph.Graph, anchors []graph.NodeID, universe []graph.NodeID, cfg
 		anchSet:  graph.NodeSetOf(anchors),
 		seen:     make(map[string]bool),
 	}
+	if reg := cfg.Obs.GetReg(); reg != nil {
+		// Allocated only when a collector is installed: the hot loops guard
+		// on e.mm == nil and pay nothing otherwise.
+		eng.mm = &miningMetrics{}
+		reg.Register(eng.mm)
+		reg.Register(m)
+	}
 	eng.buildTemplates()
 	if cfg.Workers > 1 {
 		// Pre-warm E_v^r for every node score() can touch, so workers read
@@ -180,6 +192,9 @@ type engine struct {
 	// needs coverage counts); noFallback suppresses the full-literal seeds.
 	skipScore  bool
 	noFallback bool
+
+	// mm is non-nil only when a metrics collector is installed.
+	mm *miningMetrics
 }
 
 // edgeTemplate is one observed adjacency shape.
@@ -272,6 +287,9 @@ func (e *engine) run() {
 	for _, p := range e.fallbackSeeds() {
 		if cand := e.score(p, true); cand != nil {
 			e.out = append(e.out, cand)
+			if e.mm != nil {
+				e.mm.emitted.Inc()
+			}
 		}
 	}
 
@@ -292,10 +310,16 @@ func (e *engine) run() {
 		coveredAnchors := e.m.CoverAmong(p, e.anchors)
 		if len(coveredAnchors) < e.cfg.MinCover {
 			// Anti-monotone: extensions only shrink coverage; prune subtree.
+			if e.mm != nil {
+				e.mm.pruned.Inc()
+			}
 			continue
 		}
 		if cand := e.score(p, false); cand != nil {
 			e.out = append(e.out, cand)
+			if e.mm != nil {
+				e.mm.emitted.Inc()
+			}
 			grown++
 			if grown >= e.cfg.MaxPatterns {
 				break

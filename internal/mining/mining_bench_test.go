@@ -9,8 +9,8 @@ import (
 	"github.com/cwru-db/fgs/internal/graph"
 )
 
-func benchNetwork(b *testing.B, n int) (*graph.Graph, []graph.NodeID) {
-	b.Helper()
+func benchNetwork(tb testing.TB, n int) (*graph.Graph, []graph.NodeID) {
+	tb.Helper()
 	rng := rand.New(rand.NewSource(1))
 	g := graph.New()
 	for i := 0; i < n; i++ {

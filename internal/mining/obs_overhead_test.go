@@ -1,0 +1,57 @@
+package mining
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/obs"
+)
+
+// TestErCacheHitZeroAlloc pins the instrumentation cost contract: the
+// always-on hit/miss counters are plain int64s under the shard mutex the Get
+// already takes, so a cache hit must not allocate.
+func TestErCacheHitZeroAlloc(t *testing.T) {
+	g, anchors := benchNetwork(t, 500)
+	er := NewErCache(g, 2)
+	v := anchors[0]
+	er.Get(v) // populate: subsequent Gets are hits
+	if allocs := testing.AllocsPerRun(1000, func() { er.Get(v) }); allocs != 0 {
+		t.Fatalf("ErCache hit path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkErCacheHit measures the hit path (counters always on); run with
+// -benchmem to confirm 0 allocs/op.
+func BenchmarkErCacheHit(b *testing.B) {
+	g, anchors := benchNetwork(b, 2000)
+	er := NewErCache(g, 2)
+	for _, v := range anchors {
+		er.Get(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		er.Get(anchors[i%len(anchors)])
+	}
+}
+
+// BenchmarkSumGenObs compares the full mining pipeline with collection off
+// (cfg.Obs nil — the default every production path starts from) and on. The
+// "off" case is the overhead budget the observability layer must honor:
+// engine metrics are not even allocated without an observer.
+func BenchmarkSumGenObs(b *testing.B) {
+	g, anchors := benchNetwork(b, 2000)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(fmt.Sprintf("obs=%s", mode), func(b *testing.B) {
+			cfg := Config{Radius: 2, MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 100}
+			if mode == "on" {
+				cfg.Obs = obs.NewObserver(nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				er := NewErCache(g, 2)
+				SumGen(g, anchors, anchors, cfg, er)
+			}
+		})
+	}
+}

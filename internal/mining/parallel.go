@@ -70,12 +70,21 @@ func (c *committer) add(r scoreResult) {
 		}
 		if r.fallback {
 			c.e.out = append(c.e.out, r.cand)
+			if c.e.mm != nil {
+				c.e.mm.emitted.Inc()
+			}
 			continue
 		}
 		if c.grown >= c.e.cfg.MaxPatterns {
+			if c.e.mm != nil {
+				c.e.mm.specDiscards.Inc()
+			}
 			continue // speculative overshoot past the budget; discard
 		}
 		c.e.out = append(c.e.out, r.cand)
+		if c.e.mm != nil {
+			c.e.mm.emitted.Inc()
+		}
 		c.grown++
 	}
 }
@@ -112,6 +121,9 @@ func (e *engine) runParallel() {
 	submit := func(p *pattern.Pattern, fallback bool) {
 		for submitted-received >= window {
 			drainOne()
+		}
+		if e.mm != nil {
+			e.mm.queueDepth.Observe(int64(submitted - received))
 		}
 		jobs <- scoreJob{seq: submitted, p: p, fallback: fallback}
 		submitted++
@@ -153,6 +165,9 @@ func (e *engine) runParallel() {
 		// large anchor sets), and extensions need coveredAnchors anyway.
 		coveredAnchors := e.m.CoverAmong(p, e.anchors)
 		if len(coveredAnchors) < e.cfg.MinCover {
+			if e.mm != nil {
+				e.mm.pruned.Inc()
+			}
 			continue
 		}
 		submit(p, false)

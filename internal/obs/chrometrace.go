@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Trace Event Format entry. We emit only complete ("X")
+// events: chrome://tracing and Perfetto render nesting from time containment
+// on the same pid/tid.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`  // microseconds from trace epoch
+	Dur  float64          `json:"dur"` // microseconds
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the trace's completed spans in the Chrome Trace
+// Event Format (loadable in chrome://tracing or https://ui.perfetto.dev).
+// Spans still open at export time are skipped. Nil-safe: a nil trace writes
+// an empty (but valid) trace file.
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	recs := t.Records()
+	f := chromeFile{TraceEvents: make([]chromeEvent, 0, len(recs)), DisplayTimeUnit: "ms"}
+	for _, r := range recs {
+		if !r.Done {
+			continue
+		}
+		ev := chromeEvent{
+			Name: r.Name,
+			Cat:  "fgs",
+			Ph:   "X",
+			Ts:   float64(r.Start.Microseconds()),
+			Dur:  float64(r.Dur.Microseconds()),
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(r.Args) > 0 {
+			ev.Args = make(map[string]int64, len(r.Args))
+			for _, a := range r.Args {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

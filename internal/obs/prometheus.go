@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promLabels renders a label set as {k="v",...}, or "" when empty.
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(all))
+	for _, l := range all {
+		parts = append(parts, fmt.Sprintf("%s=%q", l.Key, l.Val))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the metric snapshot in the Prometheus text
+// exposition format (v0.0.4). HELP/TYPE headers are emitted once per metric
+// name; histograms expand into _bucket/_sum/_count series.
+func WritePrometheus(w io.Writer, metrics []Metric) error {
+	seenHeader := make(map[string]bool, len(metrics))
+	for _, m := range metrics {
+		if !seenHeader[m.Name] {
+			seenHeader[m.Name] = true
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			typ := "counter"
+			switch m.Kind {
+			case KindGauge:
+				typ = "gauge"
+			case KindHistogram:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ); err != nil {
+				return err
+			}
+		}
+		switch m.Kind {
+		case KindHistogram:
+			h := m.Hist
+			if h == nil {
+				h = &HistValue{}
+			}
+			for i, c := range h.Buckets {
+				le := "+Inf"
+				if i < HistNumBuckets {
+					le = fmt.Sprintf("%d", HistBound(i))
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, Label{Key: "le", Val: le}), c); err != nil {
+					return err
+				}
+			}
+			if len(h.Buckets) == 0 {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s 0\n", m.Name, promLabels(m.Labels, Label{Key: "le", Val: "+Inf"})); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.Name, promLabels(m.Labels), h.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels), h.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", m.Name, promLabels(m.Labels), m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PhaseMetrics aggregates the trace's completed spans by name into
+// fgs_phase_seconds_total / fgs_phase_spans_total series, so phase timings
+// land in the same exposition as the runtime counters. Nil-safe.
+func PhaseMetrics(t *Trace) []Metric {
+	recs := t.Records()
+	type agg struct {
+		secs  float64
+		count int64
+	}
+	byName := make(map[string]*agg)
+	var names []string
+	for _, r := range recs {
+		if !r.Done {
+			continue
+		}
+		a, ok := byName[r.Name]
+		if !ok {
+			a = &agg{}
+			byName[r.Name] = a
+			names = append(names, r.Name)
+		}
+		a.secs += r.Dur.Seconds()
+		a.count++
+	}
+	sort.Strings(names)
+	out := make([]Metric, 0, 2*len(names))
+	for _, n := range names {
+		a := byName[n]
+		out = append(out, Metric{
+			Name:   "fgs_phase_seconds_total",
+			Help:   "Cumulative wall time per span name.",
+			Kind:   KindCounter,
+			Labels: []Label{{Key: "phase", Val: n}},
+			Value:  a.secs,
+		})
+		out = append(out, Metric{
+			Name:   "fgs_phase_spans_total",
+			Help:   "Number of completed spans per span name.",
+			Kind:   KindCounter,
+			Labels: []Label{{Key: "phase", Val: n}},
+			Value:  float64(a.count),
+		})
+	}
+	return out
+}
+
+// FormatTable renders a compact fixed-width table of the metric snapshot for
+// the CLIs' end-of-run summary. Histograms show count/sum/mean.
+func FormatTable(metrics []Metric) string {
+	if len(metrics) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	width := 0
+	keys := make([]string, len(metrics))
+	for i, m := range metrics {
+		keys[i] = m.Name + promLabels(m.Labels)
+		if len(keys[i]) > width {
+			width = len(keys[i])
+		}
+	}
+	for i, m := range metrics {
+		switch m.Kind {
+		case KindHistogram:
+			h := m.Hist
+			if h == nil {
+				h = &HistValue{}
+			}
+			mean := 0.0
+			if h.Count > 0 {
+				mean = float64(h.Sum) / float64(h.Count)
+			}
+			fmt.Fprintf(&b, "  %-*s  count=%d sum=%d mean=%.2f\n", width, keys[i], h.Count, h.Sum, mean)
+		default:
+			fmt.Fprintf(&b, "  %-*s  %g\n", width, keys[i], m.Value)
+		}
+	}
+	return b.String()
+}

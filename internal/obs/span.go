@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is an append-only log of hierarchical spans sharing one clock and
+// one epoch. It is safe for concurrent use: the parallel engine's workers
+// and several pipeline runs may record into the same trace.
+type Trace struct {
+	clock Clock
+	epoch time.Time
+
+	mu   sync.Mutex
+	recs []SpanRecord
+}
+
+// SpanRecord is one completed (or still-open) span, positioned relative to
+// the trace epoch.
+type SpanRecord struct {
+	// Name identifies the operation ("apxfgs", "select", "mine", ...).
+	Name string
+	// Parent is the index of the parent record in the trace, -1 for roots.
+	Parent int32
+	// Start is the offset from the trace epoch.
+	Start time.Duration
+	// Dur is the measured duration; valid only once Done.
+	Dur time.Duration
+	// Done reports whether End has run.
+	Done bool
+	// Args are optional integer annotations (candidate counts, sizes, ...).
+	Args []SpanArg
+}
+
+// SpanArg is one integer annotation on a span.
+type SpanArg struct {
+	Key string
+	Val int64
+}
+
+// NewTrace returns an empty trace whose epoch is clock.Now() (nil clock =
+// the system clock).
+func NewTrace(clock Clock) *Trace {
+	if clock == nil {
+		clock = System()
+	}
+	return &Trace{clock: clock, epoch: clock.Now()}
+}
+
+// Clock returns the trace's clock.
+func (t *Trace) Clock() Clock {
+	if t == nil {
+		return System()
+	}
+	return t.clock
+}
+
+// Span is a lightweight handle on one trace record. The zero value (and any
+// span started on a nil trace) is inert: Child returns another inert span,
+// End returns 0, SetArg does nothing — all without allocating.
+type Span struct {
+	t  *Trace
+	id int32
+}
+
+// Start opens a root span. Nil-safe: on a nil trace it returns an inert
+// span without reading the clock.
+func (t *Trace) Start(name string) Span { return t.startSpan(name, -1) }
+
+func (t *Trace) startSpan(name string, parent int32) Span {
+	if t == nil {
+		return Span{id: -1}
+	}
+	now := t.clock.Now()
+	t.mu.Lock()
+	id := int32(len(t.recs))
+	t.recs = append(t.recs, SpanRecord{Name: name, Parent: parent, Start: now.Sub(t.epoch)})
+	t.mu.Unlock()
+	return Span{t: t, id: id}
+}
+
+// Child opens a span nested under s.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{id: -1}
+	}
+	return s.t.startSpan(name, s.id)
+}
+
+// End closes the span and returns its measured duration.
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	now := s.t.clock.Now()
+	s.t.mu.Lock()
+	rec := &s.t.recs[s.id]
+	rec.Dur = now.Sub(s.t.epoch) - rec.Start
+	rec.Done = true
+	d := rec.Dur
+	s.t.mu.Unlock()
+	return d
+}
+
+// SetArg attaches an integer annotation to the span.
+func (s Span) SetArg(key string, val int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	rec := &s.t.recs[s.id]
+	rec.Args = append(rec.Args, SpanArg{Key: key, Val: val})
+	s.t.mu.Unlock()
+}
+
+// ID returns the span's record index in its trace, or -1 for inert spans.
+func (s Span) ID() int32 { return s.id }
+
+// Records returns a copy of every span recorded so far.
+func (t *Trace) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.recs))
+	copy(out, t.recs)
+	for i := range out {
+		if len(out[i].Args) > 0 {
+			out[i].Args = append([]SpanArg(nil), out[i].Args...)
+		}
+	}
+	return out
+}
+
+// Len returns the number of spans recorded so far.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/obs"
 )
 
 // Matcher evaluates patterns against one graph using anchored subgraph
@@ -18,6 +19,25 @@ type Matcher struct {
 	g        *graph.Graph
 	EmbedCap int
 	workers  int // see SetWorkers
+
+	// Backtracking-search counters, accumulated in locals during each search
+	// call and flushed with a handful of atomic adds at the end — safe under
+	// the parallel CoverAmong fan-out, invisible in profiles.
+	searches   obs.Counter
+	embeddings obs.Counter
+	expansions obs.Counter
+	prunes     obs.Counter
+}
+
+// ObsMetrics snapshots the matcher's search counters, implementing
+// obs.Source.
+func (m *Matcher) ObsMetrics() []obs.Metric {
+	return []obs.Metric{
+		{Name: "fgs_match_searches_total", Help: "Anchored backtracking searches started.", Kind: obs.KindCounter, Value: float64(m.searches.Load())},
+		{Name: "fgs_match_embeddings_total", Help: "Embeddings enumerated across all searches.", Kind: obs.KindCounter, Value: float64(m.embeddings.Load())},
+		{Name: "fgs_match_expansions_total", Help: "Partial-assignment extensions (backtrack nodes visited).", Kind: obs.KindCounter, Value: float64(m.expansions.Load())},
+		{Name: "fgs_match_prunes_total", Help: "Candidate nodes rejected during backtracking.", Kind: obs.KindCounter, Value: float64(m.prunes.Load())},
+	}
 }
 
 // NewMatcher returns a matcher over g with the given embedding cap.
@@ -247,9 +267,17 @@ func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.Nod
 	used := make(map[graph.NodeID]bool, n)
 	assign[c.order[0]] = anchor
 	used[anchor] = true
+	var embeddings, expansions, prunes int64
+	defer func() {
+		m.searches.Inc()
+		m.embeddings.Add(embeddings)
+		m.expansions.Add(expansions)
+		m.prunes.Add(prunes)
+	}()
 	var rec func(pos int) bool
 	rec = func(pos int) bool {
 		if pos == n {
+			embeddings++
 			return emit(assign)
 		}
 		u := c.order[pos]
@@ -270,6 +298,7 @@ func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.Nod
 			}
 			v := ge.To
 			if used[v] || !c.nodeOK(m.g, u, v) {
+				prunes++
 				continue
 			}
 			// Verify every other pattern edge between u and mapped nodes.
@@ -292,8 +321,10 @@ func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.Nod
 				}
 			}
 			if !ok {
+				prunes++
 				continue
 			}
+			expansions++
 			assign[u] = v
 			used[v] = true
 			cont := rec(pos + 1)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/obs"
 )
 
 // ErrInfeasible is returned when no selection can satisfy the group coverage
@@ -20,16 +21,35 @@ var ErrInfeasible = fmt.Errorf("submod: coverage constraints are infeasible")
 // The utility's state is consumed: on return, util holds the selected set.
 // The returned slice is in selection order.
 func FairSelect(groups *Groups, util Utility, n int) ([]graph.NodeID, error) {
+	return FairSelectObs(groups, util, n, nil)
+}
+
+// FairSelectObs is FairSelect with iteration counters — heap pops, lazy-gain
+// refreshes, per-group selection progress — reported to reg at the end (reg
+// may be nil; the counters then cost three local increments).
+func FairSelectObs(groups *Groups, util Utility, n int, reg *obs.Registry) ([]graph.NodeID, error) {
 	if groups.SumLower() > n {
 		return nil, fmt.Errorf("%w: sum of lower bounds %d exceeds n=%d", ErrInfeasible, groups.SumLower(), n)
 	}
 	util.Reset()
 
+	var pops, refreshes int64
+	counts := make([]int, groups.Len())
+	if reg != nil {
+		defer func() {
+			reg.Add("fgs_fairselect_heap_pops_total", "Lazy-greedy heap pops in FairSelect.", nil, pops)
+			reg.Add("fgs_fairselect_refreshes_total", "Stale-gain recomputations pushed back in FairSelect.", nil, refreshes)
+			for gi := 0; gi < groups.Len(); gi++ {
+				reg.Add("fgs_fairselect_selected_total", "Nodes selected per group by FairSelect.",
+					[]obs.Label{{Key: "group", Val: groups.At(gi).Name}}, int64(counts[gi]))
+			}
+		}()
+	}
+
 	// Lazy greedy: a max-heap of candidates keyed by (stale) marginal gain.
 	// Submodularity guarantees gains only shrink, so a popped candidate whose
 	// recomputed gain still beats the next heap top is the true argmax.
 	h := &gainHeap{}
-	counts := make([]int, groups.Len())
 	for gi := 0; gi < groups.Len(); gi++ {
 		for _, v := range groups.At(gi).Members {
 			heap.Push(h, gainItem{v: v, group: gi, gain: util.Marginal(v)})
@@ -39,6 +59,7 @@ func FairSelect(groups *Groups, util Utility, n int) ([]graph.NodeID, error) {
 	var selected []graph.NodeID
 	for len(selected) < n && h.Len() > 0 {
 		top := heap.Pop(h).(gainItem)
+		pops++
 		if !groups.ExtendableM(counts, top.group, n) {
 			// Extendability is monotone decreasing as counts grow, so the
 			// candidate can be discarded permanently.
@@ -48,6 +69,7 @@ func FairSelect(groups *Groups, util Utility, n int) ([]graph.NodeID, error) {
 		if h.Len() > 0 && fresh < (*h)[0].gain {
 			top.gain = fresh
 			heap.Push(h, top)
+			refreshes++
 			continue
 		}
 		util.Add(top.v)

@@ -2,6 +2,7 @@ package submod
 
 import (
 	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/obs"
 )
 
 // Decision describes what the streaming selector did with one arriving node.
@@ -45,6 +46,10 @@ type Streamer struct {
 	counts   []int
 	weights  map[graph.NodeID]float64 // w(v) recorded at acceptance time
 	buckets  [][]graph.NodeID         // per-group rejected nodes
+
+	// Decision counters for ObsMetrics; plain ints — the streamer is not
+	// concurrent.
+	accepted, swapped, rejected, postAdded int64
 }
 
 // NewStreamer returns a streaming selector over the given groups, utility,
@@ -67,12 +72,14 @@ func NewStreamer(groups *Groups, util Utility, n int) *Streamer {
 func (s *Streamer) Process(v graph.NodeID) StreamResult {
 	gi, ok := s.groups.IndexOf(v)
 	if !ok || s.selected.Has(v) {
+		s.rejected++
 		return StreamResult{Decision: Rejected}
 	}
 	w := s.util.Marginal(v)
 
 	if len(s.order) < s.n && s.groups.ExtendableM(s.counts, gi, s.n) {
 		s.accept(v, gi, w)
+		s.accepted++
 		return StreamResult{Decision: Accepted}
 	}
 
@@ -93,10 +100,12 @@ func (s *Streamer) Process(v graph.NodeID) StreamResult {
 	if evict >= 0 && w >= 2*evictWeight {
 		s.remove(evict)
 		s.accept(v, gi, w)
+		s.swapped++
 		return StreamResult{Decision: Swapped, Evicted: evict}
 	}
 
 	s.buckets[gi] = append(s.buckets[gi], v)
+	s.rejected++
 	return StreamResult{Decision: Rejected}
 }
 
@@ -173,6 +182,7 @@ func (s *Streamer) PostSelect() []graph.NodeID {
 			v := s.buckets[gi][best]
 			s.buckets[gi] = append(s.buckets[gi][:best], s.buckets[gi][best+1:]...)
 			s.accept(v, gi, s.util.Marginal(v))
+			s.postAdded++
 			added = append(added, v)
 			need--
 		}
@@ -182,3 +192,24 @@ func (s *Streamer) PostSelect() []graph.NodeID {
 
 // Value returns the utility of the current selection.
 func (s *Streamer) Value() float64 { return s.util.Value() }
+
+// ObsMetrics snapshots the streamer's decision counters and per-group
+// selection progress, implementing obs.Source.
+func (s *Streamer) ObsMetrics() []obs.Metric {
+	out := []obs.Metric{
+		{Name: "fgs_stream_decisions_total", Help: "Streaming selector decisions by kind.", Kind: obs.KindCounter, Labels: []obs.Label{{Key: "decision", Val: "accepted"}}, Value: float64(s.accepted)},
+		{Name: "fgs_stream_decisions_total", Kind: obs.KindCounter, Labels: []obs.Label{{Key: "decision", Val: "swapped"}}, Value: float64(s.swapped)},
+		{Name: "fgs_stream_decisions_total", Kind: obs.KindCounter, Labels: []obs.Label{{Key: "decision", Val: "rejected"}}, Value: float64(s.rejected)},
+		{Name: "fgs_stream_post_added_total", Help: "Nodes added by PostSelect to repair lower bounds.", Kind: obs.KindCounter, Value: float64(s.postAdded)},
+	}
+	for gi := 0; gi < s.groups.Len(); gi++ {
+		out = append(out, obs.Metric{
+			Name:   "fgs_stream_selected",
+			Help:   "Current per-group selection count in the streaming selector.",
+			Kind:   obs.KindGauge,
+			Labels: []obs.Label{{Key: "group", Val: s.groups.At(gi).Name}},
+			Value:  float64(s.counts[gi]),
+		})
+	}
+	return out
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fgslint vet staticcheck govulncheck bench bench-ci
+.PHONY: all build test race lint fgslint vet staticcheck govulncheck bench bench-ci bench-compare
 
 all: build test lint
 
@@ -35,9 +35,19 @@ bench:
 	$(GO) test -bench=. -benchmem -timeout 120m
 
 # bench-ci mirrors CI's bench job: the performance-sensitive paths only,
-# with the raw -json stream archived under a dated name for benchstat diffs.
+# with the raw -json stream archived under a dated name for benchstat /
+# bench-compare diffs. The pinned set covers selection (GreedyCover), the
+# mining pipeline (SumGen*), the E_v^r cache, the matcher hot paths, and the
+# graph substrate.
+BENCH_CI_RE := BenchmarkGreedyCover|BenchmarkSumGen$$|BenchmarkSumGenParallel|BenchmarkErCacheHit|BenchmarkSumGenObs|BenchmarkMatchAtStar|BenchmarkMatchAtChain3|BenchmarkCoveredEdgesAt|BenchmarkErCacheGet|BenchmarkRHopEdges2|BenchmarkAddEdge|BenchmarkAddEdgeHighDegree|BenchmarkHasEdge
+
 bench-ci:
-	$(GO) test -json -run '^$$' \
-		-bench 'BenchmarkGreedyCover|BenchmarkSumGenParallel|BenchmarkErCacheHit|BenchmarkSumGenObs' \
-		-benchmem ./internal/core/ ./internal/mining/ \
+	$(GO) test -json -run '^$$' -p 1 \
+		-bench '$(BENCH_CI_RE)' \
+		-benchmem ./internal/core/ ./internal/mining/ ./internal/pattern/ ./internal/graph/ \
 		| tee "BENCH_$$(date -u +%F).json"
+
+# bench-compare diffs two bench-ci JSON streams and fails on >15% time or
+# alloc regressions: make bench-compare OLD=BENCH_2026-08-05.json NEW=BENCH_<date>.json
+bench-compare:
+	$(GO) run ./cmd/fgsbenchcmp -old $(OLD) -new $(NEW)

@@ -1,0 +1,193 @@
+// Command fgsbenchcmp diffs two `go test -json -bench` streams (the
+// BENCH_<date>.json artifacts of `make bench-ci`) and flags regressions on
+// the pinned benchmarks: any benchmark present in both files whose time/op
+// or allocs/op grew by more than -threshold (default 15%) fails the run.
+//
+// Usage:
+//
+//	fgsbenchcmp -old BENCH_2026-08-05.json -new BENCH_2026-09-01.json
+//
+// Improvements are reported too (speedup factor), so the same output doubles
+// as the evidence trail for performance PRs. Exit status is 1 when at least
+// one regression exceeds the threshold, 0 otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's output events we consume.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	name     string  // package-qualified, CPU suffix stripped
+	nsPerOp  float64 // ns/op
+	allocsOp float64 // allocs/op; -1 when the line carried none
+	bytesOp  float64 // B/op; -1 when absent
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkMatchAtStar-8   42813   27405 ns/op   7284 B/op   14 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// parse reads a go test -json stream and returns results keyed by
+// package-qualified benchmark name. test2json emits a benchmark result as
+// *two* output events — the name when the benchmark starts ("BenchmarkX-8
+// \t") and the measurements when it finishes — so the stream is first
+// reassembled into complete text lines per package, then matched. Repeated
+// runs of one benchmark keep the last measurement (bench-ci runs each
+// exactly once).
+func parse(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	text := make(map[string]*strings.Builder) // package -> concatenated output
+	var pkgs []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil || ev.Action != "output" {
+			continue
+		}
+		b, ok := text[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			text[ev.Package] = b
+			pkgs = append(pkgs, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	for _, pkg := range pkgs {
+		for _, line := range strings.Split(text[pkg].String(), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			r := result{name: pkg + "." + m[1], nsPerOp: ns, allocsOp: -1, bytesOp: -1}
+			rest := strings.Fields(m[3])
+			for i := 0; i+1 < len(rest); i += 2 {
+				v, err := strconv.ParseFloat(rest[i], 64)
+				if err != nil {
+					continue
+				}
+				switch rest[i+1] {
+				case "allocs/op":
+					r.allocsOp = v
+				case "B/op":
+					r.bytesOp = v
+				}
+			}
+			out[r.name] = r
+		}
+	}
+	return out, nil
+}
+
+// delta returns the relative change new/old - 1 in percent; old == 0 maps to
+// 0 so absent/zero counters never divide by zero.
+func delta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV/oldV - 1) * 100
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_<date>.json (required)")
+	newPath := flag.String("new", "", "candidate BENCH_<date>.json (required)")
+	threshold := flag.Float64("threshold", 15, "regression threshold in percent on time/op and allocs/op")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: fgsbenchcmp -old OLD.json -new NEW.json [-threshold 15]")
+		os.Exit(2)
+	}
+	oldRes, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fgsbenchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fgsbenchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range oldRes {
+		if _, ok := newRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "fgsbenchcmp: no common benchmarks between the two files")
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-78s %12s %12s %9s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "time Δ", "old allocs", "new allocs", "alloc Δ")
+	regressions := 0
+	for _, name := range names {
+		o, n := oldRes[name], newRes[name]
+		td := delta(o.nsPerOp, n.nsPerOp)
+		mark := ""
+		if td > *threshold {
+			mark = "  REGRESSION(time)"
+			regressions++
+		} else if o.nsPerOp > 0 && n.nsPerOp > 0 && o.nsPerOp/n.nsPerOp >= 2 {
+			mark = fmt.Sprintf("  %.1fx faster", o.nsPerOp/n.nsPerOp)
+		}
+		allocStr := func(v float64) string {
+			if v < 0 {
+				return "-"
+			}
+			return strconv.FormatFloat(v, 'f', -1, 64)
+		}
+		ad := 0.0
+		if o.allocsOp >= 0 && n.allocsOp >= 0 {
+			ad = delta(o.allocsOp, n.allocsOp)
+			if ad > *threshold && n.allocsOp-o.allocsOp >= 1 {
+				mark += "  REGRESSION(allocs)"
+				regressions++
+			}
+		}
+		fmt.Fprintf(w, "%-78s %12.1f %12.1f %8.1f%% %10s %10s %7.1f%%%s\n",
+			name, o.nsPerOp, n.nsPerOp, td, allocStr(o.allocsOp), allocStr(n.allocsOp), ad, mark)
+	}
+	fmt.Fprintf(w, "\n%d common benchmarks, %d regression(s) over %.0f%%\n", len(names), regressions, *threshold)
+	if regressions > 0 {
+		w.Flush()
+		os.Exit(1)
+	}
+}

@@ -67,13 +67,13 @@ func countCorrections(g *graph.Graph, patterns []*pattern.Pattern, covered []gra
 		return 0
 	}
 	m := pattern.NewMatcher(g, embedCap)
-	described := graph.NewEdgeSet(0)
+	described := graph.NewEdgeBits(g.EdgeIDBound())
 	for _, p := range patterns {
 		for _, v := range covered {
-			if es, ok := m.CoveredEdgesAt(p, v); ok {
-				described.AddAll(es)
+			if es, ok := m.CoveredEdgeBitsAt(p, v); ok {
+				described.Union(es)
 			}
 		}
 	}
-	return g.RHopEdgesOf(covered, r).CountMissing(described)
+	return g.RHopEdgeBitsOf(covered, r).AndNotCount(described)
 }

@@ -41,7 +41,7 @@ func APXFGS(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Conf
 	sp.End()
 
 	sp = run.phase(PhaseSummarize)
-	chosen, uncovered := greedyCover(cands, vp, cfg.N, 0, run.reg)
+	chosen, uncovered := greedyCover(g, cands, vp, cfg.N, 0, run.reg)
 	sp.SetArg("patterns", int64(len(chosen)))
 	sp.End()
 

@@ -32,7 +32,7 @@ import (
 // Iteration counters (rounds, heap pops, stale re-scans, permanent drops)
 // accumulate in locals and are reported to reg once at the end — zero cost
 // in the loop, nothing at all when reg is nil.
-func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int, reg *obs.Registry) (chosen []PatternInfo, uncovered []graph.NodeID) {
+func greedyCover(g *graph.Graph, cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int, reg *obs.Registry) (chosen []PatternInfo, uncovered []graph.NodeID) {
 	var rounds, pops, rescans, drops int64
 	defer func() {
 		reg.Add("fgs_cover_rounds_total", "Greedy cover rounds (patterns chosen).", nil, rounds)
@@ -41,12 +41,31 @@ func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns in
 		reg.Add("fgs_cover_drops_total", "Candidates permanently dropped from the greedyCover heap.", nil, drops)
 	}()
 
-	remaining := graph.NodeSetOf(vp)
-	covered := graph.NewNodeSet(0)
+	// Node IDs are dense, so the remaining/covered sets are bitsets and the
+	// inverted index is a flat slice-of-slices indexed by NodeID — no hashing
+	// anywhere in the commit loop. The bound covers every node mentioned by
+	// vp or any candidate (g may be nil in synthetic tests/benches).
+	bound := 0
+	if g != nil {
+		bound = g.NumNodes()
+	}
+	for _, v := range vp {
+		bound = max(bound, int(v)+1)
+	}
+	for _, cand := range cands {
+		for _, v := range cand.Covered {
+			bound = max(bound, int(v)+1)
+		}
+	}
+	remaining := graph.NewNodeBits(bound)
+	for _, v := range vp {
+		remaining.Add(v)
+	}
+	covered := graph.NewNodeBits(bound)
 
 	// Inverted index over every node any candidate covers, plus the two
 	// per-candidate counts.
-	byNode := make(map[graph.NodeID][]int32)
+	byNode := make([][]int32, bound)
 	remainingCount := make([]int, len(cands))
 	newCount := make([]int, len(cands))
 	for i, cand := range cands {
@@ -73,7 +92,7 @@ func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns in
 	heap.Init(h)
 
 	dropped := make([]bool, len(cands))
-	for remaining.Len() > 0 {
+	for remaining.Count() > 0 {
 		if maxPatterns > 0 && len(chosen) >= maxPatterns {
 			break
 		}
@@ -99,7 +118,7 @@ func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns in
 				heap.Fix(h, 0)
 				continue
 			}
-			if covered.Len()+newCount[i] > n {
+			if covered.Count()+newCount[i] > n {
 				// |cover ∪ Covered| only grows as the cover does, so a
 				// candidate that breaks the n cap now always will (the scan's
 				// extendable check, made permanent).
@@ -136,14 +155,13 @@ func greedyCover(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns in
 				}
 			}
 		}
-		chosen = append(chosen, PatternInfo{P: cand.P, Covered: cand.Covered, CoveredEdges: cand.CoveredEdges, CP: cand.CP})
+		chosen = append(chosen, infoOf(g, cand))
 	}
-	for v := range remaining {
+	// Bitset iteration is ascending-NodeID, so the uncovered list comes out
+	// sorted with no normalizing step.
+	remaining.Iterate(func(v graph.NodeID) {
 		uncovered = append(uncovered, v)
-	}
-	// The remaining set is a map; sort so the uncovered list is identical on
-	// every run regardless of iteration order (fgslint maporder).
-	slices.Sort(uncovered)
+	})
 	return chosen, uncovered
 }
 
@@ -192,7 +210,7 @@ func (h *coverHeap) Pop() any {
 // implementation greedyCover replaced. It is retained as the behavioral
 // reference: the equivalence property test and the benchmarks compare the
 // incremental implementation against it.
-func greedyCoverScan(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) (chosen []PatternInfo, uncovered []graph.NodeID) {
+func greedyCoverScan(g *graph.Graph, cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) (chosen []PatternInfo, uncovered []graph.NodeID) {
 	cs := newCoverState(n)
 	remaining := graph.NodeSetOf(vp)
 	used := make([]bool, len(cands))
@@ -232,7 +250,7 @@ func greedyCoverScan(cands []*mining.Candidate, vp []graph.NodeID, n, maxPattern
 		for _, v := range cand.Covered {
 			remaining.Remove(v)
 		}
-		chosen = append(chosen, PatternInfo{P: cand.P, Covered: cand.Covered, CoveredEdges: cand.CoveredEdges, CP: cand.CP})
+		chosen = append(chosen, infoOf(g, cand))
 	}
 	for v := range remaining {
 		uncovered = append(uncovered, v)

@@ -34,7 +34,7 @@ func benchCoverInstance(nCands, universe int) (cands []*mining.Candidate, vp []g
 		sortNodes(covered)
 		cands = append(cands, &mining.Candidate{
 			Covered:      covered,
-			CoveredEdges: graph.NewEdgeSet(0),
+			CoveredEdges: graph.NewEdgeBits(0),
 			CP:           rng.Intn(30),
 		})
 	}
@@ -53,9 +53,11 @@ func BenchmarkGreedyCover(b *testing.B) {
 		fn   func([]*mining.Candidate, []graph.NodeID, int, int) ([]PatternInfo, []graph.NodeID)
 	}{
 		{"incremental", func(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) ([]PatternInfo, []graph.NodeID) {
-			return greedyCover(cands, vp, n, maxPatterns, nil)
+			return greedyCover(nil, cands, vp, n, maxPatterns, nil)
 		}},
-		{"scan", greedyCoverScan},
+		{"scan", func(cands []*mining.Candidate, vp []graph.NodeID, n, maxPatterns int) ([]PatternInfo, []graph.NodeID) {
+			return greedyCoverScan(nil, cands, vp, n, maxPatterns)
+		}},
 	}
 	for _, size := range []struct{ cands, universe int }{
 		{200, 300}, {1000, 800}, {4000, 2000},

@@ -37,7 +37,7 @@ func randCoverInstance(rng *rand.Rand) (cands []*mining.Candidate, vp []graph.No
 		cands = append(cands, &mining.Candidate{
 			P:            new(pattern.Pattern),
 			Covered:      covered,
-			CoveredEdges: graph.NewEdgeSet(0),
+			CoveredEdges: graph.NewEdgeBits(0),
 			CP:           rng.Intn(4),
 		})
 	}
@@ -70,8 +70,8 @@ func TestGreedyCoverMatchesScan(t *testing.T) {
 		}
 		// A live registry here doubles as a check that counter reporting
 		// cannot perturb the algorithm's output.
-		gotChosen, gotUnc := greedyCover(cands, vp, n, maxPatterns, obs.NewRegistry())
-		wantChosen, wantUnc := greedyCoverScan(cands, vp, n, maxPatterns)
+		gotChosen, gotUnc := greedyCover(nil, cands, vp, n, maxPatterns, obs.NewRegistry())
+		wantChosen, wantUnc := greedyCoverScan(nil, cands, vp, n, maxPatterns)
 		if len(gotChosen) != len(wantChosen) {
 			t.Fatalf("trial %d (n=%d, max=%d): chose %d patterns, scan chose %d",
 				trial, n, maxPatterns, len(gotChosen), len(wantChosen))
@@ -101,7 +101,7 @@ func TestGreedyCoverMatchesScan(t *testing.T) {
 func TestGreedyCoverEdgeCases(t *testing.T) {
 	mk := func(cp int, nodes ...graph.NodeID) *mining.Candidate {
 		// Distinct P pointers distinguish otherwise-identical candidates.
-		return &mining.Candidate{P: new(pattern.Pattern), Covered: nodes, CoveredEdges: graph.NewEdgeSet(0), CP: cp}
+		return &mining.Candidate{P: new(pattern.Pattern), Covered: nodes, CoveredEdges: graph.NewEdgeBits(0), CP: cp}
 	}
 	cases := []struct {
 		name        string
@@ -122,8 +122,8 @@ func TestGreedyCoverEdgeCases(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			gotC, gotU := greedyCover(tc.cands, tc.vp, tc.n, tc.maxPatterns, nil)
-			wantC, wantU := greedyCoverScan(tc.cands, tc.vp, tc.n, tc.maxPatterns)
+			gotC, gotU := greedyCover(nil, tc.cands, tc.vp, tc.n, tc.maxPatterns, nil)
+			wantC, wantU := greedyCoverScan(nil, tc.cands, tc.vp, tc.n, tc.maxPatterns)
 			if len(gotC) != len(wantC) || len(sortNodes(gotU)) != len(sortNodes(wantU)) {
 				t.Fatalf("chose %d/%d patterns, uncovered %d/%d", len(gotC), len(wantC), len(gotU), len(wantU))
 			}

@@ -192,14 +192,14 @@ func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
 // current graph and selection.
 func (m *Maintainer) rescore(p *pattern.Pattern) PatternInfo {
 	covered := sortNodes(m.matcher.CoverAmong(p, m.sel.Selected()))
-	edges := graph.NewEdgeSet(0)
+	edges := graph.NewEdgeBits(m.g.EdgeIDBound())
 	for _, v := range covered {
-		if es, ok := m.matcher.CoveredEdgesAt(p, v); ok {
-			edges.AddAll(es)
+		if es, ok := m.matcher.CoveredEdgeBitsAt(p, v); ok {
+			edges.Union(es)
 		}
 	}
-	cp := m.er.UnionOf(covered).CountMissing(edges)
-	return PatternInfo{P: p, Covered: covered, CoveredEdges: edges, CP: cp}
+	cp := m.er.UnionOf(covered).AndNotCount(edges)
+	return PatternInfo{P: p, Covered: covered, CoveredEdges: m.g.EdgeSetOf(edges), CP: cp}
 }
 
 // recover restores the invariant V_p ⊆ P_V by mining locally around the
@@ -270,7 +270,7 @@ func (m *Maintainer) recover(selected []graph.NodeID) {
 		for _, v := range cand.Covered {
 			remaining.Remove(v)
 		}
-		m.patterns = append(m.patterns, PatternInfo{P: cand.P, Covered: cand.Covered, CoveredEdges: cand.CoveredEdges, CP: cand.CP})
+		m.patterns = append(m.patterns, infoOf(m.g, cand))
 	}
 }
 

@@ -66,8 +66,9 @@ func maxCoverSelect(cands []*mining.Candidate, vp []graph.NodeID, cfg Config, er
 	chosenIdx := make([]int, 0, cfg.K)
 	used := make([]bool, len(cands))
 
-	// Greedy max coverage over edges.
-	coveredEdges := graph.NewEdgeSet(0)
+	// Greedy max coverage over edges; all three operand sets are dense
+	// bitsets, so each marginal gain is one word sweep.
+	coveredEdges := graph.NewEdgeBits(er.Graph().EdgeIDBound())
 	for len(chosenIdx) < cfg.K {
 		best := -1
 		bestGain := -1
@@ -93,11 +94,11 @@ func maxCoverSelect(cands []*mining.Candidate, vp []graph.NodeID, cfg Config, er
 		used[best] = true
 		chosenIdx = append(chosenIdx, best)
 		rounds++
-		for e := range cands[best].CoveredEdges {
+		cands[best].CoveredEdges.Iterate(func(e graph.EdgeID) {
 			if universe.Has(e) {
 				coveredEdges.Add(e)
 			}
-		}
+		})
 	}
 
 	// Repair node coverage of V_p: first fill any spare budget, then swap.
@@ -200,41 +201,28 @@ func maxCoverSelect(cands []*mining.Candidate, vp []graph.NodeID, cfg Config, er
 
 	chosen := make([]PatternInfo, 0, len(chosenIdx))
 	for _, i := range chosenIdx {
-		c := cands[i]
-		chosen = append(chosen, PatternInfo{P: c.P, Covered: c.Covered, CoveredEdges: c.CoveredEdges, CP: c.CP})
+		chosen = append(chosen, infoOf(er.Graph(), cands[i]))
 	}
 	return chosen, uncoveredOf(chosenIdx)
 }
 
 // edgeMarginal counts cand's covered edges inside the universe not yet
 // covered.
-func edgeMarginal(cand *mining.Candidate, universe, covered graph.EdgeSet) int {
-	gain := 0
-	for e := range cand.CoveredEdges {
-		if universe.Has(e) && !covered.Has(e) {
-			gain++
-		}
-	}
-	return gain
+func edgeMarginal(cand *mining.Candidate, universe, covered *graph.EdgeBits) int {
+	return cand.CoveredEdges.IntersectAndNotCount(universe, covered)
 }
 
 // uniqueEdgeContribution counts universe edges only the pattern at position
 // pos covers among the chosen set.
-func uniqueEdgeContribution(cands []*mining.Candidate, chosenIdx []int, pos int, universe graph.EdgeSet) int {
-	others := graph.NewEdgeSet(0)
+func uniqueEdgeContribution(cands []*mining.Candidate, chosenIdx []int, pos int, universe *graph.EdgeBits) int {
+	others := graph.NewEdgeBits(0)
 	for p, i := range chosenIdx {
 		if p == pos {
 			continue
 		}
-		others.AddAll(cands[i].CoveredEdges)
+		others.Union(cands[i].CoveredEdges)
 	}
-	unique := 0
-	for e := range cands[chosenIdx[pos]].CoveredEdges {
-		if universe.Has(e) && !others.Has(e) {
-			unique++
-		}
-	}
-	return unique
+	return cands[chosenIdx[pos]].CoveredEdges.IntersectAndNotCount(universe, others)
 }
 
 // feasibleTogether checks the n cap for the union coverage of a candidate

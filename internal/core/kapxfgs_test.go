@@ -148,13 +148,13 @@ func TestMaxCoverSelectSwapPath(t *testing.T) {
 	rich := &mining.Candidate{
 		P:            pattern.NewNodePattern("user"),
 		Covered:      []graph.NodeID{a},
-		CoveredEdges: graph.EdgeSet{aEdges[0]: {}, aEdges[1]: {}, aEdges[2]: {}},
+		CoveredEdges: g.EdgeBitsOf(graph.EdgeSet{aEdges[0]: {}, aEdges[1]: {}, aEdges[2]: {}}),
 		CP:           0,
 	}
 	broad := &mining.Candidate{
 		P:            pattern.NewNodePattern("user"),
 		Covered:      []graph.NodeID{a, b},
-		CoveredEdges: graph.EdgeSet{bEdge: {}},
+		CoveredEdges: g.EdgeBitsOf(graph.EdgeSet{bEdge: {}}),
 		CP:           3,
 	}
 	vp := []graph.NodeID{a, b}

@@ -181,7 +181,7 @@ func (o *Online) updateP(v graph.NodeID) {
 		}
 	}
 	if bestIn != nil {
-		o.patterns[worstOut] = PatternInfo{P: bestIn.P, Covered: bestIn.Covered, CoveredEdges: bestIn.CoveredEdges, CP: bestIn.CP}
+		o.patterns[worstOut] = infoOf(o.g, bestIn)
 	}
 }
 
@@ -215,7 +215,8 @@ func (o *Online) bestFeasible(cands []*mining.Candidate, v graph.NodeID) *Patter
 	if best == nil {
 		return nil
 	}
-	return &PatternInfo{P: best.P, Covered: best.Covered, CoveredEdges: best.CoveredEdges, CP: best.CP}
+	pi := infoOf(o.g, best)
+	return &pi
 }
 
 // worseRatio reports whether pattern a has a strictly worse selected-cover /
@@ -302,14 +303,14 @@ func (o *Online) rescoreAll() {
 		if len(covered) == 0 {
 			continue
 		}
-		edges := graph.NewEdgeSet(0)
+		edges := graph.NewEdgeBits(o.g.EdgeIDBound())
 		for _, v := range covered {
-			if es, ok := m.CoveredEdgesAt(pi.P, v); ok {
-				edges.AddAll(es)
+			if es, ok := m.CoveredEdgeBitsAt(pi.P, v); ok {
+				edges.Union(es)
 			}
 		}
-		cp := o.er.UnionOf(covered).CountMissing(edges)
-		kept = append(kept, PatternInfo{P: pi.P, Covered: covered, CoveredEdges: edges, CP: cp})
+		cp := o.er.UnionOf(covered).AndNotCount(edges)
+		kept = append(kept, PatternInfo{P: pi.P, Covered: covered, CoveredEdges: o.g.EdgeSetOf(edges), CP: cp})
 	}
 	o.patterns = kept
 }

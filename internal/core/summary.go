@@ -86,6 +86,19 @@ type PatternInfo struct {
 	CP int
 }
 
+// infoOf converts a mined candidate to the public PatternInfo, materializing
+// its covered-edge bitset into the map representation at the API boundary.
+// g may be nil for synthetic candidates (tests, benches) that carry no
+// edges; such candidates get a nil (empty, read-only) edge set rather than
+// paying a map allocation per selection.
+func infoOf(g *graph.Graph, cand *mining.Candidate) PatternInfo {
+	pi := PatternInfo{P: cand.P, Covered: cand.Covered, CP: cand.CP}
+	if g != nil && cand.CoveredEdges != nil {
+		pi.CoveredEdges = g.EdgeSetOf(cand.CoveredEdges)
+	}
+	return pi
+}
+
 // Summary is an r-summary S = (P, C).
 type Summary struct {
 	R int
@@ -247,7 +260,12 @@ func buildSummary(cfg Config, chosen []PatternInfo, er *mining.ErCache, util sub
 	// Inline sort (not sortNodes) so fgslint's maporder can prove the
 	// map-iteration order never reaches the summary.
 	slices.Sort(covered)
-	corrections := er.UnionOf(covered).Minus(coveredEdges)
+	// C = E^r_{P_V} \ P_E on the dense bitsets (one word-sweep), materialized
+	// into the public map representation at the end. P_E entries for edges
+	// since deleted drop out of the conversion, which cannot change the
+	// difference: a deleted edge is never in the freshly computed E^r_{P_V}.
+	g := er.Graph()
+	corrections := g.EdgeSetOf(er.UnionOf(covered).Minus(g.EdgeBitsOf(coveredEdges)))
 	return &Summary{
 		R:           cfg.R,
 		Patterns:    chosen,

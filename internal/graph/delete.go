@@ -13,8 +13,16 @@ func (g *Graph) RemoveEdge(from, to NodeID, label string) error {
 	if !g.HasNode(from) || !g.HasNode(to) {
 		return fmt.Errorf("graph: edge (%d,%d) references missing node", from, to)
 	}
-	if !removeAdj(&g.out[from], to, LabelID(lid)) {
+	ref := EdgeRef{From: from, To: to, Label: LabelID(lid)}
+	id, ok := g.edgeIndex[ref]
+	if !ok {
 		return fmt.Errorf("graph: edge (%d,%d,%q) does not exist", from, to, label)
+	}
+	if !removeAdj(&g.out[from], to, LabelID(lid)) {
+		// The index and the adjacency lists are maintained together;
+		// disagreement is a corrupted store.
+		//lint:allow nopanic vetted invariant check — corruption must not be survivable
+		panic("graph: edge index and adjacency lists out of sync")
 	}
 	if !removeAdj(&g.in[to], from, LabelID(lid)) {
 		// The two adjacency lists are maintained together; disagreement is a
@@ -23,6 +31,12 @@ func (g *Graph) RemoveEdge(from, to NodeID, label string) error {
 		//lint:allow nopanic vetted invariant check — corruption must not be survivable
 		panic("graph: adjacency lists out of sync")
 	}
+	// Retire the dense ID: the slot goes on the free list (LIFO, so reuse is
+	// deterministic for a deterministic operation sequence) and the def is
+	// cleared to the sentinel so stale EdgeRefOf calls cannot resolve it.
+	delete(g.edgeIndex, ref)
+	g.edgeDefs[id] = EdgeRef{From: -1, To: -1, Label: -1}
+	g.freeIDs = append(g.freeIDs, id)
 	g.numEdges--
 	return nil
 }

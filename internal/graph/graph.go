@@ -16,11 +16,21 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node. IDs are dense, assigned in insertion order
 // starting at 0.
 type NodeID int32
+
+// EdgeID identifies one directed labeled edge. IDs are dense, assigned at
+// insertion starting at 0, and stable for the lifetime of the edge; the ID of
+// a removed edge may be reused by a later insertion (free-list remap, see
+// RemoveEdge). EdgeIDs index the EdgeBits bitsets of the hot paths.
+type EdgeID int32
+
+// NoEdge is returned for edges that do not exist.
+const NoEdge EdgeID = -1
 
 // LabelID is an interned node or edge label.
 type LabelID int32
@@ -36,10 +46,12 @@ type Attr struct {
 }
 
 // Edge is one directed adjacency entry: an edge to (or from) a neighbor with
-// an interned edge label.
+// an interned edge label and the edge's dense ID, so traversals can mark
+// EdgeBits without a lookup.
 type Edge struct {
 	To    NodeID
 	Label LabelID
+	ID    EdgeID
 }
 
 // Graph is an in-memory attributed directed multigraph. The zero value is not
@@ -58,7 +70,32 @@ type Graph struct {
 
 	byLabel map[LabelID][]NodeID // label -> nodes carrying it
 
+	// Dense edge identity. edgeDefs maps EdgeID -> EdgeRef (freed slots hold
+	// a sentinel), edgeIndex is the O(1) duplicate/HasEdge probe, freeIDs is
+	// the LIFO free list RemoveEdge feeds and AddEdge drains so the ID space
+	// stays dense under churn.
+	edgeDefs  []EdgeRef
+	edgeIndex map[EdgeRef]EdgeID
+	freeIDs   []EdgeID
+
 	numEdges int
+
+	// labelBitsMu guards labelBits, the lazily built per-label NodeBits the
+	// matcher uses to prefilter candidates. Entries are immutable once built
+	// (a rebuild after AddNode installs a fresh bitset), so readers may hold
+	// them outside the lock.
+	labelBitsMu sync.Mutex
+	labelBits   map[LabelID]*labelBitsEntry
+
+	// scratch pools epoch-stamped BFS visit marks (see bfs.go). Pooling is
+	// per graph so the marks are sized to this graph's node space; sync.Pool
+	// makes the r-hop operators safe under the -fgs.workers parallelism.
+	scratch sync.Pool
+}
+
+type labelBitsEntry struct {
+	bits *NodeBits
+	n    int // NumNodes when built; stale when the graph has grown
 }
 
 // New returns an empty graph.
@@ -69,6 +106,7 @@ func New() *Graph {
 		attrKeys:   NewInterner(),
 		attrVals:   NewInterner(),
 		byLabel:    make(map[LabelID][]NodeID),
+		edgeIndex:  make(map[EdgeRef]EdgeID),
 	}
 }
 
@@ -103,18 +141,29 @@ func (g *Graph) AddNode(label string, attrs map[string]string) NodeID {
 
 // AddEdge inserts a directed labeled edge from -> to. Parallel edges with the
 // same label are rejected; parallel edges with distinct labels are allowed.
+// Duplicate detection is an O(1) probe on the edge index (not an adjacency
+// scan), so bulk loads stay linear even on high-degree nodes.
 func (g *Graph) AddEdge(from, to NodeID, label string) error {
 	if !g.HasNode(from) || !g.HasNode(to) {
 		return fmt.Errorf("graph: edge (%d,%d) references missing node", from, to)
 	}
 	lid := LabelID(g.edgeLabels.Intern(label))
-	for _, e := range g.out[from] {
-		if e.To == to && e.Label == lid {
-			return fmt.Errorf("graph: duplicate edge (%d,%d,%q)", from, to, label)
-		}
+	ref := EdgeRef{From: from, To: to, Label: lid}
+	if _, dup := g.edgeIndex[ref]; dup {
+		return fmt.Errorf("graph: duplicate edge (%d,%d,%q)", from, to, label)
 	}
-	g.out[from] = append(g.out[from], Edge{To: to, Label: lid})
-	g.in[to] = append(g.in[to], Edge{To: from, Label: lid})
+	var id EdgeID
+	if n := len(g.freeIDs); n > 0 {
+		id = g.freeIDs[n-1]
+		g.freeIDs = g.freeIDs[:n-1]
+		g.edgeDefs[id] = ref
+	} else {
+		id = EdgeID(len(g.edgeDefs))
+		g.edgeDefs = append(g.edgeDefs, ref)
+	}
+	g.edgeIndex[ref] = id
+	g.out[from] = append(g.out[from], Edge{To: to, Label: lid, ID: id})
+	g.in[to] = append(g.in[to], Edge{To: from, Label: lid, ID: id})
 	g.numEdges++
 	return nil
 }
@@ -123,17 +172,87 @@ func (g *Graph) AddEdge(from, to NodeID, label string) error {
 func (g *Graph) HasNode(id NodeID) bool { return id >= 0 && int(id) < len(g.labelOf) }
 
 // HasEdge reports whether a directed edge from -> to with the given
-// interned edge label exists.
+// interned edge label exists. Short adjacency lists are scanned directly
+// (cheaper than hashing the 12-byte key on sparse graphs); high-degree
+// sources fall through to the O(1) edge-index probe, so the worst case
+// stays constant.
 func (g *Graph) HasEdge(from, to NodeID, label LabelID) bool {
-	if !g.HasNode(from) {
+	if from < 0 || int(from) >= len(g.out) {
 		return false
 	}
-	for _, e := range g.out[from] {
-		if e.To == to && e.Label == label {
-			return true
+	if out := g.out[from]; len(out) <= 8 {
+		for _, e := range out {
+			if e.To == to && e.Label == label {
+				return true
+			}
+		}
+		return false
+	}
+	_, ok := g.edgeIndex[EdgeRef{From: from, To: to, Label: label}]
+	return ok
+}
+
+// EdgeIDOf resolves an edge to its dense ID, or (NoEdge, false) when the edge
+// does not exist.
+func (g *Graph) EdgeIDOf(ref EdgeRef) (EdgeID, bool) {
+	id, ok := g.edgeIndex[ref]
+	if !ok {
+		return NoEdge, false
+	}
+	return id, true
+}
+
+// EdgeRefOf returns the (From, To, Label) triple of a live edge ID. The
+// result for a freed (removed and not yet reused) ID is the sentinel
+// EdgeRef{-1, -1, -1}.
+func (g *Graph) EdgeRefOf(id EdgeID) EdgeRef {
+	if id < 0 || int(id) >= len(g.edgeDefs) {
+		return EdgeRef{From: -1, To: -1, Label: -1}
+	}
+	return g.edgeDefs[id]
+}
+
+// EdgeIDBound reports the exclusive upper bound of the live EdgeID space —
+// the capacity to size EdgeBits with.
+func (g *Graph) EdgeIDBound() int { return len(g.edgeDefs) }
+
+// EdgeSetOf materializes an EdgeBits as the equivalent EdgeSet — the adapter
+// the summary boundary uses so the public API keeps its map-based types.
+func (g *Graph) EdgeSetOf(bits *EdgeBits) EdgeSet {
+	out := NewEdgeSet(bits.Count())
+	bits.Iterate(func(id EdgeID) { out.Add(g.edgeDefs[id]) })
+	return out
+}
+
+// EdgeBitsOf converts an EdgeSet to the bitset representation. Edges absent
+// from the graph (stale refs) are dropped.
+func (g *Graph) EdgeBitsOf(es EdgeSet) *EdgeBits {
+	out := NewEdgeBits(len(g.edgeDefs))
+	for ref := range es {
+		if id, ok := g.edgeIndex[ref]; ok {
+			out.Add(id)
 		}
 	}
-	return false
+	return out
+}
+
+// LabelBits returns the set of nodes carrying the given label as a bitset,
+// built lazily and cached. The returned bitset is immutable and reflects the
+// graph at call time: after AddNode the next call rebuilds. Safe for
+// concurrent use (the matcher fan-out calls it from worker goroutines).
+func (g *Graph) LabelBits(lid LabelID) *NodeBits {
+	n := g.NumNodes()
+	g.labelBitsMu.Lock()
+	defer g.labelBitsMu.Unlock()
+	if e, ok := g.labelBits[lid]; ok && e.n == n {
+		return e.bits
+	}
+	bits := NodeBitsOf(g.byLabel[lid])
+	if g.labelBits == nil {
+		g.labelBits = make(map[LabelID]*labelBitsEntry)
+	}
+	g.labelBits[lid] = &labelBitsEntry{bits: bits, n: n}
+	return bits
 }
 
 // LabelIDOf returns the interned label of a node, or NoLabel if the node does
@@ -262,6 +381,20 @@ func (g *Graph) NodesWithLabel(label string) []NodeID {
 
 // NodesWithLabelID returns the nodes carrying the given interned label.
 func (g *Graph) NodesWithLabelID(lid LabelID) []NodeID { return g.byLabel[lid] }
+
+// UniverseSizes reports the sizes of the four interner universes (node
+// labels, edge labels, attribute keys, attribute values). The matcher stamps
+// compiled patterns with this value: a pattern compiled as unmatchable
+// because some string was unknown must be recompiled once the universes grow
+// (AddNode/AddEdge interning new strings in the dynamic setting).
+func (g *Graph) UniverseSizes() [4]int32 {
+	return [4]int32{
+		int32(g.nodeLabels.Len()),
+		int32(g.edgeLabels.Len()),
+		int32(g.attrKeys.Len()),
+		int32(g.attrVals.Len()),
+	}
+}
 
 // NumNodeLabels reports how many distinct node labels exist.
 func (g *Graph) NumNodeLabels() int { return g.nodeLabels.Len() }

@@ -34,6 +34,31 @@ func BenchmarkAddEdge(b *testing.B) {
 	}
 }
 
+// BenchmarkAddEdgeHighDegree inserts onto one hub node whose out-list already
+// holds tens of thousands of edges. The duplicate probe is an edgeIndex map
+// lookup, so cost must stay flat in the hub's degree (it used to scan the
+// adjacency list — O(deg) per insert, quadratic for this loop).
+func BenchmarkAddEdgeHighDegree(b *testing.B) {
+	g := New()
+	hub := g.AddNode("hub", nil)
+	const fanout = 50000
+	for i := 0; i < fanout; i++ {
+		g.AddNode("user", nil)
+	}
+	for i := 0; i < fanout; i++ {
+		_ = g.AddEdge(hub, NodeID(i+1), "e")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate duplicate probes (hit) and fresh inserts followed by
+		// removal (miss) so both paths stay high-degree.
+		_ = g.AddEdge(hub, NodeID(i%fanout+1), "e")
+		if err := g.AddEdge(NodeID(i%fanout+1), hub, "back"); err == nil && i%2 == 0 {
+			_ = g.RemoveEdge(NodeID(i%fanout+1), hub, "back")
+		}
+	}
+}
+
 func BenchmarkHasEdge(b *testing.B) {
 	g := benchGraph(b, 2000, 8000)
 	lid, _ := g.EdgeLabelID("e")

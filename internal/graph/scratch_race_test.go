@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestScratchPoolConcurrent hammers the shared epoch-stamped BFS scratch pool
+// from many goroutines at once. Run under -race (make race) this is the
+// regression test for the pool's safety claim: each r-hop call must hold a
+// private scratch, and results must be independent of interleaving. Every
+// goroutine compares its answers against a sequentially precomputed truth.
+func TestScratchPoolConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := New()
+	const n = 400
+	for i := 0; i < n; i++ {
+		g.AddNode("user", nil)
+	}
+	for i := 0; i < 1600; i++ {
+		_ = g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), "e")
+	}
+
+	// Sequential ground truth for a sample of (start, radius) queries.
+	type query struct {
+		v NodeID
+		r int
+	}
+	queries := make([]query, 64)
+	wantNodes := make([][]NodeID, len(queries))
+	wantEdges := make([]int, len(queries))
+	for i := range queries {
+		queries[i] = query{v: NodeID(rng.Intn(n)), r: 1 + rng.Intn(3)}
+		wantNodes[i] = g.RHopNodes(queries[i].v, queries[i].r)
+		wantEdges[i] = g.RHopEdgeBits(queries[i].v, queries[i].r).Count()
+	}
+
+	const workers = 16
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			lrng := rand.New(rand.NewSource(seed))
+			for round := 0; round < rounds; round++ {
+				qi := lrng.Intn(len(queries))
+				q := queries[qi]
+				nodes := g.RHopNodes(q.v, q.r)
+				if len(nodes) != len(wantNodes[qi]) {
+					errs <- "RHopNodes length diverged under concurrency"
+					return
+				}
+				for k := range nodes {
+					if nodes[k] != wantNodes[qi][k] {
+						errs <- "RHopNodes order diverged under concurrency"
+						return
+					}
+				}
+				if got := g.RHopEdgeBits(q.v, q.r).Count(); got != wantEdges[qi] {
+					errs <- "RHopEdgeBits count diverged under concurrency"
+					return
+				}
+				// Interleave Dist calls so scratches of different shapes churn
+				// through the pool together.
+				g.Dist(q.v, NodeID(lrng.Intn(n)), q.r)
+			}
+		}(int64(w) + 100)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+// Snapshot is a read-only compressed-sparse-row (CSR) view of a Graph's
+// topology, frozen at the moment Snapshot() was called. Both adjacency
+// directions are laid out as one contiguous []Edge per direction with a
+// per-node offset table, so scans touch sequential memory with no per-node
+// slice headers to chase, and the whole view is safe to share across
+// goroutines without synchronization — later mutations of the source Graph
+// are not reflected (see DESIGN.md §9).
+//
+// Edge order within each node matches the Graph's insertion order, so
+// algorithms that are deterministic over Graph adjacency stay deterministic
+// over a Snapshot.
+type Snapshot struct {
+	outOff   []int32 // len NumNodes+1; out-edges of v are outEdges[outOff[v]:outOff[v+1]]
+	inOff    []int32
+	outEdges []Edge
+	inEdges  []Edge
+	labelOf  []LabelID
+	numEdges int
+}
+
+// Snapshot freezes the current topology into CSR layout. Cost is O(V + E);
+// call it once per analysis phase, not per query.
+func (g *Graph) Snapshot() *Snapshot {
+	n := g.NumNodes()
+	s := &Snapshot{
+		outOff:   make([]int32, n+1),
+		inOff:    make([]int32, n+1),
+		labelOf:  append([]LabelID(nil), g.labelOf...),
+		numEdges: g.numEdges,
+	}
+	var outTotal, inTotal int32
+	for v := 0; v < n; v++ {
+		s.outOff[v] = outTotal
+		s.inOff[v] = inTotal
+		outTotal += int32(len(g.out[v]))
+		inTotal += int32(len(g.in[v]))
+	}
+	s.outOff[n] = outTotal
+	s.inOff[n] = inTotal
+	s.outEdges = make([]Edge, 0, outTotal)
+	s.inEdges = make([]Edge, 0, inTotal)
+	for v := 0; v < n; v++ {
+		s.outEdges = append(s.outEdges, g.out[v]...)
+		s.inEdges = append(s.inEdges, g.in[v]...)
+	}
+	return s
+}
+
+// NumNodes reports the number of nodes at snapshot time.
+func (s *Snapshot) NumNodes() int { return len(s.labelOf) }
+
+// NumEdges reports the number of directed edges at snapshot time.
+func (s *Snapshot) NumEdges() int { return s.numEdges }
+
+// LabelIDOf returns the interned label of a node, or NoLabel if out of range.
+func (s *Snapshot) LabelIDOf(id NodeID) LabelID {
+	if id < 0 || int(id) >= len(s.labelOf) {
+		return NoLabel
+	}
+	return s.labelOf[id]
+}
+
+// Out returns the outgoing edges of a node in insertion order. The slice
+// aliases the snapshot's arena and must not be modified.
+func (s *Snapshot) Out(id NodeID) []Edge {
+	if id < 0 || int(id) >= len(s.labelOf) {
+		return nil
+	}
+	return s.outEdges[s.outOff[id]:s.outOff[id+1]]
+}
+
+// In returns the incoming edges of a node (Edge.To holds the source), in
+// insertion order. The slice aliases the snapshot's arena.
+func (s *Snapshot) In(id NodeID) []Edge {
+	if id < 0 || int(id) >= len(s.labelOf) {
+		return nil
+	}
+	return s.inEdges[s.inOff[id]:s.inOff[id+1]]
+}
+
+// Degree reports the total (in + out) degree of a node at snapshot time.
+func (s *Snapshot) Degree(id NodeID) int {
+	if id < 0 || int(id) >= len(s.labelOf) {
+		return 0
+	}
+	return int(s.outOff[id+1]-s.outOff[id]) + int(s.inOff[id+1]-s.inOff[id])
+}

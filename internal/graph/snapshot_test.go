@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSnapshotMatchesGraph builds a random graph and checks the CSR view
+// agrees with the Graph on every accessor, edge for edge and in order.
+func TestSnapshotMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := New()
+	const n = 120
+	labels := []string{"user", "movie", "tag"}
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))], nil)
+	}
+	elabels := []string{"rates", "follows"}
+	for i := 0; i < 600; i++ {
+		_ = g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), elabels[rng.Intn(len(elabels))])
+	}
+	// Remove a few so the snapshot also reflects deletions.
+	for i := 0; i < 40; i++ {
+		v := NodeID(rng.Intn(n))
+		if out := g.Out(v); len(out) > 0 {
+			e := out[rng.Intn(len(out))]
+			_ = g.RemoveEdge(v, e.To, g.EdgeLabelName(e.Label))
+		}
+	}
+
+	s := g.Snapshot()
+	if s.NumNodes() != g.NumNodes() {
+		t.Fatalf("NumNodes = %d, want %d", s.NumNodes(), g.NumNodes())
+	}
+	if s.NumEdges() != g.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", s.NumEdges(), g.NumEdges())
+	}
+	for v := NodeID(0); int(v) < n; v++ {
+		if s.LabelIDOf(v) != g.LabelIDOf(v) {
+			t.Fatalf("LabelIDOf(%d) mismatch", v)
+		}
+		if s.Degree(v) != g.Degree(v) {
+			t.Fatalf("Degree(%d) = %d, want %d", v, s.Degree(v), g.Degree(v))
+		}
+		gout, sout := g.Out(v), s.Out(v)
+		if len(gout) != len(sout) {
+			t.Fatalf("Out(%d) length mismatch", v)
+		}
+		for k := range gout {
+			if gout[k] != sout[k] {
+				t.Fatalf("Out(%d)[%d] = %v, want %v (insertion order must survive)", v, k, sout[k], gout[k])
+			}
+		}
+		gin, sin := g.In(v), s.In(v)
+		if len(gin) != len(sin) {
+			t.Fatalf("In(%d) length mismatch", v)
+		}
+		for k := range gin {
+			if gin[k] != sin[k] {
+				t.Fatalf("In(%d)[%d] = %v, want %v", v, k, sin[k], gin[k])
+			}
+		}
+	}
+	// Out-of-range accessors are nil/zero, not panics.
+	if s.Out(-1) != nil || s.In(NodeID(n)) != nil || s.Degree(NodeID(n+5)) != 0 || s.LabelIDOf(-1) != NoLabel {
+		t.Fatal("out-of-range snapshot accessors must return zero values")
+	}
+}
+
+// TestSnapshotFrozen checks the view is immune to later graph mutation.
+func TestSnapshotFrozen(t *testing.T) {
+	g := New()
+	a := g.AddNode("user", nil)
+	b := g.AddNode("user", nil)
+	if err := g.AddEdge(a, b, "e"); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Snapshot()
+	wantOut := len(s.Out(a))
+
+	// Mutate after the freeze: add a node and an edge, remove the original.
+	c := g.AddNode("movie", nil)
+	if err := g.AddEdge(a, c, "e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(a, b, "e"); err != nil {
+		t.Fatal(err)
+	}
+
+	if s.NumNodes() != 2 {
+		t.Fatalf("snapshot NumNodes = %d after mutation, want 2", s.NumNodes())
+	}
+	if s.NumEdges() != 1 {
+		t.Fatalf("snapshot NumEdges = %d after mutation, want 1", s.NumEdges())
+	}
+	if got := s.Out(a); len(got) != wantOut || got[0].To != b {
+		t.Fatalf("snapshot Out(%d) = %v changed after mutation", a, got)
+	}
+	if s.LabelIDOf(c) != NoLabel {
+		t.Fatal("snapshot sees a node added after the freeze")
+	}
+}

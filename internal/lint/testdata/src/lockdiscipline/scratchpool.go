@@ -1,0 +1,78 @@
+// Scratch-pool shapes from internal/graph/bfs.go and internal/pattern's
+// matcher: a sync.Pool of epoch-stamped scratch buffers. The correct idiom —
+// pool owned by a long-lived struct, pointer receivers, Get/Put of pointer
+// elements — must produce no diagnostics; copying the pool owner must still
+// be flagged.
+package lockdiscipline
+
+import "sync"
+
+type scratch struct {
+	stamp []uint32
+	epoch uint32
+}
+
+type Engine struct {
+	nodes int
+	pool  sync.Pool
+}
+
+func (e *Engine) acquire() *scratch { // ok: pointer receiver, pooled pointers
+	s, _ := e.pool.Get().(*scratch)
+	if s == nil {
+		s = &scratch{}
+	}
+	if len(s.stamp) < e.nodes {
+		s.stamp = make([]uint32, e.nodes)
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	return s
+}
+
+func (e *Engine) release(s *scratch) { // ok: scratch carries no lock
+	e.pool.Put(s)
+}
+
+func (e *Engine) visited(s *scratch, v int) bool {
+	if s.stamp[v] == s.epoch {
+		return true
+	}
+	s.stamp[v] = s.epoch
+	return false
+}
+
+func copiesEngine(e *Engine) int {
+	local := *e // want `assignment copies lock-bearing`
+	return local.nodes
+}
+
+func enginesByValue(e Engine) {} // want `parameter passes lock-bearing`
+
+type guardedCache struct {
+	mu    sync.RWMutex
+	cache map[int]*scratch
+}
+
+func (c *guardedCache) lookup(k int) *scratch { // ok: RLock paired via defer
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cache[k]
+}
+
+func (c *guardedCache) install(k int, s *scratch) { // ok: Lock paired
+	c.mu.Lock()
+	if c.cache == nil {
+		c.cache = make(map[int]*scratch)
+	}
+	c.cache[k] = s
+	c.mu.Unlock()
+}
+
+func (c *guardedCache) leakyLookup(k int) *scratch {
+	c.mu.RLock() // want `c\.mu\.RLock\(\) without a matching`
+	return c.cache[k]
+}

@@ -1,0 +1,39 @@
+// Bitset iteration vs map iteration under maporder: a dense bitset yields IDs
+// in ascending order by construction, so feeding an ordered sink straight
+// from Iterate is deterministic and needs no neutralizing sort — the analyzer
+// must stay quiet. The same accumulation driven by a map range is still
+// flagged: the fix is to switch the set representation, not to sprinkle
+// sorts.
+package maporder
+
+import "math/bits"
+
+type edgeBits struct {
+	words []uint64
+}
+
+func (b *edgeBits) iterate(f func(int)) {
+	for w, bw := range b.words {
+		base := w << 6
+		for bw != 0 {
+			f(base + bits.TrailingZeros64(bw))
+			bw &= bw - 1
+		}
+	}
+}
+
+func uncoveredFromBits(remaining *edgeBits) []int {
+	var out []int
+	remaining.iterate(func(id int) { // ok: ascending-ID order, deterministic
+		out = append(out, id)
+	})
+	return out
+}
+
+func uncoveredFromMap(remaining map[int]struct{}) []int {
+	var out []int
+	for id := range remaining { // want `map iteration order reaches append to out`
+		out = append(out, id)
+	}
+	return out
+}

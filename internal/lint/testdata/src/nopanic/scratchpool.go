@@ -1,0 +1,61 @@
+// Scratch-pool shapes under nopanic: the acquire/release cycle grows buffers
+// and handles epoch wrap with clear() — no panics needed anywhere, so the
+// whole file must be diagnostic-free. The comma-ok type assertion on
+// pool.Get() is the sanctioned form; a bare assertion would crash on a
+// poisoned pool instead of recovering with a fresh buffer.
+package nopanic
+
+import "sync"
+
+type scratch struct {
+	stamp []uint32
+	epoch uint32
+}
+
+type engine struct {
+	nodes int
+	pool  sync.Pool
+}
+
+func (e *engine) acquire() *scratch {
+	s, _ := e.pool.Get().(*scratch)
+	if s == nil {
+		s = &scratch{}
+	}
+	if len(s.stamp) < e.nodes {
+		grown := make([]uint32, e.nodes)
+		copy(grown, s.stamp)
+		s.stamp = grown
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	return s
+}
+
+func (e *engine) release(s *scratch) { e.pool.Put(s) }
+
+func (e *engine) reachable(adj [][]int, root int) int {
+	s := e.acquire()
+	defer e.release(s)
+	s.stamp[root] = s.epoch
+	frontier := []int{root}
+	n := 1
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			for _, u := range adj[v] {
+				if s.stamp[u] == s.epoch {
+					continue
+				}
+				s.stamp[u] = s.epoch
+				n++
+				next = append(next, u)
+			}
+		}
+		frontier = next
+	}
+	return n
+}

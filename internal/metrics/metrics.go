@@ -61,7 +61,7 @@ func CompressionRatio(g *graph.Graph, r int, covered []graph.NodeID, structureSi
 		return 1
 	}
 	nodes := len(g.RHopNodesOf(covered, r))
-	edges := g.RHopEdgesOf(covered, r).Len()
+	edges := g.RHopEdgeBitsOf(covered, r).Count()
 	denom := nodes + edges
 	if denom == 0 {
 		return 1

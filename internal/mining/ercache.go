@@ -18,9 +18,12 @@ const erShards = 32
 //
 // The cache is safe for concurrent use: entries live in erShards stripes,
 // each behind its own mutex, so the parallel scoring pipeline can share one
-// cache across workers. Cached EdgeSets are returned by reference and must be
-// treated as immutable by callers (every caller in this repository only
-// reads them or copies them into fresh sets).
+// cache across workers. Entries are EdgeBits — the dense-EdgeID bitsets of
+// the hot paths — returned by reference and immutable by contract (every
+// caller in this repository only reads them or unions them into fresh sets).
+// A freed EdgeID can be reused by a later insertion, but any cached set
+// containing it lies within r hops of the deleted edge's endpoints and is
+// invalidated by the maintenance paths before the ID can be observed stale.
 type ErCache struct {
 	g      *graph.Graph
 	r      int
@@ -29,7 +32,7 @@ type ErCache struct {
 
 type erShard struct {
 	mu sync.Mutex
-	m  map[graph.NodeID]graph.EdgeSet
+	m  map[graph.NodeID]*graph.EdgeBits
 	// Always-on counters, read/written under mu the Get/Invalidate paths
 	// already hold — no extra synchronization, no allocation.
 	hits      int64
@@ -41,13 +44,16 @@ type erShard struct {
 func NewErCache(g *graph.Graph, r int) *ErCache {
 	c := &ErCache{g: g, r: r}
 	for i := range c.shards {
-		c.shards[i].m = make(map[graph.NodeID]graph.EdgeSet)
+		c.shards[i].m = make(map[graph.NodeID]*graph.EdgeBits)
 	}
 	return c
 }
 
 // Radius returns the cache's r.
 func (c *ErCache) Radius() int { return c.r }
+
+// Graph returns the graph the cache computes neighborhoods over.
+func (c *ErCache) Graph() *graph.Graph { return c.g }
 
 func (c *ErCache) shardOf(v graph.NodeID) *erShard {
 	return &c.shards[uint64(v)%erShards]
@@ -57,7 +63,7 @@ func (c *ErCache) shardOf(v graph.NodeID) *erShard {
 // under the shard lock: the graph is read-only during mining, and holding the
 // lock means concurrent requests for the same hot node compute it once
 // instead of racing on duplicate work.
-func (c *ErCache) Get(v graph.NodeID) graph.EdgeSet {
+func (c *ErCache) Get(v graph.NodeID) *graph.EdgeBits {
 	s := c.shardOf(v)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -66,24 +72,17 @@ func (c *ErCache) Get(v graph.NodeID) graph.EdgeSet {
 		return es
 	}
 	s.misses++
-	es := c.g.RHopEdges(v, c.r)
+	es := c.g.RHopEdgeBits(v, c.r)
 	s.m[v] = es
 	return es
 }
 
-// UnionOf returns the union E_X^r over a node set. The result is a fresh set
-// pre-sized to the sum of the member sizes (an upper bound on the union), so
-// building it never rehashes.
-func (c *ErCache) UnionOf(nodes []graph.NodeID) graph.EdgeSet {
-	sets := make([]graph.EdgeSet, len(nodes))
-	total := 0
-	for i, v := range nodes {
-		sets[i] = c.Get(v)
-		total += sets[i].Len()
-	}
-	u := graph.NewEdgeSet(total)
-	for _, es := range sets {
-		u.AddAll(es)
+// UnionOf returns the union E_X^r over a node set as a fresh bitset sized to
+// the graph's EdgeID space, so folding members in is pure word-OR work.
+func (c *ErCache) UnionOf(nodes []graph.NodeID) *graph.EdgeBits {
+	u := graph.NewEdgeBits(c.g.EdgeIDBound())
+	for _, v := range nodes {
+		u.Union(c.Get(v))
 	}
 	return u
 }

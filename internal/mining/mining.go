@@ -94,8 +94,9 @@ type Candidate struct {
 	// sorted — P_V relative to the fixed selection of Eq. (1).
 	Covered []graph.NodeID
 	// CoveredEdges is P_E restricted to embeddings anchored at covered group
-	// nodes — the edges the pattern describes.
-	CoveredEdges graph.EdgeSet
+	// nodes — the edges the pattern describes — as a dense-EdgeID bitset
+	// (convert with Graph.EdgeSetOf at the public-API boundary).
+	CoveredEdges *graph.EdgeBits
 	// CP is the pattern's edge-coverage loss C_P = |E^r_{P_V} \ P_E|.
 	CP int
 	// Fallback marks the full-literal singleton seeds that guarantee every
@@ -211,8 +212,9 @@ func (e *engine) buildTemplates() {
 		t    edgeTemplate
 	}
 	seen := make(map[key]bool)
-	edges := e.g.RHopEdgesOf(e.anchors, e.cfg.Radius)
-	for ref := range edges {
+	edges := e.g.RHopEdgeBitsOf(e.anchors, e.cfg.Radius)
+	edges.Iterate(func(id graph.EdgeID) {
+		ref := e.g.EdgeRefOf(id)
 		fromL := e.g.LabelOf(ref.From)
 		toL := e.g.LabelOf(ref.To)
 		el := e.g.EdgeLabelName(ref.Label)
@@ -226,11 +228,11 @@ func (e *engine) buildTemplates() {
 			seen[k2] = true
 			e.templates[toL] = append(e.templates[toL], k2.t)
 		}
-	}
-	// Deterministic extension order: the buckets were appended in EdgeSet
-	// (map) iteration order, so sort each one. Sorting e.templates[l] in
-	// place (rather than through an alias) also lets fgslint's maporder
-	// prove the append above is neutralized.
+	})
+	// Sort each bucket into the canonical extension order. Bitset iteration
+	// is already ascending-EdgeID (deterministic without this sort); sorting
+	// normalizes the order across graph loads that interleave insertions
+	// differently.
 	for l := range e.templates {
 		sort.Slice(e.templates[l], func(i, j int) bool {
 			a, b := e.templates[l][i], e.templates[l][j]
@@ -379,34 +381,18 @@ func (e *engine) score(p *pattern.Pattern, fallback bool) *Candidate {
 			}
 		}
 	}
-	// Pre-size both hot-path sets: coveredEdges grows toward one embedding's
-	// edge count per score node, and counted is bounded by the union of the
-	// score nodes' E_v^r (whose per-node sizes the cache already knows).
-	erSets := make([]graph.EdgeSet, len(scoreNodes))
-	erTotal := 0
-	for i, v := range scoreNodes {
-		erSets[i] = e.er.Get(v)
-		erTotal += erSets[i].Len()
-	}
-	coveredEdges := graph.NewEdgeSet(len(p.Edges) * len(scoreNodes))
+	// Both C_P operands are dense bitsets, so the loss computation collapses
+	// to word-OR unions plus one popcount sweep — no dedup map.
+	bound := e.g.EdgeIDBound()
+	union := graph.NewEdgeBits(bound)
+	coveredEdges := graph.NewEdgeBits(bound)
 	for _, v := range scoreNodes {
-		if es, ok := e.m.CoveredEdgesAt(p, v); ok {
-			coveredEdges.AddAll(es)
+		union.Union(e.er.Get(v))
+		if es, ok := e.m.CoveredEdgeBitsAt(p, v); ok {
+			coveredEdges.Union(es)
 		}
 	}
-	cp := 0
-	counted := graph.NewEdgeSet(erTotal)
-	for _, es := range erSets {
-		for ref := range es {
-			if counted.Has(ref) {
-				continue
-			}
-			counted.Add(ref)
-			if !coveredEdges.Has(ref) {
-				cp++
-			}
-		}
-	}
+	cp := union.AndNotCount(coveredEdges)
 	return &Candidate{P: p, Covered: covered, CoveredEdges: coveredEdges, CP: cp, Fallback: fallback}
 }
 

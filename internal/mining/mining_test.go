@@ -130,7 +130,7 @@ func TestSumGenCPConsistency(t *testing.T) {
 	cands := SumGen(g, anchors, anchors, cfg, er)
 	for _, c := range cands {
 		union := er.UnionOf(c.Covered)
-		want := union.CountMissing(c.CoveredEdges)
+		want := union.AndNotCount(c.CoveredEdges)
 		if c.CP != want {
 			t.Errorf("pattern %s: CP=%d, recomputed %d", c.P, c.CP, want)
 		}
@@ -240,20 +240,20 @@ func TestErCache(t *testing.T) {
 	}
 	a := c.Get(anchors[0])
 	b := c.Get(anchors[0])
-	if a.Len() != b.Len() {
+	if a.Count() != b.Count() {
 		t.Fatal("memoized result differs")
 	}
 	want := g.RHopEdges(anchors[0], 2)
-	if a.Len() != want.Len() {
-		t.Fatalf("cache len %d, direct %d", a.Len(), want.Len())
+	if a.Count() != want.Len() {
+		t.Fatalf("cache len %d, direct %d", a.Count(), want.Len())
 	}
 	union := c.UnionOf(anchors)
 	direct := g.RHopEdgesOf(anchors, 2)
-	if union.Len() != direct.Len() {
-		t.Fatalf("UnionOf len %d, direct %d", union.Len(), direct.Len())
+	if union.Count() != direct.Len() {
+		t.Fatalf("UnionOf len %d, direct %d", union.Count(), direct.Len())
 	}
 	c.Invalidate(anchors[:1])
-	if c.Get(anchors[0]).Len() != want.Len() {
+	if c.Get(anchors[0]).Count() != want.Len() {
 		t.Fatal("post-invalidate recompute wrong")
 	}
 }

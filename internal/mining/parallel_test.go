@@ -36,14 +36,14 @@ func requireSameCandidates(t *testing.T, want, got []*Candidate) {
 				t.Fatalf("candidate %d (%s): Covered[%d] %d vs %d", i, w.P, j, w.Covered[j], g.Covered[j])
 			}
 		}
-		if w.CoveredEdges.Len() != g.CoveredEdges.Len() {
-			t.Fatalf("candidate %d (%s): |CoveredEdges| %d vs %d", i, w.P, w.CoveredEdges.Len(), g.CoveredEdges.Len())
+		if w.CoveredEdges.Count() != g.CoveredEdges.Count() {
+			t.Fatalf("candidate %d (%s): |CoveredEdges| %d vs %d", i, w.P, w.CoveredEdges.Count(), g.CoveredEdges.Count())
 		}
-		for e := range w.CoveredEdges {
+		w.CoveredEdges.Iterate(func(e graph.EdgeID) {
 			if !g.CoveredEdges.Has(e) {
 				t.Fatalf("candidate %d (%s): parallel run missing covered edge %v", i, w.P, e)
 			}
-		}
+		})
 	}
 }
 
@@ -169,16 +169,16 @@ func TestErCacheWarm(t *testing.T) {
 	er := NewErCache(g, 2)
 	er.Warm(nodes, 8)
 	for _, v := range nodes {
-		want := g.RHopEdges(v, 2)
+		want := g.RHopEdgeBits(v, 2)
 		got := er.Get(v)
-		if got.Len() != want.Len() {
-			t.Fatalf("node %d: warmed E_v^r has %d edges, direct %d", v, got.Len(), want.Len())
+		if got.Count() != want.Count() {
+			t.Fatalf("node %d: warmed E_v^r has %d edges, direct %d", v, got.Count(), want.Count())
 		}
-		for e := range want {
+		want.Iterate(func(e graph.EdgeID) {
 			if !got.Has(e) {
-				t.Fatalf("node %d: warmed E_v^r missing %v", v, e)
+				t.Fatalf("node %d: warmed E_v^r missing edge %d", v, e)
 			}
-		}
+		})
 	}
 }
 
@@ -195,7 +195,7 @@ func TestErCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := range nodes {
 				v := nodes[(i+off)%len(nodes)]
-				if es := er.Get(v); es.Len() != g.RHopEdges(v, 2).Len() {
+				if es := er.Get(v); es.Count() != g.RHopEdges(v, 2).Len() {
 					// t.Errorf is goroutine-safe.
 					t.Errorf("node %d: concurrent Get returned wrong size", v)
 					return
@@ -226,7 +226,7 @@ func TestSumGenParallelUsesSuppliedCache(t *testing.T) {
 	}
 	for _, c := range cands {
 		union := er.UnionOf(c.Covered)
-		if want := union.CountMissing(c.CoveredEdges); c.CP != want {
+		if want := union.AndNotCount(c.CoveredEdges); c.CP != want {
 			t.Fatalf("pattern %s: CP=%d, recomputed %d", c.P, c.CP, want)
 		}
 	}

@@ -1,0 +1,132 @@
+package pattern
+
+import (
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// Tests for the compile cache: hits must reuse the compiled form, and — the
+// regression this file exists for — a pattern compiled unmatchable only
+// because a label or attribute was not yet interned must be recompiled once
+// the graph's interner universes grow, not stay cached as a permanent miss.
+
+// TestCompileCacheHit checks repeated matching of the same *Pattern populates
+// the cache once and serves subsequent calls from it.
+func TestCompileCacheHit(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	p := star()
+	if !m.MatchAt(p, ids[0]) {
+		t.Fatal("star should match v0")
+	}
+	m.cacheMu.RLock()
+	c1, ok := m.cache[p]
+	m.cacheMu.RUnlock()
+	if !ok {
+		t.Fatal("MatchAt did not populate the compile cache")
+	}
+	if !m.MatchAt(p, ids[5]) {
+		t.Fatal("star should match v5")
+	}
+	m.cacheMu.RLock()
+	c2 := m.cache[p]
+	size := len(m.cache)
+	m.cacheMu.RUnlock()
+	if c1 != c2 {
+		t.Fatal("second MatchAt recompiled a cached ok pattern")
+	}
+	if size != 1 {
+		t.Fatalf("cache holds %d entries for one pattern, want 1", size)
+	}
+}
+
+// TestCompileCacheRecompilesOnUniverseGrowth is the regression test for the
+// interner-growth bug: a matcher consulted before a label exists caches the
+// pattern as unmatchable; adding nodes/edges that intern the label must make
+// the same *Pattern match without constructing a new Matcher.
+func TestCompileCacheRecompilesOnUniverseGrowth(t *testing.T) {
+	g := graph.New()
+	seed := g.AddNode("user", nil)
+	m := NewMatcher(g, 0)
+
+	// "movie" and "rates" are unknown to the graph: the pattern cannot match
+	// and its compiled form is cached with ok=false.
+	p := &Pattern{
+		Focus: 0,
+		Nodes: []Node{{Label: "movie"}, {Label: "user"}},
+		Edges: []Edge{{From: 1, To: 0, Label: "rates"}},
+	}
+	if m.MatchAt(p, seed) {
+		t.Fatal("pattern with unknown labels matched")
+	}
+	if got := m.FocusCandidates(p); len(got) != 0 {
+		t.Fatalf("FocusCandidates on unmatchable pattern = %v", got)
+	}
+
+	// Grow the graph so the labels exist and an embedding appears.
+	movie := g.AddNode("movie", nil)
+	if err := g.AddEdge(seed, movie, "rates"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.MatchAt(p, movie) {
+		t.Fatal("cached ok=false compile not invalidated after interner growth")
+	}
+	es, ok := m.CoveredEdgesAt(p, movie)
+	if !ok || es.Len() != 1 {
+		t.Fatalf("CoveredEdgesAt after recompile = %v,%v, want the one rates edge", es, ok)
+	}
+
+	// Literal-value growth takes the same path: an attribute value interned
+	// only later must also flip a cached miss into a match.
+	q := &Pattern{
+		Focus: 0,
+		Nodes: []Node{{Label: "user", Literals: []Literal{{Key: "tier", Val: "gold"}}}},
+	}
+	if m.MatchAt(q, seed) {
+		t.Fatal("literal with unknown value matched")
+	}
+	vip := g.AddNode("user", map[string]string{"tier": "gold"})
+	if !m.MatchAt(q, vip) {
+		t.Fatal("cached miss not recompiled after attribute value interned")
+	}
+
+	// And a recompiled ok pattern stays cached: no further growth, repeated
+	// calls serve the same compiled form.
+	m.cacheMu.RLock()
+	c1 := m.cache[p]
+	m.cacheMu.RUnlock()
+	if !m.MatchAt(p, movie) {
+		t.Fatal("match lost on repeat")
+	}
+	m.cacheMu.RLock()
+	c2 := m.cache[p]
+	m.cacheMu.RUnlock()
+	if c1 != c2 || !c1.ok {
+		t.Fatal("ok compile was not reused after universe-growth recompile")
+	}
+}
+
+// TestCompileCacheNodeBitsHonorLateNodes checks the nodeOK prefilter: label
+// bitsets are sized at compile time, so nodes added afterwards must still be
+// matchable through the direct label-compare fallback.
+func TestCompileCacheNodeBitsHonorLateNodes(t *testing.T) {
+	g, ids := fixture(t)
+	m := NewMatcher(g, 0)
+	p := star()
+	if !m.MatchAt(p, ids[0]) {
+		t.Fatal("star should match v0")
+	}
+	// New focus with two new recommenders, all beyond the compiled nbound.
+	f := g.AddNode("user", nil)
+	r1 := g.AddNode("user", nil)
+	r2 := g.AddNode("user", nil)
+	for _, r := range []graph.NodeID{r1, r2} {
+		if err := g.AddEdge(r, f, "recommend"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.MatchAt(p, f) {
+		t.Fatal("pattern must match an embedding made entirely of post-compile nodes")
+	}
+}

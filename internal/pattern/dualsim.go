@@ -19,7 +19,7 @@ import (
 // The returned slice is indexed by pattern node; a nil result means some
 // pattern node has an empty simulation set (the pattern matches nothing).
 func (m *Matcher) DualSim(p *Pattern) []graph.NodeSet {
-	c := m.compile(p)
+	c := m.compiledFor(p)
 	if !c.ok {
 		return nil
 	}
@@ -44,7 +44,7 @@ func (m *Matcher) DualSim(p *Pattern) []graph.NodeSet {
 		changed = false
 		for u := 0; u < n; u++ {
 			for v := range sim[u] {
-				if !dualSimNodeOK(m.g, &c, sim, u, v) {
+				if !dualSimNodeOK(m.g, c, sim, u, v) {
 					sim[u].Remove(v)
 					changed = true
 				}
@@ -103,7 +103,7 @@ func (m *Matcher) SimCoveredEdges(p *Pattern) graph.EdgeSet {
 	if sim == nil {
 		return graph.NewEdgeSet(0)
 	}
-	c := m.compile(p)
+	c := m.compiledFor(p)
 	edges := graph.NewEdgeSet(0)
 	for u := 0; u < len(p.Nodes); u++ {
 		for _, e := range c.adj[u] {

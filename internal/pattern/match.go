@@ -2,6 +2,7 @@ package pattern
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/cwru-db/fgs/internal/graph"
 	"github.com/cwru-db/fgs/internal/obs"
@@ -19,6 +20,19 @@ type Matcher struct {
 	g        *graph.Graph
 	EmbedCap int
 	workers  int // see SetWorkers
+
+	// Compile cache, keyed by pattern identity. Patterns are immutable
+	// (AddLeaf/AddLiteral/AddClosingEdge return copies), so the pointer is a
+	// sound canonical key. Guarded by cacheMu because the mining fan-out and
+	// coverAmongParallel call the matcher from worker goroutines. Entries
+	// with ok=false are stamped with the graph's interner universe sizes and
+	// recompiled once the universes grow (see compiledFor).
+	cacheMu sync.RWMutex
+	cache   map[*Pattern]*compiled
+
+	// searchPool recycles per-search assignment/visited scratch across calls
+	// (one scratch per concurrent search; see searchScratch).
+	searchPool sync.Pool
 
 	// Backtracking-search counters, accumulated in locals during each search
 	// call and flushed with a handful of atomic adds at the end — safe under
@@ -63,6 +77,19 @@ type compiled struct {
 	order    []int
 	anchorOf []cEdge // indexed by position in order; anchorOf[0] unused
 	pos      []int   // node -> position in order
+
+	// nodeBits[u] is the graph's per-label node bitset for labels[u], taken
+	// at compile time; nbound is the node count then. nodeOK consults the
+	// bitset for nodes below nbound (one shared word per 64 nodes instead of
+	// a labelOf load per candidate) and falls back to a direct label compare
+	// for nodes interned after compilation.
+	nodeBits []*graph.NodeBits
+	nbound   int
+
+	// universes stamps ok=false results with Graph.UniverseSizes() at compile
+	// time: "unmatchable" only holds while no new label/key/value has been
+	// interned, so compiledFor recompiles when the universes grow.
+	universes [4]int32
 }
 
 // cEdge is one pattern edge viewed from a node: the other endpoint, the edge
@@ -151,12 +178,56 @@ func (m *Matcher) compile(p *Pattern) compiled {
 	for i, u := range c.order {
 		c.pos[u] = i
 	}
+
+	c.nodeBits = make([]*graph.NodeBits, n)
+	for u, lid := range c.labels {
+		c.nodeBits[u] = m.g.LabelBits(lid)
+	}
+	c.nbound = m.g.NumNodes()
 	return c
+}
+
+// compileCacheCap bounds the compile cache; mining sessions churn through
+// thousands of transient candidate patterns, so on overflow the cache is
+// simply reset (recompiling is cheap, unbounded growth is not).
+const compileCacheCap = 4096
+
+// compiledFor returns the cached compilation of p, compiling on first use.
+// A cached ok=false entry is only trusted while the graph's interner
+// universes match its stamp: a pattern deemed unmatchable because a label
+// was unknown must be recompiled after AddNode/AddEdge interns it (the
+// dynamic setting of Section VII). ok=true entries stay valid forever —
+// interned IDs are stable — with nodeOK handling nodes added later via the
+// nbound fallback.
+func (m *Matcher) compiledFor(p *Pattern) *compiled {
+	m.cacheMu.RLock()
+	c, hit := m.cache[p]
+	m.cacheMu.RUnlock()
+	if hit && (c.ok || c.universes == m.g.UniverseSizes()) {
+		return c
+	}
+	fresh := m.compile(p)
+	if !fresh.ok {
+		fresh.universes = m.g.UniverseSizes()
+	}
+	m.cacheMu.Lock()
+	if m.cache == nil {
+		m.cache = make(map[*Pattern]*compiled)
+	} else if len(m.cache) >= compileCacheCap {
+		clear(m.cache)
+	}
+	m.cache[p] = &fresh
+	m.cacheMu.Unlock()
+	return &fresh
 }
 
 // nodeOK reports whether graph node v can be the image of pattern node u.
 func (c *compiled) nodeOK(g *graph.Graph, u int, v graph.NodeID) bool {
-	if g.LabelIDOf(v) != c.labels[u] {
+	if int(v) < c.nbound {
+		if !c.nodeBits[u].Has(v) {
+			return false
+		}
+	} else if g.LabelIDOf(v) != c.labels[u] {
 		return false
 	}
 	for _, lit := range c.lits[u] {
@@ -169,35 +240,38 @@ func (c *compiled) nodeOK(g *graph.Graph, u int, v graph.NodeID) bool {
 
 // MatchAt reports whether p covers graph node v at the focus.
 func (m *Matcher) MatchAt(p *Pattern, v graph.NodeID) bool {
-	c := m.compile(p)
+	c := m.compiledFor(p)
 	if !c.ok || !c.nodeOK(m.g, c.focus, v) {
 		return false
 	}
 	found := false
-	m.search(&c, v, func(assign []graph.NodeID) bool {
+	m.search(c, v, func(assign []graph.NodeID) bool {
 		found = true
 		return false // stop at first embedding
 	})
 	return found
 }
 
-// CoveredEdgesAt returns the set of graph edges matched by any pattern edge
-// in any embedding of p anchored at v (up to EmbedCap embeddings), together
-// with whether at least one embedding exists.
-func (m *Matcher) CoveredEdgesAt(p *Pattern, v graph.NodeID) (graph.EdgeSet, bool) {
-	c := m.compile(p)
+// CoveredEdgeBitsAt returns the set of graph edges matched by any pattern
+// edge in any embedding of p anchored at v (up to EmbedCap embeddings),
+// together with whether at least one embedding exists. This is the hot-path
+// form; CoveredEdgesAt adapts it to the map representation.
+func (m *Matcher) CoveredEdgeBitsAt(p *Pattern, v graph.NodeID) (*graph.EdgeBits, bool) {
+	c := m.compiledFor(p)
 	if !c.ok || !c.nodeOK(m.g, c.focus, v) {
 		return nil, false
 	}
-	edges := graph.NewEdgeSet(len(p.Edges))
+	edges := graph.NewEdgeBits(0)
 	count := 0
-	m.search(&c, v, func(assign []graph.NodeID) bool {
+	m.search(c, v, func(assign []graph.NodeID) bool {
 		for u := range c.adj {
 			for _, e := range c.adj[u] {
 				if !e.out {
 					continue
 				}
-				edges.Add(graph.EdgeRef{From: assign[u], To: assign[e.other], Label: e.label})
+				if id, ok := m.g.EdgeIDOf(graph.EdgeRef{From: assign[u], To: assign[e.other], Label: e.label}); ok {
+					edges.Add(id)
+				}
 			}
 		}
 		count++
@@ -209,16 +283,26 @@ func (m *Matcher) CoveredEdgesAt(p *Pattern, v graph.NodeID) (graph.EdgeSet, boo
 	return edges, true
 }
 
+// CoveredEdgesAt is CoveredEdgeBitsAt in the map representation, kept for
+// the cold paths (verification, baselines, public API).
+func (m *Matcher) CoveredEdgesAt(p *Pattern, v graph.NodeID) (graph.EdgeSet, bool) {
+	bits, ok := m.CoveredEdgeBitsAt(p, v)
+	if !ok {
+		return nil, false
+	}
+	return m.g.EdgeSetOf(bits), true
+}
+
 // CoverAmong returns the subset of candidates covered by p at the focus, in
 // input order. With SetWorkers(>1), large candidate lists are evaluated in
 // parallel; the result is identical either way.
 func (m *Matcher) CoverAmong(p *Pattern, candidates []graph.NodeID) []graph.NodeID {
-	c := m.compile(p)
+	c := m.compiledFor(p)
 	if !c.ok {
 		return nil
 	}
 	if m.workers > 1 && len(candidates) >= parallelThreshold {
-		return m.coverAmongParallel(&c, candidates)
+		return m.coverAmongParallel(c, candidates)
 	}
 	var covered []graph.NodeID
 	for _, v := range candidates {
@@ -226,7 +310,7 @@ func (m *Matcher) CoverAmong(p *Pattern, candidates []graph.NodeID) []graph.Node
 			continue
 		}
 		found := false
-		m.search(&c, v, func([]graph.NodeID) bool { found = true; return false })
+		m.search(c, v, func([]graph.NodeID) bool { found = true; return false })
 		if found {
 			covered = append(covered, v)
 		}
@@ -237,7 +321,7 @@ func (m *Matcher) CoverAmong(p *Pattern, candidates []graph.NodeID) []graph.Node
 // FocusCandidates returns all graph nodes that satisfy the focus node's label
 // and literals — the superset of nodes p can cover.
 func (m *Matcher) FocusCandidates(p *Pattern) []graph.NodeID {
-	c := m.compile(p)
+	c := m.compiledFor(p)
 	if !c.ok {
 		return nil
 	}
@@ -259,14 +343,53 @@ func (m *Matcher) Matches(p *Pattern) []graph.NodeID {
 	return covered
 }
 
+// searchScratch is the per-search working state: the partial assignment plus
+// epoch-stamped used-marks over the graph's node space (stamp[v] == epoch
+// means v is an image of an already-placed pattern node). Unmarking during
+// backtracking writes stamp[v] = 0, which can never equal the epoch (epoch
+// >= 1), so a search leaves no state the next epoch could misread. Pooled
+// per matcher: each concurrent search (coverAmongParallel, the mining score
+// workers) acquires its own scratch.
+type searchScratch struct {
+	assign []graph.NodeID
+	stamp  []uint32
+	epoch  uint32
+}
+
+// acquireSearch returns a scratch with assign sized for n pattern nodes and
+// stamps covering the graph's node space, at a fresh epoch.
+func (m *Matcher) acquireSearch(n int) *searchScratch {
+	s, _ := m.searchPool.Get().(*searchScratch)
+	if s == nil {
+		s = &searchScratch{}
+	}
+	if cap(s.assign) < n {
+		s.assign = make([]graph.NodeID, n)
+	} else {
+		s.assign = s.assign[:n]
+	}
+	if nn := m.g.NumNodes(); len(s.stamp) < nn {
+		grown := make([]uint32, nn)
+		copy(grown, s.stamp)
+		s.stamp = grown
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	return s
+}
+
 // search runs anchored backtracking. emit is called for each embedding found
 // (assign maps pattern node -> graph node); returning false stops the search.
 func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.NodeID) bool) {
 	n := len(c.labels)
-	assign := make([]graph.NodeID, n)
-	used := make(map[graph.NodeID]bool, n)
+	s := m.acquireSearch(n)
+	defer m.searchPool.Put(s)
+	assign, stamp, epoch := s.assign, s.stamp, s.epoch
 	assign[c.order[0]] = anchor
-	used[anchor] = true
+	stamp[anchor] = epoch
 	var embeddings, expansions, prunes int64
 	defer func() {
 		m.searches.Inc()
@@ -297,7 +420,7 @@ func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.Nod
 				continue
 			}
 			v := ge.To
-			if used[v] || !c.nodeOK(m.g, u, v) {
+			if stamp[v] == epoch || !c.nodeOK(m.g, u, v) {
 				prunes++
 				continue
 			}
@@ -326,9 +449,9 @@ func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.Nod
 			}
 			expansions++
 			assign[u] = v
-			used[v] = true
+			stamp[v] = epoch
 			cont := rec(pos + 1)
-			delete(used, v)
+			stamp[v] = 0
 			if !cont {
 				return false
 			}

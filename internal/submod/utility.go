@@ -120,20 +120,26 @@ const (
 
 // NeighborCoverage is the influence-style submodular utility of the paper's
 // talent-search and citation settings: F(S) = |∪_{v∈S} N(v)|. Coverage is
-// reference counted so Remove is O(deg).
+// reference counted so Remove is O(deg). Node IDs are dense, so the current
+// set is a bitset, the reference counts live in a flat slice indexed by
+// NodeID, and per-call neighbor dedup uses an epoch-stamped scratch — the
+// selection loop's inner operations never touch a hash map.
 type NeighborCoverage struct {
 	g         *graph.Graph
 	mode      NeighborMode
 	edgeLabel graph.LabelID // restrict to this edge label; -1 = any
-	cur       graph.NodeSet
-	refs      map[graph.NodeID]int
+	cur       *graph.NodeBits
+	refs      []int32 // node -> covering members of cur; grown on demand
+	value     int     // count of nodes with refs > 0 (= F(S))
+	stamp     []uint32
+	epoch     uint32
 }
 
 // NewNeighborCoverage builds the utility over g. If edgeLabel is non-empty,
 // only edges with that label contribute neighbors (e.g. "co-review" in LKI,
 // "cite" in Cite); an unknown label yields a constant-zero utility.
 func NewNeighborCoverage(g *graph.Graph, mode NeighborMode, edgeLabel string) *NeighborCoverage {
-	nc := &NeighborCoverage{g: g, mode: mode, edgeLabel: -1, cur: graph.NewNodeSet(0), refs: make(map[graph.NodeID]int)}
+	nc := &NeighborCoverage{g: g, mode: mode, edgeLabel: -1, cur: graph.NewNodeBits(g.NumNodes())}
 	if edgeLabel != "" {
 		if lid, ok := g.EdgeLabelID(edgeLabel); ok {
 			nc.edgeLabel = lid
@@ -165,18 +171,36 @@ func (nc *NeighborCoverage) neighbors(v graph.NodeID, fn func(graph.NodeID)) {
 	}
 }
 
+// fresh sizes refs and stamp to the graph's node space and starts a new
+// dedup epoch (stamp[u] == epoch marks u as seen in the current call).
+func (nc *NeighborCoverage) fresh() {
+	if n := nc.g.NumNodes(); len(nc.refs) < n {
+		refs := make([]int32, n)
+		copy(refs, nc.refs)
+		nc.refs = refs
+		stamp := make([]uint32, n)
+		copy(stamp, nc.stamp)
+		nc.stamp = stamp
+	}
+	nc.epoch++
+	if nc.epoch == 0 {
+		clear(nc.stamp)
+		nc.epoch = 1
+	}
+}
+
 // Marginal implements Utility.
 func (nc *NeighborCoverage) Marginal(v graph.NodeID) float64 {
 	if nc.cur.Has(v) {
 		return 0
 	}
+	nc.fresh()
 	gain := 0
-	seen := map[graph.NodeID]bool{}
 	nc.neighbors(v, func(u graph.NodeID) {
-		if !seen[u] && nc.refs[u] == 0 {
+		if nc.stamp[u] != nc.epoch && nc.refs[u] == 0 {
 			gain++
 		}
-		seen[u] = true
+		nc.stamp[u] = nc.epoch
 	})
 	return float64(gain)
 }
@@ -187,12 +211,14 @@ func (nc *NeighborCoverage) Add(v graph.NodeID) {
 		return
 	}
 	nc.cur.Add(v)
-	seen := map[graph.NodeID]bool{}
+	nc.fresh()
 	nc.neighbors(v, func(u graph.NodeID) {
-		if !seen[u] {
-			nc.refs[u]++
+		if nc.stamp[u] != nc.epoch {
+			if nc.refs[u]++; nc.refs[u] == 1 {
+				nc.value++
+			}
 		}
-		seen[u] = true
+		nc.stamp[u] = nc.epoch
 	})
 }
 
@@ -202,29 +228,30 @@ func (nc *NeighborCoverage) Remove(v graph.NodeID) {
 		return
 	}
 	nc.cur.Remove(v)
-	seen := map[graph.NodeID]bool{}
+	nc.fresh()
 	nc.neighbors(v, func(u graph.NodeID) {
-		if !seen[u] {
+		if nc.stamp[u] != nc.epoch {
 			if nc.refs[u]--; nc.refs[u] == 0 {
-				delete(nc.refs, u)
+				nc.value--
 			}
 		}
-		seen[u] = true
+		nc.stamp[u] = nc.epoch
 	})
 }
 
 // Value implements Utility.
-func (nc *NeighborCoverage) Value() float64 { return float64(len(nc.refs)) }
+func (nc *NeighborCoverage) Value() float64 { return float64(nc.value) }
 
 // Reset implements Utility.
 func (nc *NeighborCoverage) Reset() {
-	nc.cur = graph.NewNodeSet(0)
-	nc.refs = make(map[graph.NodeID]int)
+	nc.cur = graph.NewNodeBits(nc.g.NumNodes())
+	clear(nc.refs)
+	nc.value = 0
 }
 
 // Clone implements Utility; the graph is shared (read-only access).
 func (nc *NeighborCoverage) Clone() Utility {
-	return &NeighborCoverage{g: nc.g, mode: nc.mode, edgeLabel: nc.edgeLabel, cur: graph.NewNodeSet(0), refs: make(map[graph.NodeID]int)}
+	return &NeighborCoverage{g: nc.g, mode: nc.mode, edgeLabel: nc.edgeLabel, cur: graph.NewNodeBits(nc.g.NumNodes())}
 }
 
 // Cardinality is the trivial modular utility F(S) = |S|, used by the

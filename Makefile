@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fgslint vet staticcheck govulncheck bench bench-ci bench-compare
+.PHONY: all build test race serve lint fgslint vet staticcheck govulncheck bench bench-ci bench-compare
 
 all: build test lint
 
@@ -12,7 +12,12 @@ test:
 
 # The concurrent packages again under the race detector (mirrors CI).
 race:
-	$(GO) test -race ./internal/mining/ ./internal/pattern/ ./internal/core/ ./internal/graph/ ./internal/obs/
+	$(GO) test -race ./internal/mining/ ./internal/pattern/ ./internal/core/ ./internal/graph/ ./internal/obs/ ./internal/server/
+
+# Run the summarization daemon on the demo LKI graph (see README "Serving").
+# Override flags via ARGS: make serve ARGS='-addr :9000 -workers 4'
+serve:
+	$(GO) run ./cmd/fgsd $(ARGS)
 
 # lint is the offline gate: go vet plus the repo's own determinism & safety
 # multichecker (see DESIGN.md "Determinism contract & lint"). staticcheck and

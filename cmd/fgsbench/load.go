@@ -1,0 +1,209 @@
+package main
+
+// The load-driver mode: fgsbench -load <url> drives a seeded mix of
+// summarize / view / workload / stats / update traffic at a running fgsd and
+// reports per-endpoint latency percentiles, status splits, and cache hits.
+// The mix is deterministic per (seed, concurrency): each client goroutine
+// owns a rand seeded from the base seed and its index, so two runs against
+// the same server issue the same request multiset.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type loadConfig struct {
+	BaseURL     string
+	Requests    int
+	Concurrency int
+	Seed        int64
+}
+
+// loadSample is one completed request as seen by a client goroutine.
+type loadSample struct {
+	endpoint string
+	status   int
+	cacheHit bool
+	latency  time.Duration
+	err      error
+}
+
+// viewPatterns are the pattern texts the view traffic cycles through; they
+// match the demo LKI schema but are harmless 0-count queries elsewhere.
+var viewPatterns = []string{
+	"n 0 user\nf 0",
+	"n 0 user\nn 1 user\ne 1 0 corev\nf 0",
+	"n 0 user\nn 1 org\ne 0 1 employed\nf 0",
+}
+
+// nextRequest picks one weighted request from the mix: 35% summarize,
+// 10% summarize-k, 20% view, 5% workload, 20% stats, 10% update.
+func nextRequest(r *rand.Rand) (endpoint, method, path string, body any) {
+	switch p := r.Intn(100); {
+	case p < 35:
+		return "summarize", http.MethodPost, "/v1/summarize",
+			map[string]int{"n": 5 + 5*r.Intn(4)}
+	case p < 45:
+		return "summarize-k", http.MethodPost, "/v1/summarize-k",
+			map[string]int{"k": 1 + r.Intn(3), "n": 10}
+	case p < 65:
+		return "view", http.MethodPost, "/v1/view",
+			map[string]string{"pattern": viewPatterns[r.Intn(len(viewPatterns))]}
+	case p < 70:
+		return "workload", http.MethodPost, "/v1/workload", nil
+	case p < 90:
+		return "stats", http.MethodGet, "/v1/stats", nil
+	default:
+		// Writes between low-id nodes: inserts may be duplicates and deletes
+		// may miss (both answered 400 with applied=0) — that is part of the
+		// mix, exercising the no-op-write path without growing the graph
+		// without bound.
+		change := map[string]any{"from": r.Intn(64), "to": r.Intn(64), "label": "corev"}
+		if r.Intn(2) == 0 {
+			return "update", http.MethodPost, "/v1/update", map[string]any{"insert": []any{change}}
+		}
+		return "update", http.MethodPost, "/v1/update", map[string]any{"delete": []any{change}}
+	}
+}
+
+// runLoad sends cfg.Requests requests from cfg.Concurrency goroutines and
+// writes the per-endpoint report to w.
+func runLoad(w io.Writer, cfg loadConfig) error {
+	if cfg.Requests <= 0 || cfg.Concurrency <= 0 {
+		return fmt.Errorf("load: requests and concurrency must be positive")
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	if _, err := client.Get(cfg.BaseURL + "/healthz"); err != nil {
+		return fmt.Errorf("load: target not reachable: %w", err)
+	}
+
+	samples := make([]loadSample, cfg.Requests)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= cfg.Requests {
+					return
+				}
+				samples[i] = doRequest(client, cfg.BaseURL, rng)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(w, samples, elapsed)
+	return nil
+}
+
+func doRequest(client *http.Client, base string, rng *rand.Rand) loadSample {
+	endpoint, method, path, body := nextRequest(rng)
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return loadSample{endpoint: endpoint, err: err}
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		return loadSample{endpoint: endpoint, err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(t0)
+	if err != nil {
+		return loadSample{endpoint: endpoint, latency: lat, err: err}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return loadSample{
+		endpoint: endpoint,
+		status:   resp.StatusCode,
+		cacheHit: resp.Header.Get("X-Fgs-Cache") == "hit",
+		latency:  lat,
+	}
+}
+
+// report aggregates samples by endpoint and prints the load table.
+func report(w io.Writer, samples []loadSample, elapsed time.Duration) {
+	type agg struct {
+		reqs, ok, clientErr, serverErr, netErr, cacheHits int
+		lats                                              []time.Duration
+	}
+	byEndpoint := map[string]*agg{}
+	var order []string
+	for _, s := range samples {
+		a := byEndpoint[s.endpoint]
+		if a == nil {
+			a = &agg{}
+			byEndpoint[s.endpoint] = a
+			order = append(order, s.endpoint)
+		}
+		a.reqs++
+		switch {
+		case s.err != nil:
+			a.netErr++
+		case s.status >= 500:
+			a.serverErr++
+		case s.status >= 400:
+			a.clientErr++
+		default:
+			a.ok++
+		}
+		if s.cacheHit {
+			a.cacheHits++
+		}
+		a.lats = append(a.lats, s.latency)
+	}
+	sort.Strings(order)
+
+	fmt.Fprintf(w, "load: %d requests in %v (%.1f req/s)\n\n",
+		len(samples), elapsed.Round(time.Millisecond),
+		float64(len(samples))/elapsed.Seconds())
+	fmt.Fprintf(w, "%-12s %6s %6s %5s %5s %5s %6s %9s %9s %9s\n",
+		"endpoint", "reqs", "2xx", "4xx", "5xx", "net", "cache", "p50", "p95", "max")
+	fmt.Fprintln(w, strings.Repeat("-", 84))
+	for _, e := range order {
+		a := byEndpoint[e]
+		sort.Slice(a.lats, func(i, j int) bool { return a.lats[i] < a.lats[j] })
+		fmt.Fprintf(w, "%-12s %6d %6d %5d %5d %5d %6d %9v %9v %9v\n",
+			e, a.reqs, a.ok, a.clientErr, a.serverErr, a.netErr, a.cacheHits,
+			percentile(a.lats, 50), percentile(a.lats, 95), percentile(a.lats, 100))
+	}
+}
+
+// percentile returns the p-th percentile of sorted latencies, rounded for
+// display.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)-1)*p/100 + 1
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1].Round(10 * time.Microsecond)
+}

@@ -5,6 +5,8 @@
 //
 //	fgsbench -exp fig8a,fig8b          # specific figures
 //	fgsbench -exp all -scale 1         # the full evaluation
+//	fgsbench -load http://localhost:8471 -load-requests 1024 -load-concurrency 16
+//	                                   # drive mixed traffic at a running fgsd
 //
 // Experiments: fig8a fig8b fig8c fig8d fig8e fig8f fig9a fig9b fig9c fig9d
 // fig10a fig10b case-talent case-pandemic. See DESIGN.md for the mapping
@@ -12,7 +14,9 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -38,6 +42,11 @@ func main() {
 		metricsOut  = flag.String("fgs.metrics-out", "", "write runtime counters in Prometheus text format to this file")
 		metricsAddr = flag.String("fgs.metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof on this address while the run lasts")
 		obsSummary  = flag.Bool("fgs.obs-summary", false, "print the runtime-counter summary table to stderr")
+
+		loadURL  = flag.String("load", "", "run as a load driver against an fgsd base URL (e.g. http://localhost:8471) instead of the experiment suite")
+		loadReqs = flag.Int("load-requests", 256, "load mode: total requests to send")
+		loadConc = flag.Int("load-concurrency", 8, "load mode: concurrent client goroutines")
+		loadSeed = flag.Int64("load-seed", 1, "load mode: request-mix seed")
 	)
 	flag.Parse()
 
@@ -51,8 +60,24 @@ func main() {
 		observer = obs.NewObserver(nil)
 		suite.Obs = observer
 	}
+	stopMetrics := func() {}
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, observer)
+		stopMetrics = serveMetrics(*metricsAddr, observer)
+	}
+
+	if *loadURL != "" {
+		err := runLoad(os.Stdout, loadConfig{
+			BaseURL:     strings.TrimRight(*loadURL, "/"),
+			Requests:    *loadReqs,
+			Concurrency: *loadConc,
+			Seed:        *loadSeed,
+		})
+		stopMetrics()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgsbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	runners := map[string]func() ([]experiments.Row, error){
 		"fig8a":         suite.Fig8a,
@@ -119,6 +144,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopMetrics()
 	if observer != nil {
 		if err := exportObs(observer, *traceOut, *metricsOut, *obsSummary); err != nil {
 			fmt.Fprintln(os.Stderr, "fgsbench:", err)
@@ -134,20 +160,30 @@ func gatherAll(o *obs.Observer) []obs.Metric {
 
 // serveMetrics exposes /metrics in the Prometheus text format plus the
 // net/http/pprof handlers (imported for effect onto the default mux) on addr
-// for the duration of the run.
-func serveMetrics(addr string, o *obs.Observer) {
+// for the duration of the run. It returns a stop function that shuts the
+// listener down gracefully — finishing any in-flight scrape — instead of
+// leaking the server until process exit.
+func serveMetrics(addr string, o *obs.Observer) func() {
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if err := obs.WritePrometheus(w, gatherAll(o)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	srv := &http.Server{Addr: addr} // nil handler = DefaultServeMux, where pprof registered
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "fgsbench: metrics listener: %v\n", err)
 		}
 	}()
 	fmt.Fprintf(os.Stderr, "fgsbench: serving /metrics and /debug/pprof on %s\n", addr)
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "fgsbench: metrics shutdown: %v\n", err)
+		}
+	}
 }
 
 // exportObs writes whatever the observer collected: the Chrome trace, the

@@ -1,0 +1,206 @@
+// Command fgsd is the fair-group-summarization daemon: it loads a graph and
+// serves summarization traffic over HTTP/JSON (DESIGN.md §10).
+//
+// Usage:
+//
+//	fgsd -addr :8471 -graph lki.graph -groups user:gender:male,female:40:60
+//	fgsd                                  # no -graph: serve the demo LKI graph
+//
+// Endpoints:
+//
+//	POST /v1/summarize    {"r":2,"n":20,"utility":"coverage"}   fresh APXFGS summary
+//	POST /v1/summarize-k  {"k":5,"n":20}                        k-APXFGS summary
+//	POST /v1/view         {"pattern":"n 0 user\nf 0"}           query the maintained summary as a view
+//	POST /v1/workload     {}                                    summary patterns as benchmark queries
+//	POST /v1/update       {"insert":[{"from":1,"to":2,"label":"corev"}]}
+//	GET  /v1/stats        engine snapshot (epoch, sizes, cache/admission counters)
+//	GET  /healthz         liveness; 503 while draining
+//	GET  /metrics         Prometheus text exposition
+//
+// Writes are serialized through the Inc-FGS maintainer and bump the graph
+// epoch; reads run concurrently and are served from the epoch-keyed result
+// cache when possible. SIGINT/SIGTERM triggers a graceful drain: stop
+// accepting, finish in-flight requests, then flush the final Chrome trace /
+// Prometheus dump if -fgs.trace / -fgs.metrics-out are set.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	fgs "github.com/cwru-db/fgs"
+	"github.com/cwru-db/fgs/datasets"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8471", "listen address")
+		graphPath = flag.String("graph", "", "input graph in text format (empty = demo LKI graph)")
+		groupSpec = flag.String("groups", "user:gender:male,female:1:10", "group spec: label:attr:val1,val2:lower:upper")
+		r         = flag.Int("r", 2, "default reconstruction hops")
+		n         = flag.Int("n", 20, "default max covered nodes")
+		k         = flag.Int("k", 0, "default max patterns for /v1/summarize-k (0 = require per-request k)")
+		utility   = flag.String("utility", "coverage", "maintained summary's utility: coverage[:edgelabel], rating[:attr], diversity:attr, cardinality")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent compute requests (admission slots); also the mining worker count")
+		queue     = flag.Int("queue", 0, "admission queue depth (0 = 4x workers, negative = no queue)")
+		cacheEnt  = flag.Int("cache-entries", 256, "epoch-keyed result cache capacity (negative = disabled)")
+		deadline  = flag.Duration("deadline", 30*time.Second, "per-request deadline (queue wait included)")
+		embedCap  = flag.Int("embed-cap", 0, "embedding enumeration cap for view/workload queries (0 = default)")
+		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+
+		demoSeed  = flag.Int64("demo-seed", 42, "demo graph generator seed")
+		demoScale = flag.Int("demo-scale", 1, "demo graph scale")
+
+		traceOut   = flag.String("fgs.trace", "", "write a Chrome trace of request and maintainer spans to this file on shutdown")
+		metricsOut = flag.String("fgs.metrics-out", "", "write final runtime counters in Prometheus text format to this file on shutdown")
+		obsSummary = flag.Bool("fgs.obs-summary", false, "print the runtime-counter summary table to stderr on shutdown")
+	)
+	flag.Parse()
+
+	var g *fgs.Graph
+	if *graphPath == "" {
+		fmt.Fprintf(os.Stderr, "fgsd: no -graph given; serving the demo LKI graph (seed %d, scale %d)\n", *demoSeed, *demoScale)
+		g = datasets.LKI(*demoSeed, *demoScale)
+	} else {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		var rerr error
+		g, rerr = fgs.ReadGraph(f)
+		f.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+	}
+
+	label, attr, values, lower, upper, err := parseGroupSpec(*groupSpec)
+	if err != nil {
+		fatal(err)
+	}
+	groups, err := datasets.GroupsByAttr(g, label, attr, values, lower, upper)
+	if err != nil {
+		fatal(err)
+	}
+
+	var observer *fgs.Observer
+	if *traceOut != "" || *metricsOut != "" || *obsSummary {
+		observer = fgs.NewObserver(nil)
+	}
+
+	srv, err := fgs.NewServer(g, groups, fgs.ServerConfig{
+		R:            *r,
+		K:            *k,
+		N:            *n,
+		Utility:      *utility,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEnt,
+		Deadline:     *deadline,
+		EmbedCap:     *embedCap,
+		Obs:          observer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fgsd: engine ready: %d nodes, %d edges, %d groups, initial summary built\n",
+		g.NumNodes(), g.NumEdges(), groups.Len())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fgsd: serving on %s (workers %d, cache %d, deadline %v)\n", *addr, *workers, *cacheEnt, *deadline)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	// Drain sequence (DESIGN.md §10): flip health to 503 so load balancers
+	// stop routing, refuse new compute, wait for in-flight requests, then
+	// flush the final observability exports.
+	fmt.Fprintln(os.Stderr, "fgsd: drain: refusing new work, finishing in-flight requests")
+	srv.StartDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "fgsd: shutdown: %v\n", err)
+	}
+	if observer != nil {
+		if err := exportObs(observer, *traceOut, *metricsOut, *obsSummary); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "fgsd: drained")
+}
+
+// parseGroupSpec splits "label:attr:val1,val2:lower:upper".
+func parseGroupSpec(spec string) (label, attr string, values []string, lower, upper int, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 5 {
+		return "", "", nil, 0, 0, fmt.Errorf("bad -groups %q: want label:attr:val1,val2:lower:upper", spec)
+	}
+	lower, err1 := strconv.Atoi(parts[3])
+	upper, err2 := strconv.Atoi(parts[4])
+	if err1 != nil || err2 != nil {
+		return "", "", nil, 0, 0, fmt.Errorf("bad -groups bounds in %q", spec)
+	}
+	return parts[0], parts[1], strings.Split(parts[2], ","), lower, upper, nil
+}
+
+// exportObs writes whatever the observer collected: the Chrome trace, the
+// Prometheus text file, and/or a summary table on stderr.
+func exportObs(o *fgs.Observer, tracePath, metricsPath string, table bool) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := fgs.WriteChromeTrace(f, o.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fgsd: trace written to %s\n", tracePath)
+	}
+	ms := append(o.Reg.Gather(), fgs.PhaseMetrics(o.Trace)...)
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := fgs.WritePrometheus(f, ms); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fgsd: metrics written to %s\n", metricsPath)
+	}
+	if table {
+		fmt.Fprint(os.Stderr, fgs.FormatMetricTable(ms))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fgsd:", err)
+	os.Exit(1)
+}

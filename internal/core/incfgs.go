@@ -102,6 +102,16 @@ func (m *Maintainer) ApplyBatch(batch []EdgeUpdate) (*Summary, error) {
 // summary. Failed updates are reported via the error while the rest are
 // still applied.
 func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
+	s, _, err := m.Apply(delta)
+	return s, err
+}
+
+// Apply is ApplyDelta reporting additionally how many updates of the batch
+// actually changed the graph. The serving layer keys its result cache on a
+// graph epoch and uses the count to decide whether a batch must advance it:
+// a fully rejected batch (duplicate inserts, missing endpoints) leaves the
+// graph — and therefore every cached response — valid.
+func (m *Maintainer) Apply(delta Delta) (*Summary, int, error) {
 	var firstErr error
 	endpoints := make([]graph.NodeID, 0, (len(delta.Insert)+len(delta.Delete))*2)
 	applied := 0
@@ -126,7 +136,7 @@ func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
 		endpoints = append(endpoints, e.From, e.To)
 	}
 	if applied == 0 {
-		return m.Summary(), firstErr
+		return m.Summary(), 0, firstErr
 	}
 	m.windows++
 
@@ -143,7 +153,7 @@ func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
 		}
 	}
 	if len(affectedGroup) == 0 {
-		return m.Summary(), firstErr // Fig. 7 line 2: summary unchanged
+		return m.Summary(), applied, firstErr // Fig. 7 line 2: summary unchanged
 	}
 
 	// Incremental selection: stream affected group nodes; their marginal
@@ -185,7 +195,7 @@ func (m *Maintainer) ApplyDelta(delta Delta) (*Summary, error) {
 	sp.End()
 
 	m.recover(selected)
-	return m.Summary(), firstErr
+	return m.Summary(), applied, firstErr
 }
 
 // rescore re-evaluates a pattern's cover, covered edges, and C_P against the

@@ -15,7 +15,7 @@ func TestDetRand(t *testing.T) {
 
 func TestNoPanic(t *testing.T) {
 	// A library package (flagged) and a main package (exempt) in the same run.
-	runFixture(t, NoPanic, "nopanic", "nopanic/cmdfixture")
+	runFixture(t, NoPanic, "nopanic", "nopanic/cmdfixture", "nopanic/httphandler")
 }
 
 func TestLockDiscipline(t *testing.T) {

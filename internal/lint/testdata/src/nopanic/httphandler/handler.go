@@ -1,0 +1,62 @@
+// Fixture for the nopanic analyzer over HTTP-handler code, mirroring
+// internal/server: handlers are library code — a bad request or a failed
+// compute must become an error response, never a process exit, and panics
+// belong to the recover barrier, not the handler body.
+package httphandler
+
+import (
+	"errors"
+	"log"
+	"net/http"
+	"os"
+)
+
+func handleBadPanic(w http.ResponseWriter, r *http.Request) {
+	if r.ContentLength == 0 {
+		panic("empty body") // want `panic in library package`
+	}
+}
+
+func handleBadFatal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		log.Fatalf("method %s", r.Method) // want `log\.Fatalf in library package`
+	}
+}
+
+func handleBadExit(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/shutdown" {
+		os.Exit(0) // want `os\.Exit in library package`
+	}
+}
+
+// handleGood is the sanctioned shape: validation failures become 4xx
+// responses, compute failures become 5xx, and the error travels as a value.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	if r.ContentLength == 0 {
+		http.Error(w, "empty body", http.StatusBadRequest)
+		return
+	}
+	if err := compute(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func compute() error {
+	return errors.New("not implemented") // ok: errors are the contract
+}
+
+// recoverBarrier is the one place an escaped panic is handled: it converts
+// it to a 500 rather than re-raising, so it is not flagged — there is no
+// panic call here, only recover.
+func recoverBarrier(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		h(w, r)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EndpointStats aggregates per-endpoint request counters and latency
+// histograms for a serving layer (fgsd's HTTP handlers, fgsbench's metrics
+// listener). One instance covers every endpoint of one server; endpoints
+// register lazily on first observation, so handlers need no setup.
+//
+// Latency is bucketed in milliseconds: with the fixed power-of-two bounds
+// (1ms, 2ms, ..., 2^15ms ≈ 33s, +Inf) the histogram spans cached
+// sub-millisecond hits through multi-second summarize calls without
+// configuration.
+//
+// Like the rest of the package it is reporting-only: nothing here feeds
+// request handling decisions, and all methods are safe for concurrent use.
+type EndpointStats struct {
+	mu    sync.Mutex
+	order []string // registration order; gathers never iterate the map
+	recs  map[string]*endpointRec
+}
+
+type endpointRec struct {
+	requests Counter
+	errors   Counter
+	latency  Histogram
+}
+
+// NewEndpointStats returns an empty per-endpoint collector.
+func NewEndpointStats() *EndpointStats {
+	return &EndpointStats{recs: make(map[string]*endpointRec)}
+}
+
+// Observe records one completed request: its endpoint, its wall-clock
+// duration, and whether it failed server-side (5xx). Nil-safe.
+func (s *EndpointStats) Observe(endpoint string, dur time.Duration, failed bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	rec, ok := s.recs[endpoint]
+	if !ok {
+		rec = &endpointRec{}
+		s.recs[endpoint] = rec
+		s.order = append(s.order, endpoint)
+	}
+	s.mu.Unlock()
+	rec.requests.Inc()
+	if failed {
+		rec.errors.Inc()
+	}
+	rec.latency.Observe(int64(dur / time.Millisecond))
+}
+
+// ObsMetrics snapshots every endpoint's series in registration order
+// (Registry.Gather re-sorts by identity, so the order only matters for
+// reproducibility of direct calls).
+func (s *EndpointStats) ObsMetrics() []Metric {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	recs := make([]*endpointRec, len(order))
+	for i, name := range order {
+		recs[i] = s.recs[name]
+	}
+	s.mu.Unlock()
+
+	out := make([]Metric, 0, 3*len(order))
+	for i, name := range order {
+		labels := []Label{{Key: "endpoint", Val: name}}
+		hist := recs[i].latency.Snapshot()
+		out = append(out,
+			Metric{Name: "fgs_http_requests_total", Help: "HTTP requests served, by endpoint", Kind: KindCounter, Labels: labels, Value: float64(recs[i].requests.Load())},
+			Metric{Name: "fgs_http_errors_total", Help: "HTTP requests failed server-side (5xx), by endpoint", Kind: KindCounter, Labels: labels, Value: float64(recs[i].errors.Load())},
+			Metric{Name: "fgs_http_latency_ms", Help: "HTTP request latency in milliseconds, by endpoint", Kind: KindHistogram, Labels: labels, Hist: &hist},
+		)
+	}
+	return out
+}

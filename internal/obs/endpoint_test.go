@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEndpointStatsObserve(t *testing.T) {
+	s := NewEndpointStats()
+	s.Observe("summarize", 3*time.Millisecond, false)
+	s.Observe("summarize", 5*time.Millisecond, true)
+	s.Observe("view", 500*time.Microsecond, false)
+
+	ms := s.ObsMetrics()
+	if len(ms) != 6 {
+		t.Fatalf("ObsMetrics returned %d series, want 6 (3 per endpoint)", len(ms))
+	}
+	// Registration order: summarize first, then view.
+	if ms[0].Name != "fgs_http_requests_total" || ms[0].Labels[0].Val != "summarize" || ms[0].Value != 2 {
+		t.Errorf("summarize requests series = %+v, want value 2", ms[0])
+	}
+	if ms[1].Name != "fgs_http_errors_total" || ms[1].Value != 1 {
+		t.Errorf("summarize errors series = %+v, want value 1", ms[1])
+	}
+	if ms[2].Kind != KindHistogram || ms[2].Hist.Count != 2 || ms[2].Hist.Sum != 3+5 {
+		t.Errorf("summarize latency histogram = %+v, want count 2 sum 8", ms[2].Hist)
+	}
+	if ms[5].Hist.Count != 1 || ms[5].Hist.Sum != 0 {
+		t.Errorf("view latency histogram = %+v, want count 1 sum 0 (sub-ms)", ms[5].Hist)
+	}
+}
+
+func TestEndpointStatsNilSafe(t *testing.T) {
+	var s *EndpointStats
+	s.Observe("x", time.Second, false) // must not panic
+	if got := s.ObsMetrics(); got != nil {
+		t.Fatalf("nil EndpointStats.ObsMetrics() = %v, want nil", got)
+	}
+}
+
+func TestEndpointStatsRegistryExport(t *testing.T) {
+	s := NewEndpointStats()
+	s.Observe("stats", 2*time.Millisecond, false)
+	reg := NewRegistry()
+	reg.Register(s)
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`fgs_http_requests_total{endpoint="stats"} 1`,
+		`fgs_http_latency_ms_count{endpoint="stats"} 1`,
+		`fgs_http_latency_ms_bucket{endpoint="stats",le="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus export missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEndpointStatsConcurrent(t *testing.T) {
+	s := NewEndpointStats()
+	var wg sync.WaitGroup
+	endpoints := []string{"a", "b", "c", "d"}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Observe(endpoints[(w+i)%len(endpoints)], time.Millisecond, i%7 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, m := range s.ObsMetrics() {
+		if m.Name == "fgs_http_requests_total" {
+			total += int64(m.Value)
+		}
+	}
+	if total != 8*200 {
+		t.Fatalf("total requests = %d, want %d", total, 8*200)
+	}
+}

@@ -1,0 +1,62 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePatternString checks the text-format round trip: any input that
+// Parse accepts must Format into a string that parses back to the same
+// pattern, and Format must be a fixed point (formatting the reparse changes
+// nothing). This pins the wire format the server's /v1/view endpoint and the
+// workload files rely on.
+func FuzzParsePatternString(f *testing.F) {
+	seeds := []string{
+		// The documented examples.
+		"n 0 user\nf 0\n",
+		"n 0 user industry=Internet\nn 1 user\ne 1 0 corev\nf 0\n",
+		"# comment\nn 0 user exp=5 industry=Internet\nn 1 user\nn 2 user\ne 1 0 corev\ne 2 0 corev\nf 0\n",
+		// Focus elsewhere, default focus, blank lines, literal edge cases.
+		"n 0 user\nn 1 org\ne 0 1 employed\nf 1\n",
+		"n 0 user\n",
+		"\n\nn 0 user\n\nf 0\n",
+		"n 0 user a=b=c\nf 0\n",
+		"n 0 x=y\nf 0\n",
+		// Malformed inputs the parser must reject without panicking.
+		"",
+		"n 1 user\n",
+		"n 0\n",
+		"e 0 1 corev\n",
+		"n 0 user\ne 0 5 corev\nf 0\n",
+		"n 0 user\nf 7\n",
+		"n 0 user\nq whatever\n",
+		"n 0 user =bad\nf 0\n",
+		"n -1 user\n",
+		"n 0 user\nn 0 user\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseString(s)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		var b strings.Builder
+		if err := Format(&b, p); err != nil {
+			t.Fatalf("Format of accepted pattern %q: %v", s, err)
+		}
+		formatted := b.String()
+		p2, err := ParseString(formatted)
+		if err != nil {
+			t.Fatalf("reparse of Format output %q (from %q): %v", formatted, s, err)
+		}
+		var b2 strings.Builder
+		if err := Format(&b2, p2); err != nil {
+			t.Fatal(err)
+		}
+		if formatted != b2.String() {
+			t.Errorf("Format not a fixed point:\nfirst:  %q\nsecond: %q", formatted, b2.String())
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"github.com/cwru-db/fgs/internal/obs"
+)
+
+// errSaturated reports that both the worker slots and the wait queue are
+// full; the handler turns it into 503 + Retry-After.
+var errSaturated = errors.New("server: all worker slots busy and admission queue full")
+
+// admission is the bounded worker semaphore gating every compute request.
+// slots caps concurrently running requests; queue caps requests waiting for
+// a slot. An arrival finding both full is rejected immediately — the
+// backpressure signal — rather than queued without bound, so a traffic
+// spike degrades into fast 503s instead of a latency collapse.
+type admission struct {
+	slots chan struct{}
+	queue chan struct{}
+
+	accepted obs.Counter
+	rejected obs.Counter
+	expired  obs.Counter // deadline/cancellation while queued
+}
+
+// newAdmission sizes the semaphore: slots concurrent requests, queueDepth
+// waiters (0 = reject as soon as all slots are busy).
+func newAdmission(slots, queueDepth int) *admission {
+	return &admission{
+		slots: make(chan struct{}, slots),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue if necessary.
+// It returns the release function on success; errSaturated when slots and
+// queue are both full; or ctx.Err() when the caller's deadline expires (or
+// the client disconnects) while queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+		a.accepted.Inc()
+		return a.release, nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.rejected.Inc()
+		return nil, errSaturated
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		a.accepted.Inc()
+		return a.release, nil
+	case <-ctx.Done():
+		a.expired.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// stats snapshots admission control for /v1/stats.
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		Accepted: a.accepted.Load(),
+		Rejected: a.rejected.Load(),
+		Expired:  a.expired.Load(),
+		Slots:    cap(a.slots),
+		Queue:    cap(a.queue),
+	}
+}
+
+// ObsMetrics exports the admission counters (obs.Source).
+func (a *admission) ObsMetrics() []obs.Metric {
+	st := a.stats()
+	return []obs.Metric{
+		{Name: "fgs_server_admitted_total", Help: "Requests admitted to a worker slot", Kind: obs.KindCounter, Value: float64(st.Accepted)},
+		{Name: "fgs_server_rejected_total", Help: "Requests rejected with 503 (slots and queue full)", Kind: obs.KindCounter, Value: float64(st.Rejected)},
+		{Name: "fgs_server_expired_total", Help: "Requests whose deadline expired while queued", Kind: obs.KindCounter, Value: float64(st.Expired)},
+	}
+}

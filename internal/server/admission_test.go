@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionSlotsAndQueue(t *testing.T) {
+	a := newAdmission(2, 0)
+	rel1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both slots busy, no queue: immediate rejection.
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errSaturated) {
+		t.Fatalf("err = %v, want errSaturated", err)
+	}
+	rel1()
+	rel3, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel2()
+	rel3()
+	st := a.stats()
+	if st.Accepted != 3 || st.Rejected != 1 || st.Expired != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Slots != 2 || st.Queue != 0 {
+		t.Fatalf("sizes %+v", st)
+	}
+}
+
+func TestAdmissionQueueWaitsForSlot(t *testing.T) {
+	a := newAdmission(1, 1)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := a.acquire(context.Background())
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter enter the queue
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire = %v", err)
+	}
+}
+
+func TestAdmissionQueuedDeadline(t *testing.T) {
+	a := newAdmission(1, 1)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if st := a.stats(); st.Expired != 1 {
+		t.Fatalf("expired = %d", st.Expired)
+	}
+	// The queue token was returned: the next overflow still gets queued, not
+	// rejected outright.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	if _, err := a.acquire(ctx2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second queued acquire = %v", err)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 1)
+	rel, _ := a.acquire(context.Background())
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waiting := make(chan struct{})
+	go func() {
+		close(waiting)
+		_, _ = a.acquire(ctx) // occupies the single queue token until cancel
+	}()
+	<-waiting
+	deadline := time.Now().Add(5 * time.Second)
+	for len(a.queue) == 0 { // wait until the goroutine holds the queue token
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never entered the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errSaturated) {
+		t.Fatalf("err = %v, want errSaturated", err)
+	}
+}

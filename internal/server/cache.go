@@ -1,0 +1,114 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/cwru-db/fgs/internal/obs"
+)
+
+// resultCache is the epoch-keyed LRU over encoded response bodies. Keys are
+// epochKey(canonicalKey(...), epoch), so entries from before a write can
+// never be returned: the epoch in the probe key no longer matches. Stale
+// entries are not swept eagerly — they simply stop being touched and fall
+// off the LRU tail as fresh results push in.
+//
+// A nil *resultCache is the disabled cache: get misses (uncounted) and put
+// is a no-op, so call sites never branch on configuration.
+type resultCache struct {
+	mu        sync.Mutex
+	capacity  int
+	lru       *list.List // front = most recently used; values are *cacheEntry
+	byKey     map[string]*list.Element
+	hits      obs.Counter
+	misses    obs.Counter
+	evictions obs.Counter
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache holding up to capacity entries, or nil
+// (disabled) when capacity <= 0.
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached body for key and marks it most recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting from the LRU tail beyond capacity.
+// The body must not be mutated after put (handlers hand over freshly
+// marshaled buffers).
+func (c *resultCache) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Same request raced to compute twice; results are deterministic, so
+		// either body is fine — keep the entry fresh.
+		el.Value.(*cacheEntry).body = body
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, body: body})
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+}
+
+// stats snapshots the cache for /v1/stats. Nil-safe: the disabled cache
+// reports zero capacity.
+func (c *resultCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.lru.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// ObsMetrics exports the cache counters (obs.Source).
+func (c *resultCache) ObsMetrics() []obs.Metric {
+	st := c.stats()
+	return []obs.Metric{
+		{Name: "fgs_server_cache_hits_total", Help: "Result cache hits", Kind: obs.KindCounter, Value: float64(st.Hits)},
+		{Name: "fgs_server_cache_misses_total", Help: "Result cache misses", Kind: obs.KindCounter, Value: float64(st.Misses)},
+		{Name: "fgs_server_cache_evictions_total", Help: "Result cache LRU evictions", Kind: obs.KindCounter, Value: float64(st.Evictions)},
+		{Name: "fgs_server_cache_entries", Help: "Result cache current entries", Kind: obs.KindGauge, Value: float64(st.Entries)},
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // touch a: b becomes the LRU tail
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if body, ok := c.get("a"); !ok || !bytes.Equal(body, []byte("A")) {
+		t.Fatal("a lost or corrupted")
+	}
+	if body, ok := c.get("c"); !ok || !bytes.Equal(body, []byte("C")) {
+		t.Fatal("c lost or corrupted")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hit/miss %+v", st)
+	}
+}
+
+func TestCachePutExistingRefreshes(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("A1"))
+	c.put("b", []byte("B"))
+	c.put("a", []byte("A2")) // racing identical compute: refresh, not duplicate
+	c.put("c", []byte("C"))  // evicts b, not a
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived; refresh did not move a to the front")
+	}
+	if body, ok := c.get("a"); !ok || !bytes.Equal(body, []byte("A2")) {
+		t.Fatalf("a = %q", body)
+	}
+}
+
+func TestCacheNilDisabled(t *testing.T) {
+	var c *resultCache // what newResultCache returns for capacity <= 0
+	if newResultCache(0) != nil || newResultCache(-5) != nil {
+		t.Fatal("capacity <= 0 must disable the cache")
+	}
+	c.put("a", []byte("A"))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if st := c.stats(); st != (CacheStats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+	if ms := c.ObsMetrics(); len(ms) != 4 {
+		t.Fatalf("nil ObsMetrics len %d", len(ms))
+	}
+}
+
+func TestCacheEpochKeysDisjoint(t *testing.T) {
+	c := newResultCache(8)
+	c.put(epochKey("k", 0), []byte("old"))
+	c.put(epochKey("k", 1), []byte("new"))
+	if body, _ := c.get(epochKey("k", 0)); !bytes.Equal(body, []byte("old")) {
+		t.Fatalf("epoch 0 entry = %q", body)
+	}
+	if body, _ := c.get(epochKey("k", 1)); !bytes.Equal(body, []byte("new")) {
+		t.Fatalf("epoch 1 entry = %q", body)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(16)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.put(key, []byte(key))
+				if body, ok := c.get(key); ok && string(body) != key {
+					panic("cache returned wrong body")
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if st := c.stats(); st.Entries > 16 {
+		t.Fatalf("entries %d exceed capacity", st.Entries)
+	}
+}

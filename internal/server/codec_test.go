@@ -1,0 +1,76 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDecodeStrict(t *testing.T) {
+	var req SummarizeRequest
+	if err := decodeStrict(nil, &req); err != nil {
+		t.Fatalf("empty body: %v", err)
+	}
+	if err := decodeStrict([]byte("  \n"), &req); err != nil {
+		t.Fatalf("whitespace body: %v", err)
+	}
+	if err := decodeStrict([]byte(`{"n":4}`), &req); err != nil || req.N != 4 {
+		t.Fatalf("n=4: %v, req %+v", err, req)
+	}
+	if err := decodeStrict([]byte(`{"bogus":1}`), &req); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := decodeStrict([]byte(`{"n":4}{"n":5}`), &req); err == nil {
+		t.Fatal("trailing value accepted")
+	}
+	if err := decodeStrict([]byte(`{"n":"four"}`), &req); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestCanonicalKeyCollapsesEquivalentRequests(t *testing.T) {
+	// Normalization happens before hashing, so equal structs — however their
+	// JSON arrived — produce equal keys.
+	a, err := canonicalKey("summarize", &SummarizeRequest{R: 2, N: 4, Utility: "coverage"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := canonicalKey("summarize", &SummarizeRequest{N: 4, R: 2, Utility: "coverage"})
+	if a != b {
+		t.Fatalf("equal requests, different keys: %q %q", a, b)
+	}
+	c, _ := canonicalKey("summarize", &SummarizeRequest{R: 2, N: 5, Utility: "coverage"})
+	if a == c {
+		t.Fatal("different requests share a key")
+	}
+	d, _ := canonicalKey("view", &SummarizeRequest{R: 2, N: 4, Utility: "coverage"})
+	if a == d {
+		t.Fatal("endpoints share a key space")
+	}
+	if !strings.HasPrefix(a, "summarize:") {
+		t.Fatalf("key %q lacks the endpoint prefix", a)
+	}
+}
+
+func TestEpochKeyScopes(t *testing.T) {
+	if epochKey("k", 0) == epochKey("k", 1) {
+		t.Fatal("epochs share keys")
+	}
+	if epochKey("a", 1) == epochKey("b", 1) {
+		t.Fatal("requests share keys")
+	}
+}
+
+func TestMarshalBodyCanonical(t *testing.T) {
+	body, err := marshalBody(&ViewResponse{Epoch: 1, Count: 2, Nodes: []int64{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"epoch":1,"count":2,"nodes":[3,4]}` + "\n"
+	if string(body) != want {
+		t.Fatalf("body = %q, want %q", body, want)
+	}
+	if !bytes.HasSuffix(body, []byte("\n")) {
+		t.Fatal("no trailing newline")
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+// determinismScript is a fixed request sequence covering every compute
+// endpoint, including a graph-changing write in the middle.
+var determinismScript = []struct{ path, body string }{
+	{"/v1/summarize", `{"n":4}`},
+	{"/v1/summarize", `{"n":5}`},
+	{"/v1/summarize", `{"n":4}`}, // cache hit on a warm server; body identical either way
+	{"/v1/summarize-k", `{"k":2,"n":4}`},
+	{"/v1/view", `{"pattern":"n 0 user\nf 0"}`},
+	{"/v1/workload", ``},
+	{"/v1/update", `{"insert":[{"from":0,"to":12,"label":"corev"}]}`},
+	{"/v1/summarize", `{"n":4}`}, // epoch 1: recomputed, not served stale
+	{"/v1/view", `{"pattern":"n 0 user\nn 1 user\ne 1 0 corev\nf 0"}`},
+	{"/v1/update", `{"delete":[{"from":0,"to":12,"label":"corev"}]}`},
+	{"/v1/summarize-k", `{"k":2,"n":4}`},
+	{"/v1/workload", ``},
+}
+
+func runScript(t *testing.T, ts *httptest.Server) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(determinismScript))
+	for i, req := range determinismScript {
+		resp, body := post(t, ts, req.path, req.body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("step %d %s %s: status %d (%s)", i, req.path, req.body, resp.StatusCode, body)
+		}
+		out[i] = body
+	}
+	return out
+}
+
+// TestDeterminismAcrossWorkerCounts runs the identical request sequence
+// against a sequential server and an 8-worker server: every response body
+// must be byte-identical. The serving layer inherits the library's
+// determinism contract — parallelism changes wall-clock time, never bytes.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	_, seq := newTestServer(t, Config{Workers: 0})
+	_, par := newTestServer(t, Config{Workers: 8})
+	a := runScript(t, seq)
+	b := runScript(t, par)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("step %d (%s %s): workers 0 vs 8 differ:\n  %s\n  %s",
+				i, determinismScript[i].path, determinismScript[i].body, a[i], b[i])
+		}
+	}
+}
+
+// TestDeterminismCacheOnOff runs the sequence with and without the result
+// cache: hits must reproduce computed bodies exactly.
+func TestDeterminismCacheOnOff(t *testing.T) {
+	_, cached := newTestServer(t, Config{})
+	_, uncached := newTestServer(t, Config{CacheEntries: -1})
+	a := runScript(t, cached)
+	b := runScript(t, uncached)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("step %d (%s %s): cached vs uncached differ:\n  %s\n  %s",
+				i, determinismScript[i].path, determinismScript[i].body, a[i], b[i])
+		}
+	}
+}

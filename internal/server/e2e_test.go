@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// e2eRequests is the concurrent phase's request set: 64 mixed requests —
+// reads plus no-op writes (inserts between nonexistent nodes fail with a
+// deterministic 400 and never advance the epoch), so every request's
+// response is independent of interleaving and the whole phase is
+// reproducible byte-for-byte.
+func e2eRequests() []struct{ path, body string } {
+	reqs := make([]struct{ path, body string }, 0, 64)
+	add := func(path, body string) {
+		reqs = append(reqs, struct{ path, body string }{path, body})
+	}
+	for i := 0; i < 16; i++ {
+		switch i % 4 {
+		case 0:
+			add("/v1/summarize", `{"n":4}`)
+			add("/v1/summarize", `{"n":5}`)
+			add("/v1/view", `{"pattern":"n 0 user\nf 0"}`)
+			add("/v1/update", `{"insert":[{"from":100000,"to":100001,"label":"corev"}]}`)
+		case 1:
+			add("/v1/summarize-k", `{"k":2,"n":4}`)
+			add("/v1/workload", ``)
+			add("/v1/view", `{"pattern":"n 0 user\nn 1 user\ne 1 0 corev\nf 0"}`)
+			add("/v1/summarize", `{"n":4}`)
+		case 2:
+			add("/v1/summarize", `{"n":6}`)
+			add("/v1/view", `{"pattern":"n 0 user\nf 0"}`)
+			add("/v1/update", `{"delete":[{"from":100000,"to":100001,"label":"corev"}]}`)
+			add("/v1/workload", ``)
+		default:
+			add("/v1/summarize", `{"n":5}`)
+			add("/v1/summarize-k", `{"k":3,"n":6}`)
+			add("/v1/view", `{"pattern":"n 0 user\nn 1 user\ne 0 1 corev\nf 0"}`)
+			add("/v1/summarize", `{"n":4}`)
+		}
+	}
+	return reqs
+}
+
+// fireConcurrent sends all requests from 16 client goroutines and returns
+// the response bodies indexed by request position.
+func fireConcurrent(t *testing.T, ts *httptest.Server) [][]byte {
+	t.Helper()
+	reqs := e2eRequests()
+	bodies := make([][]byte, len(reqs))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(reqs) {
+					return
+				}
+				resp, body := post(t, ts, reqs[i].path, reqs[i].body)
+				if resp.StatusCode != 200 && resp.StatusCode != 400 {
+					t.Errorf("req %d %s: status %d (%s)", i, reqs[i].path, resp.StatusCode, body)
+				}
+				bodies[i] = body
+			}
+		}()
+	}
+	wg.Wait()
+	return bodies
+}
+
+// TestE2EConcurrentDeterministicService is the acceptance test of the
+// serving layer (ISSUE: fgsd): boot on an httptest listener, fire 64
+// concurrent mixed read/write requests, and require the full response
+// transcript to be byte-identical across two runs against identically
+// initialized servers. Then, sequentially: repeated identical requests hit
+// the cache; a graph-changing write bumps the epoch and makes every cached
+// entry unreachable; a saturated semaphore yields 503 + Retry-After; and
+// draining completes in-flight work while refusing new work.
+func TestE2EConcurrentDeterministicService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test skipped in -short")
+	}
+	cfg := Config{Workers: 8, QueueDepth: 128}
+
+	_, ts1 := newTestServer(t, cfg)
+	run1 := fireConcurrent(t, ts1)
+	s2, ts2 := newTestServer(t, cfg)
+	run2 := fireConcurrent(t, ts2)
+	reqs := e2eRequests()
+	for i := range run1 {
+		if !bytes.Equal(run1[i], run2[i]) {
+			t.Errorf("req %d (%s %s): runs differ:\n  %s\n  %s",
+				i, reqs[i].path, reqs[i].body, run1[i], run2[i])
+		}
+	}
+
+	// The concurrent phase issued {"n":4} summarize five times: at least one
+	// must have been served from the cache, and no write bumped the epoch.
+	if s2.Epoch() != 0 {
+		t.Fatalf("no-op writes advanced the epoch to %d", s2.Epoch())
+	}
+	resp, body := get(t, ts2, "/v1/stats")
+	wantStatus(t, resp, body, 200)
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatal("repeated identical requests produced no cache hit")
+	}
+
+	// A real write invalidates: epoch moves, the same read recomputes.
+	resp, body = post(t, ts2, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, 200)
+	if resp.Header.Get("X-Fgs-Cache") != "hit" {
+		t.Fatal("warm entry missed before the write")
+	}
+	resp, body = post(t, ts2, "/v1/update", `{"insert":[{"from":0,"to":12,"label":"corev"}]}`)
+	wantStatus(t, resp, body, 200)
+	if s2.Epoch() != 1 {
+		t.Fatalf("epoch = %d after a real insert", s2.Epoch())
+	}
+	resp, body = post(t, ts2, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, 200)
+	if resp.Header.Get("X-Fgs-Cache") == "hit" {
+		t.Fatal("stale entry served after the write")
+	}
+	var sr SummarizeResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Epoch != 1 {
+		t.Fatalf("post-write summarize reported epoch %d", sr.Epoch)
+	}
+}
+
+// TestE2ESaturationBackpressure: with one worker slot and no queue, a held
+// slot makes the next arrival fail fast with 503 + Retry-After.
+func TestE2ESaturationBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
+	s.adm.slots <- struct{}{}
+	resp, body := post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, 503)
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 lacks Retry-After")
+	}
+	<-s.adm.slots
+	resp, body = post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, 200)
+}
+
+// TestE2EDrainCompletesInFlight holds a request inside the compute section
+// via the test hook, starts the drain, and checks the three drain
+// guarantees: health flips to 503, new compute is refused, and the in-flight
+// request still completes with 200.
+func TestE2EDrainCompletesInFlight(t *testing.T) {
+	g, groups := testGraph(t)
+	s, err := New(g, groups, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHook = func(string) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, body := post(t, ts, "/v1/summarize", `{"n":4}`)
+		done <- result{resp.StatusCode, body}
+	}()
+	<-entered
+	s.StartDrain()
+	assertDrainingServer(t, ts)
+	close(release)
+	r := <-done
+	if r.status != 200 {
+		t.Fatalf("in-flight request during drain: status %d (%s)", r.status, r.body)
+	}
+	var sr SummarizeResponse
+	if err := json.Unmarshal(r.body, &sr); err != nil || len(sr.Summary) == 0 {
+		t.Fatalf("in-flight response body %q (%v)", r.body, err)
+	}
+}

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/cwru-db/fgs/internal/obs"
+)
+
+// retryAfterSeconds is the backpressure hint on 503 responses: the queue
+// drains at compute speed, so "soon" is the honest answer; clients with
+// jittered retries spread the next wave.
+const retryAfterSeconds = "1"
+
+// routes mounts the HTTP surface. Method-qualified patterns (Go 1.22
+// ServeMux) give non-matching methods 405 for free.
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/summarize", s.instrument("summarize", s.handleSummarize(false)))
+	mux.HandleFunc("POST /v1/summarize-k", s.instrument("summarize-k", s.handleSummarize(true)))
+	mux.HandleFunc("POST /v1/view", s.instrument("view", s.handleView))
+	mux.HandleFunc("POST /v1/workload", s.instrument("workload", s.handleWorkload))
+	mux.HandleFunc("POST /v1/update", s.instrument("update", s.handleUpdate))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux = mux
+}
+
+// statusWriter records the status code for the latency/error series.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the observability shell: a request span
+// (only when the observer carries a trace — an always-on trace would grow
+// without bound over a server's lifetime), the per-endpoint latency
+// histogram, and a recover barrier that turns an escaped panic into a 500
+// so one poisoned request cannot take the process down.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp := s.tr.Start("http." + endpoint)
+		start := s.clock.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				sw.status = http.StatusInternalServerError
+				writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+			}
+			s.http.Observe(endpoint, s.clock.Now().Sub(start), sw.status >= 500)
+			sp.SetArg("status", int64(sw.status))
+			sp.End()
+		}()
+		h(sw, r)
+	}
+}
+
+// serveCompute is the shared request pipeline for the compute endpoints:
+// drain check → cache probe → admission (with deadline) → compute → cache
+// fill → respond. cacheReq, when non-nil, is the normalized request whose
+// canonical encoding keys the cache; pass nil for uncacheable endpoints
+// (writes).
+func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, endpoint string, cacheReq any, fn func() (resp any, epoch uint64, err error)) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	var key string
+	if cacheReq != nil && s.cache != nil {
+		k, err := canonicalKey(endpoint, cacheReq)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		key = k
+		if body, ok := s.cache.get(epochKey(key, s.epoch.Load())); ok {
+			w.Header().Set("X-Fgs-Cache", "hit")
+			writeRaw(w, http.StatusOK, body)
+			return
+		}
+	}
+
+	ctx := r.Context()
+	if s.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	}
+	release, err := s.adm.acquire(ctx)
+	switch {
+	case errors.Is(err, errSaturated):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, errors.New("server: deadline expired while queued"))
+		return
+	case err != nil: // client disconnected while queued
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer release()
+	if s.testHook != nil {
+		s.testHook(endpoint)
+	}
+
+	resp, epoch, err := fn()
+	if err != nil {
+		var reqErr *requestError
+		if errors.As(err, &reqErr) {
+			writeError(w, http.StatusBadRequest, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if key != "" {
+		// Stored under the epoch captured inside the compute's lock scope, so
+		// a write racing this response can only leave the entry under an old
+		// epoch — unreachable, never wrong.
+		s.cache.put(epochKey(key, epoch), body)
+	}
+	writeRaw(w, http.StatusOK, body)
+}
+
+func (s *Server) handleSummarize(k bool) http.HandlerFunc {
+	endpoint := "summarize"
+	if k {
+		endpoint = "summarize-k"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		req := &SummarizeRequest{}
+		if !s.decodeRequest(w, r, req) {
+			return
+		}
+		if err := s.normalizeSummarize(req, k); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.serveCompute(w, r, endpoint, req, func() (any, uint64, error) {
+			return s.computeSummarize(req, k)
+		})
+	}
+}
+
+// normalizeSummarize applies server defaults and validates, so the
+// canonical cache key collapses equivalent requests.
+func (s *Server) normalizeSummarize(req *SummarizeRequest, k bool) error {
+	if req.R < 0 || req.N < 0 || req.K < 0 {
+		return errors.New("r, k, and n must be non-negative")
+	}
+	if req.R == 0 {
+		req.R = s.cfg.R
+	}
+	if req.N == 0 {
+		req.N = s.cfg.N
+	}
+	if k {
+		if req.K == 0 {
+			req.K = s.cfg.K
+		}
+		if req.K <= 0 {
+			return errors.New("summarize-k needs k > 0 (in the request or the server config)")
+		}
+	} else {
+		req.K = 0
+	}
+	if req.Utility == "" {
+		req.Utility = s.cfg.Utility
+	}
+	return nil
+}
+
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	req := &ViewRequest{}
+	if !s.decodeRequest(w, r, req) {
+		return
+	}
+	if req.Pattern == "" {
+		writeError(w, http.StatusBadRequest, errors.New("view needs a pattern"))
+		return
+	}
+	if req.EmbedCap == 0 {
+		req.EmbedCap = s.cfg.EmbedCap
+	}
+	s.serveCompute(w, r, "view", req, func() (any, uint64, error) {
+		return s.computeView(req)
+	})
+}
+
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	req := &WorkloadRequest{}
+	if !s.decodeRequest(w, r, req) {
+		return
+	}
+	if req.EmbedCap == 0 {
+		req.EmbedCap = s.cfg.EmbedCap
+	}
+	s.serveCompute(w, r, "workload", req, func() (any, uint64, error) {
+		return s.computeWorkload(req)
+	})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	req := &UpdateRequest{}
+	if !s.decodeRequest(w, r, req) {
+		return
+	}
+	if len(req.Insert)+len(req.Delete) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("update needs at least one insert or delete"))
+		return
+	}
+	s.serveCompute(w, r, "update", nil, func() (any, uint64, error) {
+		resp, err := s.computeUpdate(req)
+		return resp, 0, err
+	})
+}
+
+// handleStats serves the engine snapshot. It bypasses admission — it only
+// reads counters and sizes, and must stay responsive when the slots are
+// saturated (that is when operators look at it).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp, _, err := s.computeStats()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+}
+
+// handleMetrics renders the Prometheus exposition: the engine counters
+// (cache, admission, per-endpoint latency) plus phase metrics from the
+// trace when one is attached.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ms := s.reg.Gather()
+	if s.tr != nil {
+		ms = obs.MergeMetrics(append(ms, obs.PhaseMetrics(s.tr)...))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := obs.WritePrometheus(w, ms); err != nil {
+		// Headers are gone; all we can do is log-level reporting via the
+		// error counter (instrument sees 200 — the body is already partial).
+		_ = err
+	}
+}
+
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if err := decodeStrict(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := marshalBody(v)
+	if err != nil {
+		body = []byte(`{"error":"encoding failure"}` + "\n")
+		status = http.StatusInternalServerError
+	}
+	writeRaw(w, status, body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

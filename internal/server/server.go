@@ -1,0 +1,371 @@
+// Package server implements fgsd's serving engine: a summarization service
+// over one live graph, designed for heavy concurrent read traffic with a
+// serialized write path (DESIGN.md §10).
+//
+// Concurrency model — single writer, many readers:
+//
+//   - Read endpoints (summarize, summarize-k, view, workload, stats) run
+//     concurrently under an RWMutex read lock. The graph's read paths are
+//     safe for concurrent readers (label bitsets behind a mutex, pooled BFS
+//     scratch), and each request builds its own matcher and E_v^r cache, so
+//     readers share nothing mutable.
+//   - Write requests (edge insert/delete batches) are serialized through the
+//     Inc-FGS Maintainer under the write lock and advance the graph epoch
+//     when — and only when — the batch changed the graph.
+//
+// Around the engine sit admission control (a bounded worker semaphore with
+// a bounded wait queue; saturation answers 503 + Retry-After), per-request
+// deadlines, and an epoch-keyed LRU result cache: cache keys embed the epoch
+// at which the response was computed, so every write invalidates the whole
+// cache by construction — stale entries can never be served and simply age
+// out of the LRU.
+//
+// Responses are canonically encoded (fixed field order, normalized request
+// hashing), so an identical request sequence yields byte-identical response
+// bodies at any worker count — the serving layer inherits the library's
+// determinism contract (DESIGN.md §7).
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/core"
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/obs"
+	"github.com/cwru-db/fgs/internal/pattern"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// Config tunes the serving engine. The zero value serves sequentially with
+// sensible defaults; see withDefaults for the concrete numbers.
+type Config struct {
+	// R, K, N are the summarization defaults a request inherits when it
+	// leaves the corresponding field unset (R 2, K 0 = unbounded, N 20).
+	R, K, N int
+	// Utility is the maintained summary's utility spec, in the CLI syntax:
+	// "coverage[:edgelabel]", "rating[:attr]", "diversity:attr", or
+	// "cardinality". Requests may override it per call. Default "coverage".
+	Utility string
+	// Workers sizes the admission semaphore — the number of concurrently
+	// computing requests — and flows into core.Config.Workers for each run's
+	// mining pipeline. 0 serves sequentially (one slot); summaries are
+	// byte-identical at any setting.
+	Workers int
+	// QueueDepth bounds requests waiting for a free worker slot beyond the
+	// in-flight cap; arrivals beyond slots+queue get 503 + Retry-After.
+	// 0 picks the default (4× slots); negative disables queueing entirely.
+	QueueDepth int
+	// CacheEntries caps the epoch-keyed result cache. 0 picks the default
+	// (256); negative disables caching.
+	CacheEntries int
+	// Deadline bounds each compute request, covering the queue wait; an
+	// admitted request runs to completion (the algorithms are not
+	// preemptible), so the deadline's job is shedding work that would start
+	// too late. 0 picks the default (30s).
+	Deadline time.Duration
+	// EmbedCap bounds embedding enumeration for view and workload queries
+	// when the request does not set its own (0 = matcher default).
+	EmbedCap int
+	// Obs receives request spans (when it carries a trace), per-endpoint
+	// latency histograms, and cache/admission counters. Nil installs a
+	// private registry so /metrics works regardless.
+	Obs *obs.Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.R <= 0 {
+		c.R = 2
+	}
+	if c.N <= 0 {
+		c.N = 20
+	}
+	if c.Utility == "" {
+		c.Utility = "coverage"
+	}
+	if c.Workers < 0 {
+		c.Workers = 0
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * maxInt(1, c.Workers)
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 30 * time.Second
+	}
+	return c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Server is the engine plus its HTTP surface. Create one with New, mount
+// Handler on an http.Server, and call StartDrain before Shutdown.
+type Server struct {
+	cfg Config
+
+	// mu is the single-writer/many-reader gate over g, maint, and summary.
+	mu      sync.RWMutex
+	g       *graph.Graph
+	groups  *submod.Groups
+	maint   *core.Maintainer
+	summary *core.Summary
+
+	// epoch counts graph-changing write batches. It is written only under
+	// mu's write lock; reads under the read lock (or lock-free for cache
+	// probes) see a consistent value.
+	epoch atomic.Uint64
+
+	cache    *resultCache
+	adm      *admission
+	clock    obs.Clock
+	tr       *obs.Trace // nil unless the observer carries one
+	reg      *obs.Registry
+	http     *obs.EndpointStats
+	draining atomic.Bool
+	mux      *http.ServeMux
+
+	// testHook, when set, runs at the start of every admitted compute with
+	// the endpoint name — tests use it to hold requests in flight.
+	testHook func(endpoint string)
+}
+
+// New builds the engine: it computes the initial maintained summary with
+// Inc-FGS (so write batches are handled incrementally from the first
+// request) and wires the cache, admission control, and HTTP routes.
+func New(g *graph.Graph, groups *submod.Groups, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	util, err := buildUtility(g, cfg.Utility)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	reg := cfg.Obs.GetReg()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:    cfg,
+		g:      g,
+		groups: groups,
+		cache:  newResultCache(cfg.CacheEntries),
+		adm:    newAdmission(maxInt(1, cfg.Workers), cfg.QueueDepth),
+		clock:  cfg.Obs.GetClock(),
+		tr:     cfg.Obs.GetTrace(),
+		reg:    reg,
+		http:   obs.NewEndpointStats(),
+	}
+	reg.Register(s.http)
+	if s.cache != nil {
+		reg.Register(s.cache)
+	}
+	reg.Register(s.adm)
+	// The maintainer is the one long-lived algorithm run, so it may report
+	// into the shared observer; per-request runs must not (each would
+	// register another E_v^r cache source and grow the registry without
+	// bound over the server's lifetime).
+	mcfg := s.coreConfig(cfg.R, cfg.K, cfg.N)
+	mcfg.Obs = cfg.Obs
+	s.maint, s.summary = core.NewMaintainer(g, groups, util, mcfg)
+	s.routes()
+	return s, nil
+}
+
+// coreConfig assembles a core.Config for one run from request parameters
+// plus the server-wide knobs.
+func (s *Server) coreConfig(r, k, n int) core.Config {
+	return core.Config{
+		R:       r,
+		K:       k,
+		N:       n,
+		Workers: s.cfg.Workers,
+		Mining:  mining.Config{EmbedCap: s.cfg.EmbedCap},
+	}
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Epoch returns the current graph epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// StartDrain flips the server into draining mode: /healthz answers 503 so
+// load balancers stop routing here, and new compute requests are refused
+// with 503 + Retry-After, while requests already admitted run to
+// completion. Pair it with http.Server.Shutdown, which waits for in-flight
+// handlers (see cmd/fgsd for the full sequence).
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// --- compute paths -------------------------------------------------------
+//
+// Every compute method captures the epoch while holding the lock, so the
+// (epoch, response) pair it returns is consistent: a concurrent write
+// cannot land between the computation and the epoch read. Responses are
+// cached under that epoch.
+
+// computeSummarize runs APXFGS (or k-APXFGS when k > 0) on the live graph.
+func (s *Server) computeSummarize(req *SummarizeRequest, k bool) (*SummarizeResponse, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	util, err := buildUtility(s.g, req.Utility)
+	if err != nil {
+		return nil, 0, &requestError{err}
+	}
+	cfg := s.coreConfig(req.R, req.K, req.N)
+	var sum *core.Summary
+	if k {
+		sum, err = core.KAPXFGS(s.g, s.groups, util, cfg)
+	} else {
+		sum, err = core.APXFGS(s.g, s.groups, util, cfg)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf, s.g); err != nil {
+		return nil, 0, err
+	}
+	ep := s.epoch.Load()
+	return &SummarizeResponse{Epoch: ep, Summary: buf.Bytes()}, ep, nil
+}
+
+// computeView answers a pattern query over the maintained summary as a
+// materialized view.
+func (s *Server) computeView(req *ViewRequest) (*ViewResponse, uint64, error) {
+	p, err := pattern.ParseString(req.Pattern)
+	if err != nil {
+		return nil, 0, &requestError{err}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	nodes := core.QueryView(s.g, s.summary, p, req.EmbedCap)
+	ids := make([]int64, len(nodes))
+	for i, v := range nodes {
+		ids[i] = int64(v)
+	}
+	ep := s.epoch.Load()
+	return &ViewResponse{Epoch: ep, Count: len(ids), Nodes: ids}, ep, nil
+}
+
+// computeWorkload evaluates the maintained summary's patterns as annotated
+// benchmark queries.
+func (s *Server) computeWorkload(req *WorkloadRequest) (*WorkloadResponse, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := core.Workload(s.g, s.summary, req.EmbedCap)
+	out := make([]WorkloadQuery, 0, len(entries))
+	for _, e := range entries {
+		var b strings.Builder
+		if err := pattern.Format(&b, e.P); err != nil {
+			return nil, 0, err
+		}
+		out = append(out, WorkloadQuery{
+			Pattern:        b.String(),
+			Cardinality:    e.Cardinality,
+			CoveredMatches: e.CoveredMatches,
+			Selectivity:    e.Selectivity,
+		})
+	}
+	ep := s.epoch.Load()
+	return &WorkloadResponse{Epoch: ep, Queries: out}, ep, nil
+}
+
+// computeUpdate applies one write batch through the maintainer under the
+// write lock and advances the epoch iff the graph changed.
+func (s *Server) computeUpdate(req *UpdateRequest) (*UpdateResponse, error) {
+	delta := core.Delta{}
+	for _, e := range req.Insert {
+		delta.Insert = append(delta.Insert, core.EdgeUpdate{From: graph.NodeID(e.From), To: graph.NodeID(e.To), Label: e.Label})
+	}
+	for _, e := range req.Delete {
+		delta.Delete = append(delta.Delete, core.EdgeUpdate{From: graph.NodeID(e.From), To: graph.NodeID(e.To), Label: e.Label})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum, applied, err := s.maint.Apply(delta)
+	s.summary = sum
+	if applied > 0 {
+		s.epoch.Add(1)
+	}
+	resp := &UpdateResponse{
+		Epoch:   s.epoch.Load(),
+		Applied: applied,
+		Summary: summaryStatsOf(sum),
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		if applied == 0 {
+			return resp, &requestError{err}
+		}
+	}
+	return resp, nil
+}
+
+// computeStats snapshots the engine. Everything in the response is
+// deterministic for a fixed request sequence: epoch, sizes, and the cache
+// and admission counters; wall-clock readings are exported on /metrics
+// only.
+func (s *Server) computeStats() (*StatsResponse, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ep := s.epoch.Load()
+	return &StatsResponse{
+		Epoch:     ep,
+		Nodes:     s.g.NumNodes(),
+		Edges:     s.g.NumEdges(),
+		Groups:    s.groups.Len(),
+		Summary:   summaryStatsOf(s.summary),
+		Cache:     s.cache.stats(),
+		Admission: s.adm.stats(),
+	}, ep, nil
+}
+
+func summaryStatsOf(sum *core.Summary) SummaryStats {
+	return SummaryStats{
+		Patterns:    sum.NumPatterns(),
+		Covered:     len(sum.Covered),
+		Corrections: sum.Corrections.Len(),
+		CL:          sum.CL,
+		Utility:     sum.Utility,
+	}
+}
+
+// buildUtility constructs a utility from its CLI spec against g.
+func buildUtility(g *graph.Graph, spec string) (submod.Utility, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "", "coverage":
+		return submod.NewNeighborCoverage(g, submod.NeighborsIn, arg), nil
+	case "rating":
+		if arg == "" {
+			arg = "rating"
+		}
+		return submod.NewRatingSum(g, arg), nil
+	case "diversity":
+		if arg == "" {
+			return nil, fmt.Errorf("utility %q needs an attribute: diversity:<attr>", spec)
+		}
+		return submod.NewAttributeDiversity(g, arg), nil
+	case "cardinality":
+		return submod.NewCardinality(), nil
+	default:
+		return nil, fmt.Errorf("unknown utility %q (have coverage[:edgelabel], rating[:attr], diversity:attr, cardinality)", spec)
+	}
+}

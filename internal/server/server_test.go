@@ -1,0 +1,408 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// testGraph builds a deterministic 24-user recommendation network with two
+// gender groups. Edges follow fixed arithmetic progressions, so every test
+// run sees the same graph without a RNG.
+func testGraph(t testing.TB) (*graph.Graph, *submod.Groups) {
+	t.Helper()
+	g := graph.New()
+	const n = 24
+	var males, females []graph.NodeID
+	for i := 0; i < n; i++ {
+		attrs := map[string]string{"exp": fmt.Sprintf("%d", 1+i%5)}
+		if i%3 == 0 {
+			attrs["industry"] = "Internet"
+		}
+		if i%2 == 0 {
+			attrs["gender"] = "m"
+		} else {
+			attrs["gender"] = "f"
+		}
+		id := g.AddNode("user", attrs)
+		if i < 8 {
+			if i%2 == 0 {
+				males = append(males, id)
+			} else {
+				females = append(females, id)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		from := graph.NodeID(i)
+		for _, to := range []graph.NodeID{graph.NodeID((i + 1) % n), graph.NodeID((i*7 + 3) % n), graph.NodeID((i*5 + 11) % n)} {
+			if from != to {
+				_ = g.AddEdge(from, to, "corev")
+			}
+		}
+	}
+	groups, err := submod.NewGroups(
+		submod.Group{Name: "male", Members: males, Lower: 1, Upper: 3},
+		submod.Group{Name: "female", Members: females, Lower: 1, Upper: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, groups
+}
+
+// newTestServer boots a server over the test graph on an httptest listener.
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	g, groups := testGraph(t)
+	s, err := New(g, groups, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends body to path and returns the response with its drained body.
+func post(t testing.TB, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t testing.TB, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func wantStatus(t testing.TB, resp *http.Response, body []byte, want int) {
+	t.Helper()
+	if resp.StatusCode != want {
+		t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, want, body)
+	}
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, body := get(t, ts, "/healthz")
+	wantStatus(t, resp, body, http.StatusOK)
+	if string(body) != `{"status":"ok"}`+"\n" {
+		t.Fatalf("healthz body = %q", body)
+	}
+
+	s.StartDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after StartDrain")
+	}
+	resp, body = get(t, ts, "/healthz")
+	wantStatus(t, resp, body, http.StatusServiceUnavailable)
+	if !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("draining healthz body = %q", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining healthz lacks Retry-After")
+	}
+
+	// New compute work is refused while draining.
+	resp, body = post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, http.StatusServiceUnavailable)
+}
+
+func TestSummarizeAndCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{N: 4})
+	resp, body1 := post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body1, http.StatusOK)
+	if resp.Header.Get("X-Fgs-Cache") == "hit" {
+		t.Fatal("first request cannot be a cache hit")
+	}
+	var sr struct {
+		Epoch   uint64          `json:"epoch"`
+		Summary json.RawMessage `json:"summary"`
+	}
+	if err := json.Unmarshal(body1, &sr); err != nil {
+		t.Fatalf("bad summarize body: %v", err)
+	}
+	if sr.Epoch != 0 || len(sr.Summary) == 0 {
+		t.Fatalf("epoch = %d, summary %d bytes", sr.Epoch, len(sr.Summary))
+	}
+
+	resp, body2 := post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body2, http.StatusOK)
+	if resp.Header.Get("X-Fgs-Cache") != "hit" {
+		t.Fatal("identical repeat request missed the cache")
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cache hit body differs from computed body")
+	}
+
+	// Equivalent requests (field order, explicit defaults) share the entry.
+	for _, req := range []string{`{"r":2,"n":4}`, `{"n":4,"r":2}`, `{"n":4,"utility":"coverage"}`} {
+		resp, body := post(t, ts, "/v1/summarize", req)
+		wantStatus(t, resp, body, http.StatusOK)
+		if resp.Header.Get("X-Fgs-Cache") != "hit" {
+			t.Fatalf("request %s missed the cache", req)
+		}
+		if !bytes.Equal(body1, body) {
+			t.Fatalf("request %s body differs", req)
+		}
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/summarize", `{"r":-1}`},
+		{"/v1/summarize", `{"bogus":1}`},
+		{"/v1/summarize", `{"n":4} trailing`},
+		{"/v1/summarize-k", `{}`}, // no k in request or config
+		{"/v1/view", `{}`},        // pattern required
+		{"/v1/view", `{"pattern":"not a pattern"}`},
+		{"/v1/update", `{}`}, // empty batch
+	} {
+		resp, body := post(t, ts, tc.path, tc.body)
+		wantStatus(t, resp, body, http.StatusBadRequest)
+		var er struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Fatalf("%s %s: error body %q", tc.path, tc.body, body)
+		}
+	}
+}
+
+func TestSummarizeK(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts, "/v1/summarize-k", `{"k":2,"n":4}`)
+	wantStatus(t, resp, body, http.StatusOK)
+
+	// The k default from the config kicks in when the request omits it.
+	_, ts2 := newTestServer(t, Config{K: 2})
+	resp, body = post(t, ts2, "/v1/summarize-k", `{"n":4}`)
+	wantStatus(t, resp, body, http.StatusOK)
+}
+
+func TestView(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts, "/v1/view", `{"pattern":"n 0 user\nf 0"}`)
+	wantStatus(t, resp, body, http.StatusOK)
+	var vr ViewResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Count != len(vr.Nodes) {
+		t.Fatalf("count %d != len(nodes) %d", vr.Count, len(vr.Nodes))
+	}
+	if vr.Count == 0 {
+		t.Fatal("single-node user pattern matched no covered nodes")
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts, "/v1/workload", ``)
+	wantStatus(t, resp, body, http.StatusOK)
+	var wr WorkloadResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Queries) == 0 {
+		t.Fatal("workload has no queries")
+	}
+	for _, q := range wr.Queries {
+		if q.Pattern == "" || q.Cardinality < q.CoveredMatches {
+			t.Fatalf("bad workload query %+v", q)
+		}
+	}
+}
+
+func TestUpdateEpochAndInvalidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Warm the cache at epoch 0.
+	resp, body0 := post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body0, http.StatusOK)
+	resp, _ = post(t, ts, "/v1/summarize", `{"n":4}`)
+	if resp.Header.Get("X-Fgs-Cache") != "hit" {
+		t.Fatal("warming request missed")
+	}
+
+	// A real insert advances the epoch. Node 0 -> 12 does not exist yet
+	// (edges go to 1, 3, and 11).
+	resp, body := post(t, ts, "/v1/update", `{"insert":[{"from":0,"to":12,"label":"corev"}]}`)
+	wantStatus(t, resp, body, http.StatusOK)
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Epoch != 1 || ur.Applied != 1 || ur.Error != "" {
+		t.Fatalf("update response %+v", ur)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("server epoch = %d, want 1", s.Epoch())
+	}
+
+	// The cached epoch-0 entry is unreachable now: same request recomputes.
+	resp, body1 := post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body1, http.StatusOK)
+	if resp.Header.Get("X-Fgs-Cache") == "hit" {
+		t.Fatal("stale epoch-0 entry served after a write")
+	}
+	var sr SummarizeResponse
+	if err := json.Unmarshal(body1, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Epoch != 1 {
+		t.Fatalf("post-write summarize epoch = %d, want 1", sr.Epoch)
+	}
+
+	// A duplicate insert is a no-op: 400, applied 0, epoch unchanged.
+	resp, body = post(t, ts, "/v1/update", `{"insert":[{"from":0,"to":12,"label":"corev"}]}`)
+	wantStatus(t, resp, body, http.StatusBadRequest)
+	if s.Epoch() != 1 {
+		t.Fatalf("no-op write moved the epoch to %d", s.Epoch())
+	}
+
+	// Deleting the edge changes the graph again.
+	resp, body = post(t, ts, "/v1/update", `{"delete":[{"from":0,"to":12,"label":"corev"}]}`)
+	wantStatus(t, resp, body, http.StatusOK)
+	if s.Epoch() != 2 {
+		t.Fatalf("epoch after delete = %d, want 2", s.Epoch())
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/summarize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/summarize = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSaturationRejects(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
+	// Occupy the only slot directly; with no queue the next arrival must be
+	// rejected immediately and deterministically.
+	s.adm.slots <- struct{}{}
+	defer func() { <-s.adm.slots }()
+
+	resp, body := post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, http.StatusServiceUnavailable)
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 lacks Retry-After")
+	}
+	if st := s.adm.stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+
+	// Stats must stay reachable exactly when the slots are saturated.
+	resp, body = get(t, ts, "/v1/stats")
+	wantStatus(t, resp, body, http.StatusOK)
+}
+
+func TestQueuedDeadlineExpires(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Deadline: 50 * time.Millisecond})
+	s.adm.slots <- struct{}{}
+	defer func() { <-s.adm.slots }()
+
+	start := time.Now()
+	resp, body := post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, http.StatusGatewayTimeout)
+	if waited := time.Since(start); waited < 50*time.Millisecond {
+		t.Fatalf("expired after %v, before the deadline", waited)
+	}
+	if st := s.adm.stats(); st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts, "/v1/summarize", `{"n":4}`)
+	post(t, ts, "/v1/summarize", `{"n":4}`)
+	resp, body := get(t, ts, "/v1/stats")
+	wantStatus(t, resp, body, http.StatusOK)
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 24 || st.Groups != 2 {
+		t.Fatalf("stats sizes %+v", st)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache counters %+v", st.Cache)
+	}
+	if st.Admission.Accepted != 1 { // the cache hit never reached admission
+		t.Fatalf("admission counters %+v", st.Admission)
+	}
+	if st.Summary.Patterns == 0 || st.Summary.Covered == 0 {
+		t.Fatalf("summary stats %+v", st.Summary)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts, "/v1/summarize", `{"n":4}`)
+	resp, body := get(t, ts, "/metrics")
+	wantStatus(t, resp, body, http.StatusOK)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"fgs_http_requests_total{endpoint=\"summarize\"} 1",
+		"fgs_server_cache_misses_total",
+		"fgs_server_admitted_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: -1})
+	post(t, ts, "/v1/summarize", `{"n":4}`)
+	resp, body := post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, http.StatusOK)
+	if resp.Header.Get("X-Fgs-Cache") == "hit" {
+		t.Fatal("disabled cache produced a hit")
+	}
+}
+
+func TestRequestUtilityOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts, "/v1/summarize", `{"n":4,"utility":"cardinality"}`)
+	wantStatus(t, resp, body, http.StatusOK)
+	resp, body = post(t, ts, "/v1/summarize", `{"n":4,"utility":"no-such"}`)
+	wantStatus(t, resp, body, http.StatusBadRequest)
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race serve lint fgslint vet staticcheck govulncheck bench bench-ci bench-compare
+.PHONY: all build test race serve lint fgslint vet staticcheck govulncheck bench bench-ci bench-compare bench-scale bench-scale-smoke
 
 all: build test lint
 
@@ -46,13 +46,50 @@ bench:
 # graph substrate.
 BENCH_CI_RE := BenchmarkGreedyCover|BenchmarkSumGen$$|BenchmarkSumGenParallel|BenchmarkErCacheHit|BenchmarkSumGenObs|BenchmarkMatchAtStar|BenchmarkMatchAtChain3|BenchmarkCoveredEdgesAt|BenchmarkErCacheGet|BenchmarkRHopEdges2|BenchmarkAddEdge|BenchmarkAddEdgeHighDegree|BenchmarkHasEdge
 
+# The raw stream is also condensed into BENCH_<date>-summary.json — a compact
+# sorted {name, ns_per_op, bytes_per_op, allocs_per_op} array for dashboards
+# and cheap cross-run storage (cmd/fgsbenchcmp -summarize).
 bench-ci:
 	$(GO) test -json -run '^$$' -p 1 \
 		-bench '$(BENCH_CI_RE)' \
 		-benchmem ./internal/core/ ./internal/mining/ ./internal/pattern/ ./internal/graph/ \
 		| tee "BENCH_$$(date -u +%F).json"
+	$(GO) run ./cmd/fgsbenchcmp -summarize "BENCH_$$(date -u +%F).json" \
+		> "BENCH_$$(date -u +%F)-summary.json"
 
 # bench-compare diffs two bench-ci JSON streams and fails on >15% time or
 # alloc regressions: make bench-compare OLD=BENCH_2026-08-05.json NEW=BENCH_<date>.json
 bench-compare:
 	$(GO) run ./cmd/fgsbenchcmp -old $(OLD) -new $(NEW)
+
+# bench-scale is the serving scale tier (DESIGN.md §11): generate a
+# multi-million-node LKI graph, persist it through the binary codec, and
+# measure the MVCC read path against the locked baseline under saturating
+# bulk ingest (back-to-back SCALE_BATCH-edge update batches) — load time,
+# read throughput/tails, update latency, snapshot-publish cost, peak heap
+# vs the memory ceiling. Results land in scale-results.json. Override via
+# SCALE_NODES / SCALE_DURATION / SCALE_BATCH / SCALE_MEM_MB.
+SCALE_NODES ?= 1000000
+SCALE_DURATION ?= 20s
+SCALE_BATCH ?= 4096
+SCALE_ROUNDS ?= 3
+SCALE_MEM_MB ?= 8192
+
+bench-scale:
+	$(GO) run ./cmd/fgsgen -dataset lki -nodes $(SCALE_NODES) -format binary \
+		-o "lki-$(SCALE_NODES).fgsb"
+	$(GO) run ./cmd/fgsbench -scale-bench \
+		-scale-graph "lki-$(SCALE_NODES).fgsb" -scale-duration $(SCALE_DURATION) \
+		-scale-write-interval 0 -scale-write-batch $(SCALE_BATCH) \
+		-scale-max-views 3 -scale-rounds $(SCALE_ROUNDS) \
+		-scale-mem-ceiling-mb $(SCALE_MEM_MB) -scale-out scale-results.json
+
+# bench-scale-smoke is the CI-sized variant: small graph, short windows,
+# tight memory ceiling — it exists to fail loudly if the MVCC read path or
+# the sized generators regress, not to produce publishable numbers.
+bench-scale-smoke:
+	$(GO) run ./cmd/fgsbench -scale-bench \
+		-scale-nodes 150000 -scale-duration 5s \
+		-scale-readers 4 -scale-writers 1 \
+		-scale-write-interval 0 -scale-write-batch 256 -scale-max-views 3 \
+		-scale-mem-ceiling-mb 2048 -scale-out scale-smoke.json

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,7 +35,16 @@ type loadSample struct {
 	cacheHit bool
 	latency  time.Duration
 	err      error
+	// readsInFlight is the number of read requests in flight when this
+	// request started — recorded for updates, to surface writer starvation:
+	// an update that is slow only while readers saturate the engine is the
+	// signature of reads blocking the write path.
+	readsInFlight int64
 }
+
+// inflightReads counts read requests currently in flight across all client
+// goroutines (updates excluded).
+var inflightReads atomic.Int64
 
 // viewPatterns are the pattern texts the view traffic cycles through; they
 // match the demo LKI schema but are harmless 0-count queries elsewhere.
@@ -131,19 +141,28 @@ func doRequest(client *http.Client, base string, rng *rand.Rand) loadSample {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	isWrite := endpoint == "update"
+	var overlapped int64
+	if isWrite {
+		overlapped = inflightReads.Load()
+	} else {
+		inflightReads.Add(1)
+		defer inflightReads.Add(-1)
+	}
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	lat := time.Since(t0)
 	if err != nil {
-		return loadSample{endpoint: endpoint, latency: lat, err: err}
+		return loadSample{endpoint: endpoint, latency: lat, err: err, readsInFlight: overlapped}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return loadSample{
-		endpoint: endpoint,
-		status:   resp.StatusCode,
-		cacheHit: resp.Header.Get("X-Fgs-Cache") == "hit",
-		latency:  lat,
+		endpoint:      endpoint,
+		status:        resp.StatusCode,
+		cacheHit:      resp.Header.Get("X-Fgs-Cache") == "hit",
+		latency:       lat,
+		readsInFlight: overlapped,
 	}
 }
 
@@ -183,25 +202,64 @@ func report(w io.Writer, samples []loadSample, elapsed time.Duration) {
 	fmt.Fprintf(w, "load: %d requests in %v (%.1f req/s)\n\n",
 		len(samples), elapsed.Round(time.Millisecond),
 		float64(len(samples))/elapsed.Seconds())
-	fmt.Fprintf(w, "%-12s %6s %6s %5s %5s %5s %6s %9s %9s %9s\n",
-		"endpoint", "reqs", "2xx", "4xx", "5xx", "net", "cache", "p50", "p95", "max")
-	fmt.Fprintln(w, strings.Repeat("-", 84))
+	fmt.Fprintf(w, "%-12s %6s %6s %5s %5s %5s %6s %9s %9s %9s %9s %9s\n",
+		"endpoint", "reqs", "2xx", "4xx", "5xx", "net", "cache", "p50", "p95", "p99", "p99.9", "max")
+	fmt.Fprintln(w, strings.Repeat("-", 104))
 	for _, e := range order {
 		a := byEndpoint[e]
 		sort.Slice(a.lats, func(i, j int) bool { return a.lats[i] < a.lats[j] })
-		fmt.Fprintf(w, "%-12s %6d %6d %5d %5d %5d %6d %9v %9v %9v\n",
+		fmt.Fprintf(w, "%-12s %6d %6d %5d %5d %5d %6d %9v %9v %9v %9v %9v\n",
 			e, a.reqs, a.ok, a.clientErr, a.serverErr, a.netErr, a.cacheHits,
-			percentile(a.lats, 50), percentile(a.lats, 95), percentile(a.lats, 100))
+			permille(a.lats, 500), permille(a.lats, 950), permille(a.lats, 990),
+			permille(a.lats, 999), permille(a.lats, 1000))
 	}
+	reportStarvation(w, samples)
 }
 
-// percentile returns the p-th percentile of sorted latencies, rounded for
-// display.
-func percentile(sorted []time.Duration, p int) time.Duration {
+// reportStarvation summarizes write latency as a function of concurrent
+// read pressure: the worst update latency observed while at least one read
+// was in flight, against the worst with no reads in flight. A large gap is
+// the signature of the locked read path (readers holding the lock starve
+// the writer); the MVCC path keeps the two close.
+func reportStarvation(w io.Writer, samples []loadSample) {
+	var contended, uncontended []loadSample
+	for _, s := range samples {
+		if s.endpoint != "update" || s.err != nil {
+			continue
+		}
+		if s.readsInFlight > 0 {
+			contended = append(contended, s)
+		} else {
+			uncontended = append(uncontended, s)
+		}
+	}
+	if len(contended) == 0 {
+		return
+	}
+	maxOf := func(ss []loadSample) time.Duration {
+		var m time.Duration
+		for _, s := range ss {
+			if s.latency > m {
+				m = s.latency
+			}
+		}
+		return m.Round(10 * time.Microsecond)
+	}
+	fmt.Fprintf(w, "\nwriter starvation: %d/%d updates overlapped in-flight reads; max update latency %v under read load",
+		len(contended), len(contended)+len(uncontended), maxOf(contended))
+	if len(uncontended) > 0 {
+		fmt.Fprintf(w, " vs %v unloaded", maxOf(uncontended))
+	}
+	fmt.Fprintln(w)
+}
+
+// permille returns the p-th permille (p50 = 500, p99.9 = 999) of sorted
+// latencies, rounded for display.
+func permille(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := (len(sorted)-1)*p/100 + 1
+	i := (len(sorted)-1)*p/1000 + 1
 	if i > len(sorted) {
 		i = len(sorted)
 	}

@@ -6,10 +6,16 @@
 // Usage:
 //
 //	fgsbenchcmp -old BENCH_2026-08-05.json -new BENCH_2026-09-01.json
+//	fgsbenchcmp -summarize BENCH_2026-09-01.json > bench-summary.json
 //
 // Improvements are reported too (speedup factor), so the same output doubles
 // as the evidence trail for performance PRs. Exit status is 1 when at least
 // one regression exceeds the threshold, 0 otherwise.
+//
+// -summarize condenses one raw test2json stream (megabytes of events) into a
+// compact sorted JSON array of {name, ns_per_op, bytes_per_op, allocs_per_op}
+// — the machine-readable artifact bench-ci publishes for dashboards and for
+// cheap cross-run storage.
 package main
 
 import (
@@ -121,13 +127,63 @@ func delta(oldV, newV float64) float64 {
 	return (newV/oldV - 1) * 100
 }
 
+// summarize condenses one raw stream into the compact JSON artifact on
+// stdout: a sorted array of per-benchmark measurements.
+func summarize(path string) error {
+	res, err := parse(path)
+	if err != nil {
+		return err
+	}
+	// Pointer fields distinguish "measured 0" from "line carried no -benchmem
+	// counters" — omitempty on a plain float64 would drop a real zero.
+	type entry struct {
+		Name        string   `json:"name"`
+		NsPerOp     float64  `json:"ns_per_op"`
+		BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+		AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	}
+	names := make([]string, 0, len(res))
+	for name := range res {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]entry, 0, len(names))
+	for _, name := range names {
+		r := res[name]
+		e := entry{Name: name, NsPerOp: r.nsPerOp}
+		if b := r.bytesOp; b >= 0 {
+			e.BytesPerOp = &b
+		}
+		if a := r.allocsOp; a >= 0 {
+			e.AllocsPerOp = &a
+		}
+		entries = append(entries, e)
+	}
+	out := struct {
+		Source     string  `json:"source"`
+		Count      int     `json:"count"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{Source: path, Count: len(entries), Benchmarks: entries}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline BENCH_<date>.json (required)")
 	newPath := flag.String("new", "", "candidate BENCH_<date>.json (required)")
 	threshold := flag.Float64("threshold", 15, "regression threshold in percent on time/op and allocs/op")
+	sumPath := flag.String("summarize", "", "emit a compact JSON summary of one BENCH_<date>.json to stdout instead of diffing")
 	flag.Parse()
+	if *sumPath != "" {
+		if err := summarize(*sumPath); err != nil {
+			fmt.Fprintf(os.Stderr, "fgsbenchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: fgsbenchcmp -old OLD.json -new NEW.json [-threshold 15]")
+		fmt.Fprintln(os.Stderr, "usage: fgsbenchcmp -old OLD.json -new NEW.json [-threshold 15] | fgsbenchcmp -summarize BENCH.json")
 		os.Exit(2)
 	}
 	oldRes, err := parse(*oldPath)

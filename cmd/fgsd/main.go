@@ -44,7 +44,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8471", "listen address")
-		graphPath = flag.String("graph", "", "input graph in text format (empty = demo LKI graph)")
+		graphPath = flag.String("graph", "", "input graph, text or binary format — sniffed (empty = demo LKI graph)")
 		groupSpec = flag.String("groups", "user:gender:male,female:1:10", "group spec: label:attr:val1,val2:lower:upper")
 		r         = flag.Int("r", 2, "default reconstruction hops")
 		n         = flag.Int("n", 20, "default max covered nodes")
@@ -55,6 +55,8 @@ func main() {
 		cacheEnt  = flag.Int("cache-entries", 256, "epoch-keyed result cache capacity (negative = disabled)")
 		deadline  = flag.Duration("deadline", 30*time.Second, "per-request deadline (queue wait included)")
 		embedCap  = flag.Int("embed-cap", 0, "embedding enumeration cap for view/workload queries (0 = default)")
+		readMode  = flag.String("read-mode", "mvcc", "read path: mvcc (epoch-snapshot views) or locked (RWMutex baseline)")
+		maxViews  = flag.Int("max-views", 0, "MVCC replica pool cap; bounds graph memory to max-views copies (0 = default 3, min 2)")
 		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 
 		demoSeed  = flag.Int64("demo-seed", 42, "demo graph generator seed")
@@ -66,7 +68,13 @@ func main() {
 	)
 	flag.Parse()
 
+	var observer *fgs.Observer
+	if *traceOut != "" || *metricsOut != "" || *obsSummary {
+		observer = fgs.NewObserver(nil)
+	}
+
 	var g *fgs.Graph
+	loadStart := time.Now()
 	if *graphPath == "" {
 		fmt.Fprintf(os.Stderr, "fgsd: no -graph given; serving the demo LKI graph (seed %d, scale %d)\n", *demoSeed, *demoScale)
 		g = datasets.LKI(*demoSeed, *demoScale)
@@ -76,11 +84,21 @@ func main() {
 			fatal(err)
 		}
 		var rerr error
-		g, rerr = fgs.ReadGraph(f)
+		g, rerr = fgs.ReadGraphAuto(f)
 		f.Close()
 		if rerr != nil {
 			fatal(rerr)
 		}
+	}
+	loadTime := time.Since(loadStart)
+	sizes := g.UniverseSizes()
+	fmt.Fprintf(os.Stderr, "fgsd: graph loaded in %v: %d nodes, %d edges, %d node labels, %d edge labels, %d attr keys\n",
+		loadTime, g.NumNodes(), g.NumEdges(), sizes[0], sizes[1], sizes[2])
+	if observer != nil {
+		reg := observer.Reg
+		reg.Add("fgsd_boot_graph_load_ms", "Graph load wall time at boot (ms)", nil, loadTime.Milliseconds())
+		reg.Add("fgsd_boot_graph_nodes", "Nodes in the boot graph", nil, int64(g.NumNodes()))
+		reg.Add("fgsd_boot_graph_edges", "Edges in the boot graph", nil, int64(g.NumEdges()))
 	}
 
 	label, attr, values, lower, upper, err := parseGroupSpec(*groupSpec)
@@ -90,11 +108,6 @@ func main() {
 	groups, err := datasets.GroupsByAttr(g, label, attr, values, lower, upper)
 	if err != nil {
 		fatal(err)
-	}
-
-	var observer *fgs.Observer
-	if *traceOut != "" || *metricsOut != "" || *obsSummary {
-		observer = fgs.NewObserver(nil)
 	}
 
 	srv, err := fgs.NewServer(g, groups, fgs.ServerConfig{
@@ -107,6 +120,8 @@ func main() {
 		CacheEntries: *cacheEnt,
 		Deadline:     *deadline,
 		EmbedCap:     *embedCap,
+		ReadMode:     *readMode,
+		MaxViews:     *maxViews,
 		Obs:          observer,
 	})
 	if err != nil {
@@ -121,7 +136,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "fgsd: serving on %s (workers %d, cache %d, deadline %v)\n", *addr, *workers, *cacheEnt, *deadline)
+	fmt.Fprintf(os.Stderr, "fgsd: serving on %s (workers %d, cache %d, deadline %v, read-mode %s)\n", *addr, *workers, *cacheEnt, *deadline, *readMode)
 
 	select {
 	case err := <-errc:

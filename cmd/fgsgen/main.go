@@ -1,15 +1,22 @@
-// Command fgsgen generates the synthetic evaluation datasets in the text
-// graph format, for use with cmd/fgs or external tooling.
+// Command fgsgen generates the synthetic evaluation datasets in the text or
+// binary graph format, for use with cmd/fgs, cmd/fgsd, or external tooling.
 //
 // Usage:
 //
 //	fgsgen -dataset lki -scale 1 -seed 42 -o lki.graph
 //	fgsgen -dataset pandemic -n 10000 -o contacts.graph
+//	fgsgen -dataset lki -nodes 1000000 -format binary -o lki-1m.fgsb
+//
+// -nodes selects the sized scale-tier generators (lki, dbp): the graph
+// targets that node count directly and keeps attribute cohorts bounded so
+// induced groups stay constant-sized as the graph grows. -format binary
+// writes the compact binary codec, which loads far faster at scale.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	fgs "github.com/cwru-db/fgs"
@@ -21,39 +28,74 @@ func main() {
 		dataset = flag.String("dataset", "lki", "dataset to generate: dbp, lki, cite, pandemic")
 		scale   = flag.Int("scale", 1, "size multiplier for dbp/lki/cite")
 		n       = flag.Int("n", 10000, "citizen count for pandemic")
+		nodes   = flag.Int("nodes", 0, "target node count; selects the sized scale-tier generators (dbp, lki only)")
+		format  = flag.String("format", "text", "output format: text or binary")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		out     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
 	var g *fgs.Graph
-	switch *dataset {
-	case "dbp":
-		g = datasets.DBP(*seed, *scale)
-	case "lki":
-		g = datasets.LKI(*seed, *scale)
-	case "cite":
-		g = datasets.Cite(*seed, *scale)
-	case "pandemic":
-		g = datasets.Pandemic(*seed, *n)
+	switch {
+	case *nodes > 0:
+		switch *dataset {
+		case "dbp":
+			g = datasets.DBPSized(*seed, *nodes)
+		case "lki":
+			g = datasets.LKISized(*seed, *nodes)
+		default:
+			fmt.Fprintf(os.Stderr, "fgsgen: -nodes needs a sized dataset (dbp or lki), got %q\n", *dataset)
+			os.Exit(2)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "fgsgen: unknown dataset %q (want dbp, lki, cite, or pandemic)\n", *dataset)
+		switch *dataset {
+		case "dbp":
+			g = datasets.DBP(*seed, *scale)
+		case "lki":
+			g = datasets.LKI(*seed, *scale)
+		case "cite":
+			g = datasets.Cite(*seed, *scale)
+		case "pandemic":
+			g = datasets.Pandemic(*seed, *n)
+		default:
+			fmt.Fprintf(os.Stderr, "fgsgen: unknown dataset %q (want dbp, lki, cite, or pandemic)\n", *dataset)
+			os.Exit(2)
+		}
+	}
+
+	var write func(io.Writer, *fgs.Graph) error
+	switch *format {
+	case "text":
+		write = fgs.WriteGraph
+	case "binary":
+		write = fgs.WriteGraphBinary
+	default:
+		fmt.Fprintf(os.Stderr, "fgsgen: unknown format %q (want text or binary)\n", *format)
 		os.Exit(2)
 	}
 
-	w := os.Stdout
+	// Both codecs buffer internally and surface their flush error, so the
+	// file handle needs no extra wrapping.
+	w := io.Writer(os.Stdout)
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fgsgen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
-	if err := fgs.WriteGraph(w, g); err != nil {
+	if err := write(w, g); err != nil {
 		fmt.Fprintln(os.Stderr, "fgsgen:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "fgsgen: %s: %d nodes, %d edges\n", *dataset, g.NumNodes(), g.NumEdges())
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fgsgen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fgsgen: %s: %d nodes, %d edges (%s)\n", *dataset, g.NumNodes(), g.NumEdges(), *format)
 }

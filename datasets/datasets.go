@@ -27,6 +27,16 @@ func Cite(seed int64, scale int) *fgs.Graph { return gen.Cite(seed, scale) }
 // study: n citizens, 58% under age 50, community-structured contacts.
 func Pandemic(seed int64, n int) *fgs.Graph { return gen.Pandemic(seed, n) }
 
+// LKISized generates the LKI social network with approximately n nodes —
+// the scale-tier variant: the city attribute's cardinality grows with n, so
+// city-induced groups stay roughly constant-sized at any scale.
+func LKISized(seed int64, n int) *fgs.Graph { return gen.LKISized(seed, n) }
+
+// DBPSized generates the DBP movie graph with approximately n nodes; the
+// movies carry a scaled "franchise" attribute whose cohorts stay roughly
+// constant-sized at any scale.
+func DBPSized(seed int64, n int) *fgs.Graph { return gen.DBPSized(seed, n) }
+
 // GroupsByAttr induces one group per attribute value over nodes with the
 // given label, each with the coverage constraint [lower, upper].
 func GroupsByAttr(g *fgs.Graph, label, key string, values []string, lower, upper int) (*fgs.Groups, error) {

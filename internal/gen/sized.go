@@ -1,0 +1,160 @@
+package gen
+
+import (
+	"math/rand"
+	"strconv"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// Sized generators for the scale tier: LKI and DBP variants that take a
+// target node count directly (millions, not the ×2k scale steps of LKI/DBP)
+// and keep every attribute's per-value cohort bounded as the graph grows.
+// That last property is what makes summarization tractable at scale: groups
+// are induced over attribute values (city, genre), so if value cardinality
+// stayed fixed while nodes grew, group sizes — and with them Inc-FGS boot
+// and per-request work — would grow linearly with the graph. Instead the
+// value universe grows with n (targetCohort members per value on average)
+// and group definitions pick out value cohorts of roughly constant size at
+// any graph size.
+
+// targetCohort is the average number of same-label nodes sharing one scaled
+// attribute value (cities in LKI, franchises in DBP).
+const targetCohort = 256
+
+// scaledCardinality returns how many distinct values a scaled attribute
+// needs so cohorts average targetCohort members, with a floor matching the
+// base generators' universes.
+func scaledCardinality(n, floor int) int {
+	c := n / targetCohort
+	if c < floor {
+		return floor
+	}
+	return c
+}
+
+// LKISized generates the LKI social network with approximately n nodes
+// (users plus organizations at the base generator's 25:1 ratio). Schema and
+// edge structure match LKI — gender with the 77/23 skew, degree, industry,
+// experience, city; employment and preferential-attachment co-review edges —
+// but the city universe scales with n, so any one city's user cohort stays
+// around targetCohort members and city-induced groups are scale-free.
+func LKISized(seed int64, n int) *graph.Graph {
+	if n < 26 {
+		n = 26
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	industries := []string{"Internet", "Finance", "Health", "Education", "Retail"}
+	degrees := []string{"BS", "MS", "PhD"}
+
+	nOrgs := n / 26
+	if nOrgs < 1 {
+		nOrgs = 1
+	}
+	nUsers := n - nOrgs
+	nCities := scaledCardinality(nUsers, 60)
+
+	orgs := make([]graph.NodeID, nOrgs)
+	for i := range orgs {
+		orgs[i] = g.AddNode("org", map[string]string{
+			"industry": industries[rng.Intn(len(industries))],
+		})
+	}
+	pa := newPrefAttach(rng)
+	for i := 0; i < nUsers; i++ {
+		gender := "male"
+		if rng.Float64() < 0.23 {
+			gender = "female"
+		}
+		u := g.AddNode("user", map[string]string{
+			"gender":   gender,
+			"degree":   degrees[rng.Intn(len(degrees))],
+			"industry": industries[rng.Intn(len(industries))],
+			"exp":      strconv.Itoa(1 + rng.Intn(20)),
+			"city":     "c" + strconv.Itoa(rng.Intn(nCities)),
+		})
+		mustEdge(g, u, orgs[rng.Intn(nOrgs)], "employed")
+		if i > 0 {
+			for c := 0; c < 1+rng.Intn(3); c++ {
+				t := pa.pick()
+				if t != u {
+					mustEdge(g, u, t, "corev")
+				}
+			}
+		}
+		pa.seed(u)
+	}
+	return g
+}
+
+// DBPSized generates the DBP movie knowledge graph with approximately n
+// nodes (movies, actors, and directors at the base generator's ratios).
+// Schema matches DBP — skewed genres, year, country, rating; directed,
+// acted_in, and degree-biased similar edges — plus a scaled "franchise"
+// attribute on movies whose cohorts stay around targetCohort members, the
+// group key for scale-tier experiments (genre cohorts grow with the graph).
+func DBPSized(seed int64, n int) *graph.Graph {
+	if n < 22 {
+		n = 22
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	genres := []string{"Action", "Romance", "Drama", "Comedy", "Thriller"}
+	genreWeights := []float64{0.35, 0.15, 0.25, 0.15, 0.10}
+	countries := []string{"US", "UK", "FR", "IN", "KR"}
+	pickGenre := func() string {
+		x := rng.Float64()
+		for i, w := range genreWeights {
+			if x < w {
+				return genres[i]
+			}
+			x -= w
+		}
+		return genres[len(genres)-1]
+	}
+
+	// Base DBP ratios: 600 movies : 600 actors : 120 directors per scale.
+	nMovies := n * 600 / 1320
+	nDirectors := n * 120 / 1320
+	if nDirectors < 1 {
+		nDirectors = 1
+	}
+	nActors := n - nMovies - nDirectors
+	nFranchises := scaledCardinality(nMovies, 50)
+
+	directors := make([]graph.NodeID, nDirectors)
+	for i := range directors {
+		directors[i] = g.AddNode("director", map[string]string{
+			"country": countries[rng.Intn(len(countries))],
+		})
+	}
+	actors := make([]graph.NodeID, nActors)
+	for i := range actors {
+		actors[i] = g.AddNode("actor", map[string]string{
+			"country": countries[rng.Intn(len(countries))],
+		})
+	}
+	pa := newPrefAttach(rng)
+	for i := 0; i < nMovies; i++ {
+		m := g.AddNode("movie", map[string]string{
+			"genre":     pickGenre(),
+			"franchise": "f" + strconv.Itoa(rng.Intn(nFranchises)),
+			"year":      strconv.Itoa(1980 + rng.Intn(45)),
+			"country":   countries[rng.Intn(len(countries))],
+			"rating":    strconv.FormatFloat(1+9*rng.Float64(), 'f', 1, 64),
+		})
+		mustEdge(g, directors[rng.Intn(nDirectors)], m, "directed")
+		cast := 2 + rng.Intn(4)
+		for c := 0; c < cast; c++ {
+			mustEdge(g, actors[rng.Intn(nActors)], m, "acted_in")
+		}
+		if i > 0 {
+			for s := 0; s < 1+rng.Intn(2); s++ {
+				mustEdge(g, m, pa.pick(), "similar")
+			}
+		}
+		pa.seed(m)
+	}
+	return g
+}

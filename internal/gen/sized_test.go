@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+func TestLKISizedHitsTarget(t *testing.T) {
+	const target = 30_000
+	g := LKISized(1, target)
+	if n := g.NumNodes(); n != target {
+		t.Fatalf("nodes = %d, want %d", n, target)
+	}
+	if g.NumEdges() < target {
+		t.Fatalf("edges = %d; expected at least one per node", g.NumEdges())
+	}
+}
+
+// TestLKISizedCohortsStayBounded is the scale-free-groups property: at any
+// size, one city's user cohort stays near targetCohort, so group-inducing
+// over cities costs the same at 30k nodes and at 10M.
+func TestLKISizedCohortsStayBounded(t *testing.T) {
+	g := LKISized(1, 60_000)
+	kid, ok := g.AttrKeyID("city")
+	if !ok {
+		t.Fatal("no city attribute")
+	}
+	counts := make(map[int32]int)
+	for _, v := range g.NodesWithLabel("user") {
+		if vid, ok := g.AttrValue(v, kid); ok {
+			counts[vid]++
+		}
+	}
+	// Cities scale on the user count (total nodes minus the 1-in-26 orgs).
+	nUsers := len(g.NodesWithLabel("user"))
+	if len(counts) < nUsers/targetCohort {
+		t.Fatalf("only %d cities for %d users; cardinality did not scale", len(counts), nUsers)
+	}
+	for vid, c := range counts {
+		if c > 4*targetCohort {
+			t.Fatalf("city %s has %d users — cohort bound blown", g.AttrValName(vid), c)
+		}
+	}
+	// And the induced groups must actually build.
+	if _, err := GroupsByAttr(g, "user", "city", []string{"c0", "c1"}, 1, 4); err != nil {
+		t.Fatalf("city groups: %v", err)
+	}
+}
+
+func TestDBPSizedHitsTarget(t *testing.T) {
+	const target = 30_000
+	g := DBPSized(1, target)
+	if n := g.NumNodes(); n != target {
+		t.Fatalf("nodes = %d, want %d", n, target)
+	}
+	kid, ok := g.AttrKeyID("franchise")
+	if !ok {
+		t.Fatal("no franchise attribute")
+	}
+	counts := make(map[int32]int)
+	for _, v := range g.NodesWithLabel("movie") {
+		if vid, ok := g.AttrValue(v, kid); ok {
+			counts[vid]++
+		}
+	}
+	for vid, c := range counts {
+		if c > 4*targetCohort {
+			t.Fatalf("franchise %s has %d movies — cohort bound blown", g.AttrValName(vid), c)
+		}
+	}
+}
+
+func TestSizedDeterministic(t *testing.T) {
+	for name, build := range map[string]func() *graph.Graph{
+		"lki": func() *graph.Graph { return LKISized(7, 5_000) },
+		"dbp": func() *graph.Graph { return DBPSized(7, 5_000) },
+	} {
+		var a, b bytes.Buffer
+		if err := graph.Write(&a, build()); err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.Write(&b, build()); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s: same seed, different graphs", name)
+		}
+	}
+}

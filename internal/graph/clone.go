@@ -1,0 +1,66 @@
+package graph
+
+// Clone returns an independent deep copy of the graph with byte-identical
+// structure: the same dense node and edge IDs, the same interner ID
+// assignment, the same adjacency order, and the same free-list state. A
+// deterministic operation sequence applied to the clone therefore produces
+// exactly the state it would have produced on the original — the property
+// the MVCC serving layer's replica replay relies on (DESIGN.md §11).
+//
+// Immutable interior state is shared: attribute tuples are never modified
+// after AddNode, so the clone aliases them. Everything the mutating API can
+// touch (adjacency lists, interners, the edge index, label buckets) is
+// copied. Adjacency lists are re-laid out into two contiguous arenas, so a
+// clone is also a compaction: per-node slices carry no spare capacity and an
+// AddEdge on the clone reallocates that node's list instead of growing the
+// arena.
+//
+// Cost is O(V + E); the serving layer pays it once per replica at boot, not
+// per write batch.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodeLabels: g.nodeLabels.Clone(),
+		edgeLabels: g.edgeLabels.Clone(),
+		attrKeys:   g.attrKeys.Clone(),
+		attrVals:   g.attrVals.Clone(),
+		labelOf:    append([]LabelID(nil), g.labelOf...),
+		attrsOf:    append([][]Attr(nil), g.attrsOf...),
+		out:        cloneAdj(g.out),
+		in:         cloneAdj(g.in),
+		byLabel:    make(map[LabelID][]NodeID, len(g.byLabel)),
+		edgeDefs:   append([]EdgeRef(nil), g.edgeDefs...),
+		edgeIndex:  make(map[EdgeRef]EdgeID, len(g.edgeIndex)),
+		freeIDs:    append([]EdgeID(nil), g.freeIDs...),
+		numEdges:   g.numEdges,
+	}
+	// Rebuild byLabel from labelOf in node order instead of copying the map:
+	// nodes are never removed, so every bucket is ascending NodeIDs and this
+	// reproduces the source buckets exactly — without map-iteration order.
+	for v, lid := range g.labelOf {
+		c.byLabel[lid] = append(c.byLabel[lid], NodeID(v))
+	}
+	for ref, id := range g.edgeIndex {
+		c.edgeIndex[ref] = id
+	}
+	// labelBits and scratch start empty: both are caches rebuilt on demand,
+	// and sharing them would couple the clone's readers to the original.
+	return c
+}
+
+// cloneAdj copies an adjacency table into one contiguous arena. Each node's
+// slice is full-sliced (len == cap), so a later append on one node
+// reallocates instead of clobbering its arena neighbor.
+func cloneAdj(adj [][]Edge) [][]Edge {
+	total := 0
+	for _, l := range adj {
+		total += len(l)
+	}
+	arena := make([]Edge, 0, total)
+	out := make([][]Edge, len(adj))
+	for v, l := range adj {
+		start := len(arena)
+		arena = append(arena, l...)
+		out[v] = arena[start:len(arena):len(arena)]
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// textOf canonicalizes a graph through the text codec for byte comparison.
+func textOf(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestCloneEqualsOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 60, 200)
+	// Churn so the free list and edgeDefs sentinels are exercised.
+	for i := 0; i < 40; i++ {
+		from := NodeID(rng.Intn(60))
+		for _, e := range g.Out(from) {
+			_ = g.RemoveEdge(from, e.To, g.EdgeLabelName(e.Label))
+			break
+		}
+	}
+	c := g.Clone()
+	assertGraphsEqual(t, g, c)
+	if !bytes.Equal(textOf(t, g), textOf(t, c)) {
+		t.Fatal("clone text serialization differs from original")
+	}
+	if g.EdgeIDBound() != c.EdgeIDBound() {
+		t.Fatalf("EdgeIDBound differs: %d vs %d", g.EdgeIDBound(), c.EdgeIDBound())
+	}
+	for id := EdgeID(0); int(id) < g.EdgeIDBound(); id++ {
+		if g.EdgeRefOf(id) != c.EdgeRefOf(id) {
+			t.Fatalf("EdgeRefOf(%d) differs: %v vs %v", id, g.EdgeRefOf(id), c.EdgeRefOf(id))
+		}
+	}
+}
+
+// TestCloneReplayDeterminism is the property the MVCC replica replay relies
+// on: applying one operation sequence to a graph and to its clone produces
+// byte-identical stores, including EdgeID reuse order.
+func TestCloneReplayDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 40, 120)
+	c := g.Clone()
+
+	type op struct {
+		del      bool
+		from, to NodeID
+		label    string
+	}
+	labels := []string{"recommend", "cite", "fresh"}
+	var ops []op
+	for i := 0; i < 300; i++ {
+		ops = append(ops, op{
+			del:   rng.Intn(3) == 0,
+			from:  NodeID(rng.Intn(40)),
+			to:    NodeID(rng.Intn(40)),
+			label: labels[rng.Intn(len(labels))],
+		})
+	}
+	apply := func(g *Graph) {
+		for _, o := range ops {
+			if o.del {
+				_ = g.RemoveEdge(o.from, o.to, o.label)
+			} else {
+				_ = g.AddEdge(o.from, o.to, o.label)
+			}
+		}
+	}
+	apply(g)
+	apply(c)
+	assertGraphsEqual(t, g, c)
+	if !bytes.Equal(textOf(t, g), textOf(t, c)) {
+		t.Fatal("replayed clone diverged from original")
+	}
+	if g.EdgeIDBound() != c.EdgeIDBound() {
+		t.Fatalf("EdgeIDBound differs after replay: %d vs %d", g.EdgeIDBound(), c.EdgeIDBound())
+	}
+	for id := EdgeID(0); int(id) < g.EdgeIDBound(); id++ {
+		if g.EdgeRefOf(id) != c.EdgeRefOf(id) {
+			t.Fatalf("EdgeRefOf(%d) differs after replay", id)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g, ids := buildDiamond(t)
+	c := g.Clone()
+	before := textOf(t, g)
+
+	// Mutate the clone every way the API allows; the original must not move.
+	if err := c.AddEdge(ids[3], ids[0], "back"); err != nil {
+		t.Fatalf("AddEdge on clone: %v", err)
+	}
+	if err := c.RemoveEdge(ids[0], ids[1], "recommend"); err != nil {
+		t.Fatalf("RemoveEdge on clone: %v", err)
+	}
+	c.AddNode("user", map[string]string{"exp": "9"})
+	if !bytes.Equal(before, textOf(t, g)) {
+		t.Fatal("mutating the clone changed the original")
+	}
+
+	// And the other direction.
+	cBefore := textOf(t, c)
+	if err := g.AddEdge(ids[3], ids[1], "back"); err != nil {
+		t.Fatalf("AddEdge on original: %v", err)
+	}
+	if !bytes.Equal(cBefore, textOf(t, c)) {
+		t.Fatal("mutating the original changed the clone")
+	}
+}

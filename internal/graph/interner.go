@@ -24,6 +24,19 @@ func (in *Interner) Intern(s string) int32 {
 	return id
 }
 
+// Clone returns an independent copy with the identical ID assignment, so
+// identifiers interned before the clone resolve the same on both sides.
+func (in *Interner) Clone() *Interner {
+	c := &Interner{
+		ids:   make(map[string]int32, len(in.ids)),
+		names: append([]string(nil), in.names...),
+	}
+	for s, id := range in.ids {
+		c.ids[s] = id
+	}
+	return c
+}
+
 // Lookup returns the identifier for s if it has been interned.
 func (in *Interner) Lookup(s string) (int32, bool) {
 	id, ok := in.ids[s]

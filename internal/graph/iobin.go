@@ -1,0 +1,311 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary exchange format exists for the million-node scale tier: the
+// line-oriented text format tokenizes, escapes, and re-interns every record,
+// which is far too slow to load a graph with 10M+ edges. The binary codec
+// streams length-prefixed sections and rebuilds the graph's internal arrays
+// directly, skipping the per-edge AddEdge path entirely.
+//
+// Layout (all integers are unsigned varints):
+//
+//	magic "FGSB" + version byte 0x01
+//	numNodes, numEdges
+//	4 interner tables (node labels, edge labels, attr keys, attr values),
+//	  each: count, then count length-prefixed strings in ID order
+//	per node: label ID
+//	per node: attr count, then (key ID, value ID) pairs
+//	per node: in-degree            (lets the loader pre-size the in arena)
+//	per node: out-degree, then (to, edge label ID) per out-edge
+//
+// Edges are serialized source-major in adjacency order and assigned fresh
+// dense IDs on load, exactly like the text codec: round-tripping a graph
+// through either codec yields the same canonical store (same adjacency
+// order, same EdgeID assignment, empty free list). Interner tables are
+// dumped in ID order so interned identifiers survive the trip verbatim.
+
+// binMagic identifies the binary format; the trailing byte is the version.
+var binMagic = []byte{'F', 'G', 'S', 'B', 0x01}
+
+// maxBinString bounds one label/key/value string; anything larger indicates
+// a corrupt or hostile file, not a real graph.
+const maxBinString = 1 << 20
+
+// WriteBinary serializes the graph in the binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var scratch [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		_, _ = bw.Write(scratch[:n])
+	}
+	putStr := func(s string) {
+		putUv(uint64(len(s)))
+		_, _ = bw.WriteString(s)
+	}
+	putTable := func(in *Interner) {
+		putUv(uint64(in.Len()))
+		for id := int32(0); id < int32(in.Len()); id++ {
+			putStr(in.Name(id))
+		}
+	}
+
+	_, _ = bw.Write(binMagic)
+	n := g.NumNodes()
+	putUv(uint64(n))
+	putUv(uint64(g.numEdges))
+	putTable(g.nodeLabels)
+	putTable(g.edgeLabels)
+	putTable(g.attrKeys)
+	putTable(g.attrVals)
+	for v := 0; v < n; v++ {
+		putUv(uint64(g.labelOf[v]))
+	}
+	for v := 0; v < n; v++ {
+		tuple := g.attrsOf[v]
+		putUv(uint64(len(tuple)))
+		for _, a := range tuple {
+			putUv(uint64(a.Key))
+			putUv(uint64(a.Val))
+		}
+	}
+	for v := 0; v < n; v++ {
+		putUv(uint64(len(g.in[v])))
+	}
+	for v := 0; v < n; v++ {
+		out := g.out[v]
+		putUv(uint64(len(out)))
+		for _, e := range out {
+			putUv(uint64(e.To))
+			putUv(uint64(e.Label))
+		}
+	}
+	// bufio's error is sticky, so one check at the end covers every write.
+	return bw.Flush()
+}
+
+// ReadBinary parses a graph in the binary format. The loader is streaming:
+// it never buffers the file, pre-sizes every internal array from the
+// section headers, and builds adjacency in two contiguous arenas.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<20)
+	}
+	magic := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
+	}
+	for i := range magic {
+		if magic[i] != binMagic[i] {
+			return nil, fmt.Errorf("graph: not a binary graph file (bad magic)")
+		}
+	}
+	return readBinaryBody(br)
+}
+
+func readBinaryBody(br *bufio.Reader) (*Graph, error) {
+	uv := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("graph: binary %s: %w", what, err)
+		}
+		return v, nil
+	}
+	uvInt := func(what string, bound int) (int, error) {
+		v, err := uv(what)
+		if err != nil {
+			return 0, err
+		}
+		if bound >= 0 && v > uint64(bound) {
+			return 0, fmt.Errorf("graph: binary %s %d out of range (max %d)", what, v, bound)
+		}
+		return int(v), nil
+	}
+	readTable := func(what string) (*Interner, error) {
+		count, err := uvInt(what+" table size", 1<<31-1)
+		if err != nil {
+			return nil, err
+		}
+		in := NewInterner()
+		buf := make([]byte, 0, 64)
+		for i := 0; i < count; i++ {
+			l, err := uvInt(what+" string length", maxBinString)
+			if err != nil {
+				return nil, err
+			}
+			if cap(buf) < l {
+				buf = make([]byte, l)
+			}
+			buf = buf[:l]
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("graph: binary %s string: %w", what, err)
+			}
+			if id := in.Intern(string(buf)); int(id) != i {
+				return nil, fmt.Errorf("graph: binary %s table has duplicate string %q", what, buf)
+			}
+		}
+		return in, nil
+	}
+
+	n, err := uvInt("node count", 1<<31-1)
+	if err != nil {
+		return nil, err
+	}
+	numEdges, err := uvInt("edge count", 1<<31-1)
+	if err != nil {
+		return nil, err
+	}
+	nodeLabels, err := readTable("node label")
+	if err != nil {
+		return nil, err
+	}
+	edgeLabels, err := readTable("edge label")
+	if err != nil {
+		return nil, err
+	}
+	attrKeys, err := readTable("attr key")
+	if err != nil {
+		return nil, err
+	}
+	attrVals, err := readTable("attr value")
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Graph{
+		nodeLabels: nodeLabels,
+		edgeLabels: edgeLabels,
+		attrKeys:   attrKeys,
+		attrVals:   attrVals,
+		labelOf:    make([]LabelID, n),
+		attrsOf:    make([][]Attr, n),
+		out:        make([][]Edge, n),
+		in:         make([][]Edge, n),
+		byLabel:    make(map[LabelID][]NodeID, nodeLabels.Len()),
+		edgeDefs:   make([]EdgeRef, 0, numEdges),
+		edgeIndex:  make(map[EdgeRef]EdgeID, numEdges),
+		numEdges:   numEdges,
+	}
+	for v := 0; v < n; v++ {
+		lid, err := uvInt("node label ID", nodeLabels.Len()-1)
+		if err != nil {
+			return nil, err
+		}
+		g.labelOf[v] = LabelID(lid)
+		g.byLabel[LabelID(lid)] = append(g.byLabel[LabelID(lid)], NodeID(v))
+	}
+	// Attribute tuples share one arena; each node's tuple is full-sliced so
+	// the arena can never be grown through a node's slice.
+	var attrArena []Attr
+	for v := 0; v < n; v++ {
+		count, err := uvInt("attr count", 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 {
+			continue
+		}
+		start := len(attrArena)
+		lastKey := int32(-1)
+		for i := 0; i < count; i++ {
+			key, err := uvInt("attr key ID", attrKeys.Len()-1)
+			if err != nil {
+				return nil, err
+			}
+			val, err := uvInt("attr value ID", attrVals.Len()-1)
+			if err != nil {
+				return nil, err
+			}
+			// Tuples are stored sorted by key ID (the AddNode invariant);
+			// enforce it so AttrValue's binary search stays correct.
+			if int32(key) <= lastKey {
+				return nil, fmt.Errorf("graph: binary attr tuple of node %d not sorted by key", v)
+			}
+			lastKey = int32(key)
+			attrArena = append(attrArena, Attr{Key: int32(key), Val: int32(val)})
+		}
+		g.attrsOf[v] = attrArena[start:len(attrArena):len(attrArena)]
+	}
+
+	// In-degrees size the in arena and give each target its write cursor.
+	inOff := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		d, err := uvInt("in-degree", numEdges)
+		if err != nil {
+			return nil, err
+		}
+		inOff[v+1] = inOff[v] + d
+	}
+	if inOff[n] != numEdges {
+		return nil, fmt.Errorf("graph: binary in-degrees sum to %d, want %d edges", inOff[n], numEdges)
+	}
+	inArena := make([]Edge, numEdges)
+	inCur := make([]int, n)
+	copy(inCur, inOff[:n])
+	outArena := make([]Edge, 0, numEdges)
+
+	for v := 0; v < n; v++ {
+		deg, err := uvInt("out-degree", numEdges)
+		if err != nil {
+			return nil, err
+		}
+		start := len(outArena)
+		for i := 0; i < deg; i++ {
+			to, err := uvInt("edge target", n-1)
+			if err != nil {
+				return nil, err
+			}
+			lid, err := uvInt("edge label ID", edgeLabels.Len()-1)
+			if err != nil {
+				return nil, err
+			}
+			ref := EdgeRef{From: NodeID(v), To: NodeID(to), Label: LabelID(lid)}
+			if _, dup := g.edgeIndex[ref]; dup {
+				return nil, fmt.Errorf("graph: binary duplicate edge (%d,%d,%d)", v, to, lid)
+			}
+			id := EdgeID(len(g.edgeDefs))
+			g.edgeDefs = append(g.edgeDefs, ref)
+			g.edgeIndex[ref] = id
+			outArena = append(outArena, Edge{To: NodeID(to), Label: LabelID(lid), ID: id})
+			if inCur[to] >= inOff[to+1] {
+				return nil, fmt.Errorf("graph: binary in-degree of node %d exceeded", to)
+			}
+			inArena[inCur[to]] = Edge{To: NodeID(v), Label: LabelID(lid), ID: id}
+			inCur[to]++
+		}
+		g.out[v] = outArena[start:len(outArena):len(outArena)]
+	}
+	if len(outArena) != numEdges {
+		return nil, fmt.Errorf("graph: binary out-degrees sum to %d, want %d edges", len(outArena), numEdges)
+	}
+	for v := 0; v < n; v++ {
+		g.in[v] = inArena[inOff[v]:inOff[v+1]:inOff[v+1]]
+	}
+	return g, nil
+}
+
+// ReadAuto sniffs the input and dispatches to the binary or the text codec:
+// files starting with the binary magic load through ReadBinary, everything
+// else through the text Read. The CLIs use it so one -graph flag accepts
+// both formats.
+func ReadAuto(r io.Reader) (*Graph, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<20)
+	}
+	head, err := br.Peek(len(binMagic))
+	if err == nil && string(head) == string(binMagic) {
+		if _, err := br.Discard(len(binMagic)); err != nil {
+			return nil, err
+		}
+		return readBinaryBody(br)
+	}
+	return Read(br)
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func binOf(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, _ := buildDiamond(t)
+	g2, err := ReadBinary(bytes.NewReader(binOf(t, g)))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+// TestBinaryMatchesTextCodec is the cross-codec property: loading a graph
+// from its binary serialization must yield the exact store the text codec
+// yields — same adjacency order, same EdgeID assignment — so the two load
+// paths are interchangeable for the determinism contract.
+func TestBinaryMatchesTextCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 10; round++ {
+		g := randomGraph(rng, 30+rng.Intn(50), 150+rng.Intn(200))
+		// Churn to exercise sentinel edgeDefs on the write side.
+		for i := 0; i < 25; i++ {
+			from := NodeID(rng.Intn(g.NumNodes()))
+			if out := g.Out(from); len(out) > 0 {
+				e := out[rng.Intn(len(out))]
+				_ = g.RemoveEdge(from, e.To, g.EdgeLabelName(e.Label))
+			}
+		}
+
+		fromText, err := Read(bytes.NewReader(textOf(t, g)))
+		if err != nil {
+			t.Fatalf("round %d: text Read: %v", round, err)
+		}
+		fromBin, err := ReadBinary(bytes.NewReader(binOf(t, g)))
+		if err != nil {
+			t.Fatalf("round %d: ReadBinary: %v", round, err)
+		}
+		assertGraphsEqual(t, fromText, fromBin)
+		if !bytes.Equal(textOf(t, fromText), textOf(t, fromBin)) {
+			t.Fatalf("round %d: text and binary load paths diverge", round)
+		}
+		if fromText.EdgeIDBound() != fromBin.EdgeIDBound() {
+			t.Fatalf("round %d: EdgeIDBound %d vs %d", round, fromText.EdgeIDBound(), fromBin.EdgeIDBound())
+		}
+		// EdgeID assignment must match edge-for-edge. Interned label IDs may
+		// legitimately differ (text re-interns in encounter order; binary
+		// preserves the source tables), so compare labels by name.
+		for id := EdgeID(0); int(id) < fromText.EdgeIDBound(); id++ {
+			rt, rb := fromText.EdgeRefOf(id), fromBin.EdgeRefOf(id)
+			if rt.From != rb.From || rt.To != rb.To ||
+				fromText.EdgeLabelName(rt.Label) != fromBin.EdgeLabelName(rb.Label) {
+				t.Fatalf("round %d: EdgeRefOf(%d) differs across codecs", round, id)
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTripPreservesInternerIDs(t *testing.T) {
+	g, _ := buildDiamond(t)
+	g2, err := ReadBinary(bytes.NewReader(binOf(t, g)))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if g.UniverseSizes() != g2.UniverseSizes() {
+		t.Fatalf("universe sizes differ: %v vs %v", g.UniverseSizes(), g2.UniverseSizes())
+	}
+	for id := NodeID(0); int(id) < g.NumNodes(); id++ {
+		if g.LabelIDOf(id) != g2.LabelIDOf(id) {
+			t.Fatalf("node %d interned label ID differs", id)
+		}
+	}
+}
+
+func TestReadAutoDispatches(t *testing.T) {
+	g, _ := buildDiamond(t)
+	for _, enc := range []struct {
+		name string
+		data []byte
+	}{
+		{"binary", binOf(t, g)},
+		{"text", textOf(t, g)},
+	} {
+		t.Run(enc.name, func(t *testing.T) {
+			g2, err := ReadAuto(bytes.NewReader(enc.data))
+			if err != nil {
+				t.Fatalf("ReadAuto: %v", err)
+			}
+			assertGraphsEqual(t, g, g2)
+		})
+	}
+}
+
+func TestReadBinaryRejectsCorruptInput(t *testing.T) {
+	g, _ := buildDiamond(t)
+	valid := binOf(t, g)
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte("NOPE!"), valid[5:]...)
+		if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("text file", func(t *testing.T) {
+		if _, err := ReadBinary(strings.NewReader("n 0 user\n")); err == nil {
+			t.Fatal("text input accepted as binary")
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		// Every proper prefix must error, never panic or hang.
+		for cut := 0; cut < len(valid); cut += 3 {
+			if _, err := ReadBinary(bytes.NewReader(valid[:cut])); err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("trailing garbage is ignored", func(t *testing.T) {
+		// The codec is a stream section, not a framed file: it reads exactly
+		// the declared sections (callers own anything after).
+		if _, err := ReadBinary(bytes.NewReader(append(append([]byte{}, valid...), 0xff))); err != nil {
+			t.Fatalf("trailing byte broke decode: %v", err)
+		}
+	})
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g := New()
+	g2, err := ReadBinary(bytes.NewReader(binOf(t, g)))
+	if err != nil {
+		t.Fatalf("ReadBinary empty: %v", err)
+	}
+	if g2.NumNodes() != 0 || g2.NumEdges() != 0 {
+		t.Fatalf("empty graph round trip: %d nodes %d edges", g2.NumNodes(), g2.NumEdges())
+	}
+}

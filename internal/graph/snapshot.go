@@ -39,13 +39,29 @@ func (g *Graph) Snapshot() *Snapshot {
 	}
 	s.outOff[n] = outTotal
 	s.inOff[n] = inTotal
-	s.outEdges = make([]Edge, 0, outTotal)
-	s.inEdges = make([]Edge, 0, inTotal)
+	s.outEdges = make([]Edge, outTotal)
+	s.inEdges = make([]Edge, inTotal)
 	for v := 0; v < n; v++ {
-		s.outEdges = append(s.outEdges, g.out[v]...)
-		s.inEdges = append(s.inEdges, g.in[v]...)
+		copy(s.outEdges[s.outOff[v]:], g.out[v])
+		copy(s.inEdges[s.inOff[v]:], g.in[v])
 	}
 	return s
+}
+
+// snapshotEdgeBytes is the in-memory size of one Edge entry (NodeID +
+// LabelID + EdgeID, 4 bytes each); snapshotOffBytes of one offset entry.
+const (
+	snapshotEdgeBytes = 12
+	snapshotOffBytes  = 4
+)
+
+// Bytes reports the approximate resident footprint of the snapshot's arenas
+// in bytes: both CSR edge arenas, both offset tables, and the label array.
+// The bench-scale report uses it to publish per-epoch snapshot cost.
+func (s *Snapshot) Bytes() int {
+	return snapshotEdgeBytes*(len(s.outEdges)+len(s.inEdges)) +
+		snapshotOffBytes*(len(s.outOff)+len(s.inOff)) +
+		snapshotOffBytes*len(s.labelOf)
 }
 
 // NumNodes reports the number of nodes at snapshot time.

@@ -129,6 +129,21 @@ type AdmissionStats struct {
 	Queue    int   `json:"queue"`
 }
 
+// MvccStats snapshots the MVCC serving state for /v1/stats. In locked mode
+// only Mode is set. Replicas counts graph copies in circulation (current
+// view + reader-pinned + free pool); Clones counts full-graph copies taken
+// to grow the pool; WriterWaits counts publications that had to wait for a
+// reader to release a replica. Publish latency is wall-clock and therefore
+// lives on /metrics only.
+type MvccStats struct {
+	Mode        string `json:"mode"`
+	MaxViews    int    `json:"max_views,omitempty"`
+	Replicas    int    `json:"replicas,omitempty"`
+	Publishes   int64  `json:"publishes,omitempty"`
+	Clones      int64  `json:"clones,omitempty"`
+	WriterWaits int64  `json:"writer_waits,omitempty"`
+}
+
 // StatsResponse is the engine snapshot served on /v1/stats. Every field is
 // deterministic for a fixed request sequence; wall-clock derived series live
 // on /metrics only.
@@ -140,6 +155,7 @@ type StatsResponse struct {
 	Summary   SummaryStats   `json:"summary"`
 	Cache     CacheStats     `json:"cache"`
 	Admission AdmissionStats `json:"admission"`
+	Mvcc      *MvccStats     `json:"mvcc,omitempty"`
 }
 
 type errorResponse struct {

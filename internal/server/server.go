@@ -1,17 +1,22 @@
 // Package server implements fgsd's serving engine: a summarization service
 // over one live graph, designed for heavy concurrent read traffic with a
-// serialized write path (DESIGN.md §10).
+// serialized write path (DESIGN.md §10, §11).
 //
-// Concurrency model — single writer, many readers:
+// Concurrency model — single writer, many readers, MVCC by default:
 //
-//   - Read endpoints (summarize, summarize-k, view, workload, stats) run
-//     concurrently under an RWMutex read lock. The graph's read paths are
-//     safe for concurrent readers (label bitsets behind a mutex, pooled BFS
-//     scratch), and each request builds its own matcher and E_v^r cache, so
-//     readers share nothing mutable.
+//   - Read endpoints (summarize, summarize-k, view, workload, stats) pin the
+//     current epoch view — an immutable (epoch, graph replica, summary)
+//     bundle — for the request lifetime and compute against it without ever
+//     touching the engine's write lock. A slow summarize holds its epoch
+//     open; it cannot delay writes, and writes cannot tear its view.
 //   - Write requests (edge insert/delete batches) are serialized through the
-//     Inc-FGS Maintainer under the write lock and advance the graph epoch
-//     when — and only when — the batch changed the graph.
+//     Inc-FGS Maintainer under the write lock, advance the graph epoch when —
+//     and only when — the batch changed the graph, and publish a fresh view
+//     by O(delta) replay onto a pooled replica (view.go).
+//   - Config.ReadMode "locked" restores the pre-MVCC behavior — readers
+//     under an RWMutex read lock against the live graph — and exists as the
+//     comparison baseline for benchmarks and the cross-mode determinism
+//     tests; responses are byte-identical across modes.
 //
 // Around the engine sit admission control (a bounded worker semaphore with
 // a bounded wait queue; saturation answers 503 + Retry-After), per-request
@@ -73,6 +78,17 @@ type Config struct {
 	// EmbedCap bounds embedding enumeration for view and workload queries
 	// when the request does not set its own (0 = matcher default).
 	EmbedCap int
+	// ReadMode selects the read path: "mvcc" (default) serves reads from
+	// pinned epoch views so they never contend with the writer; "locked"
+	// serves them under the engine RWMutex against the live graph (the
+	// pre-MVCC baseline, kept for benchmarking and cross-mode tests).
+	ReadMode string
+	// MaxViews caps the MVCC replica pool — the current view plus views
+	// still pinned by readers plus free replicas. Each replica is a full
+	// graph copy, so this bounds the engine's graph memory to MaxViews×|G|;
+	// when the pool is exhausted the writer waits for a reader to release a
+	// view. 0 picks the default (3). Ignored in locked mode.
+	MaxViews int
 	// Obs receives request spans (when it carries a trace), per-endpoint
 	// latency histograms, and cache/admission counters. Nil installs a
 	// private registry so /metrics works regardless.
@@ -104,8 +120,25 @@ func (c Config) withDefaults() Config {
 	if c.Deadline == 0 {
 		c.Deadline = 30 * time.Second
 	}
+	if c.ReadMode == "" {
+		c.ReadMode = ReadModeMVCC
+	}
+	if c.MaxViews <= 0 {
+		c.MaxViews = 3
+	} else if c.MaxViews == 1 {
+		// Publication needs a replica besides the current view (the current
+		// view cannot retire until its successor is published), so one view
+		// could never publish: 2 is the floor.
+		c.MaxViews = 2
+	}
 	return c
 }
+
+// Read path modes for Config.ReadMode.
+const (
+	ReadModeMVCC   = "mvcc"
+	ReadModeLocked = "locked"
+)
 
 func maxInt(a, b int) int {
 	if a > b {
@@ -119,12 +152,17 @@ func maxInt(a, b int) int {
 type Server struct {
 	cfg Config
 
-	// mu is the single-writer/many-reader gate over g, maint, and summary.
+	// mu serializes writers in both read modes. In locked mode it is also
+	// the many-reader gate over g, maint, and summary; in mvcc mode readers
+	// never acquire it — they pin views instead.
 	mu      sync.RWMutex
 	g       *graph.Graph
 	groups  *submod.Groups
 	maint   *core.Maintainer
 	summary *core.Summary
+
+	// views is the MVCC publication state; nil in locked mode.
+	views *viewSet
 
 	// epoch counts graph-changing write batches. It is written only under
 	// mu's write lock; reads under the read lock (or lock-free for cache
@@ -150,6 +188,9 @@ type Server struct {
 // request) and wires the cache, admission control, and HTTP routes.
 func New(g *graph.Graph, groups *submod.Groups, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.ReadMode != ReadModeMVCC && cfg.ReadMode != ReadModeLocked {
+		return nil, fmt.Errorf("server: unknown read mode %q (have %q, %q)", cfg.ReadMode, ReadModeMVCC, ReadModeLocked)
+	}
 	util, err := buildUtility(g, cfg.Utility)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -181,8 +222,20 @@ func New(g *graph.Graph, groups *submod.Groups, cfg Config) (*Server, error) {
 	mcfg := s.coreConfig(cfg.R, cfg.K, cfg.N)
 	mcfg.Obs = cfg.Obs
 	s.maint, s.summary = core.NewMaintainer(g, groups, util, mcfg)
+	if cfg.ReadMode == ReadModeMVCC {
+		s.views = newViewSet(g, s.summary, cfg.MaxViews, s.clock)
+		reg.Register(s.views)
+	}
+	reg.Register(s) // epoch gauge, authoritative in both read modes
 	s.routes()
 	return s, nil
+}
+
+// ObsMetrics exports the server-level gauges (obs.Source).
+func (s *Server) ObsMetrics() []obs.Metric {
+	return []obs.Metric{
+		{Name: "fgs_server_epoch", Help: "Current graph epoch", Kind: obs.KindGauge, Value: float64(s.epoch.Load())},
+	}
 }
 
 // coreConfig assembles a core.Config for one run from request parameters
@@ -215,35 +268,68 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // --- compute paths -------------------------------------------------------
 //
-// Every compute method captures the epoch while holding the lock, so the
-// (epoch, response) pair it returns is consistent: a concurrent write
-// cannot land between the computation and the epoch read. Responses are
-// cached under that epoch.
+// Every compute method works against one consistent read context: a pinned
+// epoch view (mvcc) or the live graph under the read lock (locked). Either
+// way the (epoch, graph, summary) triple cannot change for the duration of
+// the computation, so the response is cached under exactly the epoch it was
+// computed at.
 
-// computeSummarize runs APXFGS (or k-APXFGS when k > 0) on the live graph.
-func (s *Server) computeSummarize(req *SummarizeRequest, k bool) (*SummarizeResponse, uint64, error) {
+// readCtx is one consistent read of the engine: the graph and maintained
+// summary frozen at epoch. release must be called exactly once when the
+// computation is done with them.
+type readCtx struct {
+	epoch   uint64
+	g       *graph.Graph
+	summary *core.Summary
+	release func()
+}
+
+// acquireRead opens a read context on the current engine state. In mvcc
+// mode this pins the current view — an O(1) refcount bump, no engine lock;
+// in locked mode it takes the RWMutex read lock for the context's lifetime.
+func (s *Server) acquireRead() readCtx {
+	if s.views != nil {
+		v := s.views.pin()
+		return readCtx{
+			epoch:   v.epoch,
+			g:       v.g,
+			summary: v.summary,
+			release: func() { s.views.unpin(v) },
+		}
+	}
+	//lint:allow lockdiscipline handed off — the returned release func is the RUnlock, called by every compute path's defer
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	util, err := buildUtility(s.g, req.Utility)
+	return readCtx{
+		epoch:   s.epoch.Load(),
+		g:       s.g,
+		summary: s.summary,
+		release: s.mu.RUnlock,
+	}
+}
+
+// computeSummarize runs APXFGS (or k-APXFGS when k > 0) at the pinned epoch.
+func (s *Server) computeSummarize(req *SummarizeRequest, k bool) (*SummarizeResponse, uint64, error) {
+	rc := s.acquireRead()
+	defer rc.release()
+	util, err := buildUtility(rc.g, req.Utility)
 	if err != nil {
 		return nil, 0, &requestError{err}
 	}
 	cfg := s.coreConfig(req.R, req.K, req.N)
 	var sum *core.Summary
 	if k {
-		sum, err = core.KAPXFGS(s.g, s.groups, util, cfg)
+		sum, err = core.KAPXFGS(rc.g, s.groups, util, cfg)
 	} else {
-		sum, err = core.APXFGS(s.g, s.groups, util, cfg)
+		sum, err = core.APXFGS(rc.g, s.groups, util, cfg)
 	}
 	if err != nil {
 		return nil, 0, err
 	}
 	var buf bytes.Buffer
-	if err := sum.WriteJSON(&buf, s.g); err != nil {
+	if err := sum.WriteJSON(&buf, rc.g); err != nil {
 		return nil, 0, err
 	}
-	ep := s.epoch.Load()
-	return &SummarizeResponse{Epoch: ep, Summary: buf.Bytes()}, ep, nil
+	return &SummarizeResponse{Epoch: rc.epoch, Summary: buf.Bytes()}, rc.epoch, nil
 }
 
 // computeView answers a pattern query over the maintained summary as a
@@ -253,23 +339,22 @@ func (s *Server) computeView(req *ViewRequest) (*ViewResponse, uint64, error) {
 	if err != nil {
 		return nil, 0, &requestError{err}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	nodes := core.QueryView(s.g, s.summary, p, req.EmbedCap)
+	rc := s.acquireRead()
+	defer rc.release()
+	nodes := core.QueryView(rc.g, rc.summary, p, req.EmbedCap)
 	ids := make([]int64, len(nodes))
 	for i, v := range nodes {
 		ids[i] = int64(v)
 	}
-	ep := s.epoch.Load()
-	return &ViewResponse{Epoch: ep, Count: len(ids), Nodes: ids}, ep, nil
+	return &ViewResponse{Epoch: rc.epoch, Count: len(ids), Nodes: ids}, rc.epoch, nil
 }
 
 // computeWorkload evaluates the maintained summary's patterns as annotated
 // benchmark queries.
 func (s *Server) computeWorkload(req *WorkloadRequest) (*WorkloadResponse, uint64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	entries := core.Workload(s.g, s.summary, req.EmbedCap)
+	rc := s.acquireRead()
+	defer rc.release()
+	entries := core.Workload(rc.g, rc.summary, req.EmbedCap)
 	out := make([]WorkloadQuery, 0, len(entries))
 	for _, e := range entries {
 		var b strings.Builder
@@ -283,12 +368,15 @@ func (s *Server) computeWorkload(req *WorkloadRequest) (*WorkloadResponse, uint6
 			Selectivity:    e.Selectivity,
 		})
 	}
-	ep := s.epoch.Load()
-	return &WorkloadResponse{Epoch: ep, Queries: out}, ep, nil
+	return &WorkloadResponse{Epoch: rc.epoch, Queries: out}, rc.epoch, nil
 }
 
 // computeUpdate applies one write batch through the maintainer under the
-// write lock and advances the epoch iff the graph changed.
+// write lock and advances the epoch iff the graph changed. In mvcc mode a
+// graph-changing batch additionally publishes the new epoch's view: replay
+// of the same delta onto a pooled replica plus a pointer swap, after which
+// newly arriving readers see the new epoch while readers already pinned
+// keep their old one.
 func (s *Server) computeUpdate(req *UpdateRequest) (*UpdateResponse, error) {
 	delta := core.Delta{}
 	for _, e := range req.Insert {
@@ -302,7 +390,10 @@ func (s *Server) computeUpdate(req *UpdateRequest) (*UpdateResponse, error) {
 	sum, applied, err := s.maint.Apply(delta)
 	s.summary = sum
 	if applied > 0 {
-		s.epoch.Add(1)
+		epoch := s.epoch.Add(1)
+		if s.views != nil {
+			s.views.publish(delta, epoch, sum)
+		}
 	}
 	resp := &UpdateResponse{
 		Epoch:   s.epoch.Load(),
@@ -323,18 +414,24 @@ func (s *Server) computeUpdate(req *UpdateRequest) (*UpdateResponse, error) {
 // and admission counters; wall-clock readings are exported on /metrics
 // only.
 func (s *Server) computeStats() (*StatsResponse, uint64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ep := s.epoch.Load()
-	return &StatsResponse{
-		Epoch:     ep,
-		Nodes:     s.g.NumNodes(),
-		Edges:     s.g.NumEdges(),
+	rc := s.acquireRead()
+	defer rc.release()
+	resp := &StatsResponse{
+		Epoch:     rc.epoch,
+		Nodes:     rc.g.NumNodes(),
+		Edges:     rc.g.NumEdges(),
 		Groups:    s.groups.Len(),
-		Summary:   summaryStatsOf(s.summary),
+		Summary:   summaryStatsOf(rc.summary),
 		Cache:     s.cache.stats(),
 		Admission: s.adm.stats(),
-	}, ep, nil
+	}
+	if s.views != nil {
+		st := s.views.stats()
+		resp.Mvcc = &st
+	} else {
+		resp.Mvcc = &MvccStats{Mode: ReadModeLocked}
+	}
+	return resp, rc.epoch, nil
 }
 
 func summaryStatsOf(sum *core.Summary) SummaryStats {

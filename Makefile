@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race serve lint fgslint vet staticcheck govulncheck bench bench-ci bench-compare bench-scale bench-scale-smoke
+.PHONY: all build test race serve lint fgslint lint-budget vet staticcheck govulncheck bench bench-ci bench-compare bench-scale bench-scale-smoke
 
 all: build test lint
 
@@ -28,7 +28,13 @@ vet:
 	$(GO) vet ./...
 
 fgslint:
-	$(GO) run ./cmd/fgslint ./...
+	$(GO) run ./cmd/fgslint -budget lint-budget.json ./...
+
+# Rewrite lint-budget.json to the current //lint:allow counts — the ratchet
+# file fgslint -budget and CI enforce (DESIGN.md §12). Run after consciously
+# adding or removing an allow.
+lint-budget:
+	$(GO) run ./cmd/fgslint -write-budget lint-budget.json ./...
 
 staticcheck:
 	staticcheck ./...

@@ -210,7 +210,6 @@ func main() {
 	}
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	fmt.Fprintf(w, "%-78s %12s %12s %9s %10s %10s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "time Δ", "old allocs", "new allocs", "alloc Δ")
 	regressions := 0
@@ -242,8 +241,11 @@ func main() {
 			name, o.nsPerOp, n.nsPerOp, td, allocStr(o.allocsOp), allocStr(n.allocsOp), ad, mark)
 	}
 	fmt.Fprintf(w, "\n%d common benchmarks, %d regression(s) over %.0f%%\n", len(names), regressions, *threshold)
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "fgsbenchcmp: writing report:", err)
+		os.Exit(2)
+	}
 	if regressions > 0 {
-		w.Flush()
 		os.Exit(1)
 	}
 }

@@ -30,6 +30,7 @@ func APXFGS(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Conf
 	vp, err := submod.FairSelectObs(groups, util, cfg.N, run.reg)
 	sp.End()
 	if err != nil {
+		run.abort()
 		return nil, fmt.Errorf("core: selection phase: %w", err)
 	}
 

@@ -32,6 +32,7 @@ func KAPXFGS(g *graph.Graph, groups *submod.Groups, util submod.Utility, cfg Con
 	vp, err := submod.FairSelectObs(groups, util, cfg.N, run.reg)
 	sp.End()
 	if err != nil {
+		run.abort()
 		return nil, fmt.Errorf("core: selection phase: %w", err)
 	}
 

@@ -46,6 +46,11 @@ func (r *runObs) finish(candidates, windows int) Stats {
 	return r.stats(candidates, windows)
 }
 
+// abort closes the root span without deriving Stats — for error returns
+// that bail out before the run completes, so the root span is never left
+// open in the trace (and in any caller-supplied Observer's export).
+func (r *runObs) abort() { r.root.End() }
+
 // stats derives a Stats view from the run's direct child spans without
 // closing the root — streaming algorithms expose progress mid-run.
 func (r *runObs) stats(candidates, windows int) Stats {

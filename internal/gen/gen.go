@@ -290,7 +290,7 @@ func Pandemic(seed int64, n int) *graph.Graph {
 // mustEdge inserts an edge, ignoring duplicates (the generators may re-pick
 // the same degree-biased target).
 func mustEdge(g *graph.Graph, from, to graph.NodeID, label string) {
-	_ = g.AddEdge(from, to, label)
+	_ = g.AddEdge(from, to, label) //lint:allow errdrop AddEdge only fails on duplicates, which the degree-biased generators produce by design
 }
 
 // GroupsByAttr induces groups over nodes with the given label, splitting by

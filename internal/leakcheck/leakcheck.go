@@ -1,0 +1,144 @@
+// Package leakcheck is a dependency-free goroutine-leak detector for tests.
+// It snapshots the set of live goroutines when a test starts and, at test
+// cleanup, fails the test if goroutines created since are still alive after
+// a grace period.
+//
+// Usage, first thing in the test body:
+//
+//	func TestServerDrain(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+//
+// Matching is by goroutine ID against the baseline snapshot, so goroutines
+// that predate the test (the test runner's own, a sibling parallel test's)
+// are never reported. Goroutines legitimately winding down at test end —
+// HTTP keep-alive conns closing, worker pools draining after Shutdown — are
+// absorbed by the retry loop: the check re-snapshots with exponential
+// backoff and only fails if stragglers survive the full grace period.
+// Everything is built on runtime.Stack; there is no dependency outside the
+// standard library.
+package leakcheck
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long the cleanup check keeps retrying before declaring the
+// surviving goroutines leaked. Long enough for connection teardown and
+// drained workers to exit under -race on a loaded CI machine, short enough
+// not to mask a genuine leak behind a timeout. A variable so the package's
+// own tests can shrink it.
+var grace = 5 * time.Second
+
+// Check snapshots the live goroutines and registers a cleanup that fails t
+// if goroutines created during the test outlive the grace period. Call it
+// before the code under test starts anything.
+func Check(t testing.TB) {
+	t.Helper()
+	baseline := ids(stacks())
+	t.Cleanup(func() {
+		var leaked []goroutineStack
+		deadline := time.Now().Add(grace)
+		for backoff := time.Millisecond; ; backoff *= 2 {
+			leaked = leaked[:0]
+			for _, g := range stacks() {
+				if !baseline[g.id] {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			if backoff > 100*time.Millisecond {
+				backoff = 100 * time.Millisecond
+			}
+			time.Sleep(backoff)
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine %d [%s]:\n%s", g.id, g.state, g.trace)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) created by this test still running after %v", len(leaked), grace)
+	})
+}
+
+// goroutineStack is one parsed block of runtime.Stack output.
+type goroutineStack struct {
+	id    int64
+	state string // "running", "chan receive", ...
+	trace string // the frames, without the goroutine header line
+}
+
+// stacks parses a full runtime.Stack dump into per-goroutine records,
+// excluding the calling goroutine (always alive, never a leak).
+func stacks() []goroutineStack {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutineStack
+	self := currentID()
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		g, ok := parseBlock(block)
+		if !ok || g.id == self {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// parseBlock parses one "goroutine N [state]:\n frames..." block.
+func parseBlock(block string) (goroutineStack, bool) {
+	header, rest, found := strings.Cut(block, "\n")
+	header = strings.TrimSpace(header)
+	if !found || !strings.HasPrefix(header, "goroutine ") {
+		return goroutineStack{}, false
+	}
+	fields := strings.SplitN(strings.TrimPrefix(header, "goroutine "), " ", 2)
+	id, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return goroutineStack{}, false
+	}
+	state := ""
+	if len(fields) == 2 {
+		state = strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(fields[1]), "["), "]:")
+	}
+	return goroutineStack{id: id, state: state, trace: rest}, true
+}
+
+// currentID extracts the calling goroutine's ID from a single-goroutine
+// stack dump (the only portable way to get it from the standard library).
+// On an unparseable header it returns -1, which matches no goroutine; the
+// caller then appears in the baseline and final snapshots alike and still
+// cancels out of the diff.
+func currentID() int64 {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	g, ok := parseBlock(string(buf))
+	if !ok {
+		return -1
+	}
+	return g.id
+}
+
+// ids reduces a snapshot to the set of goroutine IDs.
+func ids(gs []goroutineStack) map[int64]bool {
+	set := make(map[int64]bool, len(gs))
+	for _, g := range gs {
+		set[g.id] = true
+	}
+	return set
+}

@@ -1,0 +1,103 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// recordingTB captures Errorf/Cleanup so a deliberately-leaky check can run
+// without failing the real test.
+type recordingTB struct {
+	testing.TB
+	failures int
+	cleanups []func()
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.failures++
+}
+func (r *recordingTB) Cleanup(f func()) {
+	r.cleanups = append(r.cleanups, f)
+}
+
+func (r *recordingTB) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func withGrace(t *testing.T, d time.Duration) {
+	old := grace
+	grace = d
+	t.Cleanup(func() { grace = old })
+}
+
+func TestDetectsLeak(t *testing.T) {
+	withGrace(t, 200*time.Millisecond)
+	rtb := &recordingTB{TB: t}
+	Check(rtb)
+
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-block
+		close(done)
+	}()
+
+	rtb.runCleanups()
+	if rtb.failures == 0 {
+		t.Error("blocked goroutine not reported as a leak")
+	}
+	close(block)
+	<-done
+}
+
+func TestCleanExitPasses(t *testing.T) {
+	rtb := &recordingTB{TB: t}
+	Check(rtb)
+
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+
+	rtb.runCleanups()
+	if rtb.failures != 0 {
+		t.Errorf("clean test reported %d failure(s)", rtb.failures)
+	}
+}
+
+// TestGraceAbsorbsStragglers: a goroutine still winding down when cleanup
+// starts must be absorbed by the retry loop, not reported.
+func TestGraceAbsorbsStragglers(t *testing.T) {
+	rtb := &recordingTB{TB: t}
+	Check(rtb)
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+	}()
+
+	rtb.runCleanups()
+	if rtb.failures != 0 {
+		t.Errorf("straggler within grace reported %d failure(s)", rtb.failures)
+	}
+}
+
+func TestBaselineIgnoresPreexisting(t *testing.T) {
+	withGrace(t, 200*time.Millisecond)
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-block
+		close(done)
+	}()
+
+	rtb := &recordingTB{TB: t}
+	Check(rtb) // baseline taken with the goroutine already running
+	rtb.runCleanups()
+	if rtb.failures != 0 {
+		t.Errorf("pre-existing goroutine reported as leak (%d failure(s))", rtb.failures)
+	}
+	close(block)
+	<-done
+}

@@ -1,0 +1,24 @@
+package lint
+
+// CountAllows tallies //lint:allow escape hatches per analyzer name across
+// the packages' files. This is the inventory behind the allow-budget
+// ratchet (lint-budget.json at the module root): every allow is a debt the
+// budget must cover, so a new suppression fails CI until someone consciously
+// raises the budget in the same change — and when allows are removed, the
+// budget can ratchet down. A directive naming several analyzers
+// ("//lint:allow a,b why") counts once against each.
+func CountAllows(pkgs []*Package) map[string]int {
+	counts := make(map[string]int)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, name := range allowDirective(c.Text) {
+						counts[name]++
+					}
+				}
+			}
+		}
+	}
+	return counts
+}

@@ -19,7 +19,27 @@ func TestNoPanic(t *testing.T) {
 }
 
 func TestLockDiscipline(t *testing.T) {
-	runFixture(t, LockDiscipline, "lockdiscipline")
+	// The historical fixture mixes copy-check wants (lockdiscipline) with
+	// pairing wants (now owned by pairdiscipline), so run both jointly.
+	runFixtures(t, []*Analyzer{LockDiscipline, PairDiscipline}, "lockdiscipline")
+}
+
+func TestPairDiscipline(t *testing.T) {
+	runFixture(t, PairDiscipline, "pairdiscipline")
+}
+
+func TestFrozenView(t *testing.T) {
+	runFixture(t, FrozenView, "frozenview")
+}
+
+func TestErrDrop(t *testing.T) {
+	// A library package (flagged) and a main package (exempt) in the same run.
+	runFixture(t, ErrDrop, "errdrop", "errdrop/cmdfixture")
+}
+
+func TestCtxPoll(t *testing.T) {
+	// The server package (in scope) and a library package (out of scope).
+	runFixture(t, CtxPoll, "ctxpoll/internal/server", "ctxpoll/internal/other")
 }
 
 func TestAllowDirective(t *testing.T) {
@@ -50,8 +70,8 @@ func TestAllowDirective(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("all")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(all) = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ByName(all) = %d analyzers, err %v; want 8, nil", len(all), err)
 	}
 	two, err := ByName("maporder, detrand")
 	if err != nil || len(two) != 2 || two[0] != MapOrder || two[1] != DetRand {

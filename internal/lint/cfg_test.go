@@ -1,0 +1,252 @@
+package lint
+
+// Golden CFG-shape tests for the tricky constructs the builder must get
+// right: labeled break, defer inside loops, select, early return under
+// range, goto, and the tagless-switch cascade. The golden form is
+// funcCFG.dump(): one line per reachable block, "index kind [stmtCount] ->
+// succIndices", densely renumbered — stable across runs by construction.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFromSrc parses a single function body and builds its CFG with no
+// terminal-call matcher (golden tests are types-free).
+func buildFromSrc(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body, nil)
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "straight line",
+			body: `x := 1
+y := x
+_ = y`,
+			want: `0 entry [3] -> 1
+1 exit [0] ->`,
+		},
+		{
+			name: "if else",
+			body: `if cond() {
+	a()
+} else {
+	b()
+}
+c()`,
+			want: `0 entry [1] -> 2 4
+1 exit [0] ->
+2 if.then [1] -> 3
+3 if.done [1] -> 1
+4 if.else [1] -> 3`,
+		},
+		{
+			name: "labeled break",
+			body: `outer:
+for {
+	for {
+		if done() {
+			break outer
+		}
+		step()
+	}
+}
+after()`,
+			want: `0 entry [0] -> 2
+1 exit [0] ->
+2 label.outer [0] -> 3
+3 for.head [0] -> 4
+4 for.body [0] -> 6
+5 for.done [1] -> 1
+6 for.head [0] -> 7
+7 for.body [1] -> 8 9
+8 if.then [0] -> 5
+9 if.done [1] -> 6`,
+		},
+		{
+			name: "defer in loop",
+			body: `for i := 0; i < n; i++ {
+	mu.Lock()
+	defer mu.Unlock()
+	work(i)
+}
+rest()`,
+			want: `0 entry [1] -> 2
+1 exit [0] ->
+2 for.head [1] -> 3 4
+3 for.body [3] -> 5
+4 for.done [1] -> 1
+5 for.post [1] -> 2`,
+		},
+		{
+			name: "select without default blocks",
+			body: `select {
+case <-a:
+	one()
+case v := <-b:
+	use(v)
+}
+after()`,
+			want: `0 entry [0] -> 3 4
+1 exit [0] ->
+2 select.done [1] -> 1
+3 select.body [2] -> 2
+4 select.body [2] -> 2`,
+		},
+		{
+			name: "early return under range",
+			body: `for _, v := range xs {
+	if bad(v) {
+		return
+	}
+	use(v)
+}
+tail()`,
+			want: `0 entry [0] -> 2
+1 exit [0] ->
+2 range.head [1] -> 3 4
+3 range.body [1] -> 5 6
+4 range.done [1] -> 1
+5 if.then [1] -> 1
+6 if.done [1] -> 2`,
+		},
+		{
+			name: "forward goto",
+			body: `if fast() {
+	goto done
+}
+slow()
+done:
+cleanup()`,
+			want: `0 entry [1] -> 2 3
+1 exit [0] ->
+2 if.then [0] -> 4
+3 if.done [1] -> 4
+4 label.done [1] -> 1`,
+		},
+		{
+			name: "tagless switch cascade",
+			body: `switch {
+case e != nil:
+	a()
+case n == 0:
+	b()
+default:
+	c()
+}
+after()`,
+			want: `0 entry [1] -> 3 6
+1 exit [0] ->
+2 switch.done [1] -> 1
+3 case.body [1] -> 2
+4 case.body [1] -> 2
+5 case.body [1] -> 2
+6 case.next [1] -> 4 7
+7 case.next [0] -> 5`,
+		},
+		{
+			name: "tagged switch with fallthrough",
+			body: `switch k {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}`,
+			want: `0 entry [1] -> 3 4 5
+1 exit [0] ->
+2 switch.done [0] -> 1
+3 case.body [1] -> 4
+4 case.body [1] -> 2
+5 case.body [1] -> 2`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := buildFromSrc(t, c.body).dump()
+			if got != c.want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s\n--- want ---\n%s", got, c.want)
+			}
+		})
+	}
+}
+
+// TestCFGBranchCond pins the truth-edge convention the dataflow refinement
+// relies on: succs[0] is the true edge, succs[1] the false edge, and the
+// tagless-switch cascade exposes each case expression as a branchCond.
+func TestCFGBranchCond(t *testing.T) {
+	cfg := buildFromSrc(t, `if x > 0 {
+	a()
+} else {
+	b()
+}`)
+	var cond *cfgBlock
+	for _, blk := range cfg.reachable() {
+		if blk.branchCond != nil {
+			cond = blk
+			break
+		}
+	}
+	if cond == nil {
+		t.Fatal("no block with a branchCond")
+	}
+	if len(cond.succs) < 2 {
+		t.Fatalf("conditional block has %d successors, want 2", len(cond.succs))
+	}
+	if cond.succs[0].kind != "if.then" {
+		t.Errorf("succs[0] = %q, want the true edge (if.then)", cond.succs[0].kind)
+	}
+	if cond.succs[1].kind != "if.else" {
+		t.Errorf("succs[1] = %q, want the false edge (if.else)", cond.succs[1].kind)
+	}
+}
+
+// TestCFGTerminalCall: a call matched by the terminal matcher ends its
+// block with an edge to panicExit, not to exit.
+func TestCFGTerminalCall(t *testing.T) {
+	src := "package p\nfunc f() {\n" + `if bad() {
+	die()
+}
+ok()` + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	cfg := buildCFG(fd.Body, func(call *ast.CallExpr) bool {
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "die"
+	})
+	foundPanicEdge := false
+	for _, blk := range cfg.reachable() {
+		for _, s := range blk.succs {
+			if s == cfg.panicExit {
+				foundPanicEdge = true
+			}
+		}
+	}
+	if !foundPanicEdge {
+		t.Error("no edge to panicExit for a terminal call")
+	}
+	if len(cfg.panicExit.succs) != 0 {
+		t.Errorf("panicExit has successors: %v", cfg.panicExit.succs)
+	}
+}

@@ -4,13 +4,18 @@
 // everything needed (go/ast, go/types, go/importer), so the linter builds
 // and runs offline with no module downloads.
 //
-// The contract it enforces is documented in DESIGN.md ("Determinism
-// contract & lint"): summary content must be byte-identical across runs and
-// worker counts, so map-iteration order must never reach an ordered sink
-// (maporder), the deterministic packages must not consult global randomness
-// or the wall clock (detrand), library code must return errors instead of
-// panicking (nopanic), and the lock-striped caches must follow the
-// lock/unlock discipline (lockdiscipline).
+// The contract it enforces is documented in DESIGN.md §7 ("Determinism
+// contract & lint") and §12 ("Control-flow lint architecture"). The
+// syntactic analyzers: summary content must be byte-identical across runs
+// and worker counts, so map-iteration order must never reach an ordered
+// sink (maporder), the deterministic packages must not consult global
+// randomness or the wall clock (detrand), library code must return errors
+// instead of panicking (nopanic), and lock-bearing structs are never copied
+// (lockdiscipline). The control-flow analyzers run on the in-package
+// CFG/dataflow core (cfg.go, dataflow.go, taint.go): every acquire pairs
+// with a release on every path (pairdiscipline), published MVCC read views
+// are never mutated (frozenview), library packages never discard errors
+// (errdrop), and unbounded server loops poll their context (ctxpoll).
 //
 // A finding can be suppressed with an escape-hatch comment on the flagged
 // line or the line directly above it:
@@ -171,9 +176,14 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	return diags, nil
 }
 
-// All returns the full fgslint analyzer suite in stable order.
+// All returns the full fgslint analyzer suite in stable order. The first
+// four are the original syntactic checks; the last four are the
+// control-flow-aware suite built on the CFG/dataflow core (DESIGN.md §12).
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, DetRand, NoPanic, LockDiscipline}
+	return []*Analyzer{
+		MapOrder, DetRand, NoPanic, LockDiscipline,
+		PairDiscipline, FrozenView, ErrDrop, CtxPoll,
+	}
 }
 
 // ByName resolves a comma-separated -checks list against All.
@@ -190,7 +200,7 @@ func ByName(list string) ([]*Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have maporder, detrand, nopanic, lockdiscipline)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have maporder, detrand, nopanic, lockdiscipline, pairdiscipline, frozenview, errdrop, ctxpoll)", name)
 		}
 		out = append(out, a)
 	}

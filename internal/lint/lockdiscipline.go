@@ -13,13 +13,13 @@ import (
 //     no by-value receivers or parameters, no by-value range over shard
 //     arrays, no plain assignment from an existing value. A copied mutex is
 //     a distinct mutex — the original's lock protects nothing.
-//  2. Every mu.Lock()/mu.RLock() must have a matching Unlock/RUnlock on the
-//     same expression somewhere in the same function (defer counts). Locks
-//     that intentionally cross function boundaries take //lint:allow
-//     lockdiscipline with a why-comment.
+//  2. Lock/Unlock pairing — formerly a same-function textual heuristic here
+//     (checkLockPairing, retained below for the differential test) — is now
+//     owned by the control-flow-aware pairdiscipline analyzer, which proves
+//     release on every path instead of release somewhere in the function.
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
-	Doc:  "flag copies of mutex-bearing structs and Lock calls without a same-function Unlock",
+	Doc:  "flag copies of mutex-bearing structs (pairing moved to pairdiscipline)",
 	Run:  runLockDiscipline,
 }
 
@@ -65,7 +65,6 @@ func runLockDiscipline(pass *Pass) error {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				checkSignature(pass, n.Recv, n.Type)
-				checkLockPairing(pass, n.Body)
 			case *ast.FuncLit:
 				checkSignature(pass, nil, n.Type)
 			case *ast.RangeStmt:
@@ -168,9 +167,13 @@ func unparen(e ast.Expr) ast.Expr {
 // lockMethods maps a sync lock-acquisition method to its required release.
 var lockMethods = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
 
-// checkLockPairing verifies that every Lock/RLock on a sync type inside body
-// (including nested closures) has a matching Unlock/RUnlock on the textually
-// same receiver expression somewhere in the same top-level function.
+// checkLockPairing is the legacy same-function pairing heuristic: every
+// Lock/RLock on a sync type inside body (including nested closures) must
+// have a matching Unlock/RUnlock on the textually same receiver expression
+// somewhere in the same top-level function. It no longer runs in the suite
+// — pairdiscipline's path-sensitive analysis subsumes it — but is kept as
+// the oracle for the differential test (pairdiff_test.go), which asserts
+// the CFG-based analyzer agrees with it on the historical fixtures.
 func checkLockPairing(pass *Pass, body *ast.BlockStmt) {
 	if body == nil {
 		return

@@ -1,0 +1,83 @@
+package lint
+
+// Differential test: the CFG-based pairdiscipline must agree with the
+// legacy same-function lock-pairing heuristic (checkLockPairing, formerly
+// part of lockdiscipline) on the historical lockdiscipline fixtures. The
+// legacy oracle is wrapped in an Analyzer that reuses the pairdiscipline
+// name, so //lint:allow pairdiscipline annotations suppress both sides
+// identically; agreement is compared as (file, line) sets restricted to
+// sync-lock pairing findings.
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestPairDisciplineMatchesLegacyPairing(t *testing.T) {
+	legacy := &Analyzer{
+		Name: "pairdiscipline", // so fixture allows apply to both sides
+		Doc:  "legacy same-function lock pairing (differential oracle)",
+		Run: func(pass *Pass) error {
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						checkLockPairing(pass, fd.Body)
+					}
+				}
+			}
+			return nil
+		},
+	}
+
+	root := filepath.Join("testdata", "src")
+	loader, err := NewTreeLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, "lockdiscipline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sites := func(a *Analyzer) map[string]bool {
+		diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]bool)
+		for _, d := range diags {
+			// Lock-pairing findings only: both analyzers phrase them as
+			// "X.Lock() without a matching"; pairdiscipline's other pair
+			// specs (pools, spans) are outside the legacy oracle's scope.
+			if strings.Contains(d.Message, "without a matching") {
+				out[fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)] = true
+			}
+		}
+		return out
+	}
+
+	got, want := sites(PairDiscipline), sites(legacy)
+	for site := range want {
+		if !got[site] {
+			t.Errorf("legacy pairing flags %s but pairdiscipline does not", site)
+		}
+	}
+	for site := range got {
+		if !want[site] {
+			t.Errorf("pairdiscipline flags %s but legacy pairing does not", site)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("legacy oracle produced no findings — fixture lost its teeth")
+	}
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t.Logf("agreed on %d pairing sites: %s", len(keys), strings.Join(keys, ", "))
+}

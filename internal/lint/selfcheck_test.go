@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -35,5 +37,48 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Errorf("%d finding(s); fix them or add a //lint:allow <analyzer> <why> escape hatch", len(diags))
+	}
+}
+
+// TestAllowBudget is the in-process version of `fgslint -budget`: the
+// number of //lint:allow escape hatches per analyzer must not exceed the
+// checked-in inventory in lint-budget.json. Adding a suppression therefore
+// requires a conscious budget edit in the same change; removing one earns a
+// reminder to ratchet the budget down.
+func TestAllowBudget(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "lint-budget.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := make(map[string]int)
+	if err := json.Unmarshal(data, &budget); err != nil {
+		t.Fatalf("lint-budget.json: %v", err)
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for name, n := range CountAllows(pkgs) {
+		if !known[name] && name != "all" {
+			t.Errorf("//lint:allow names unknown analyzer %q (typo?)", name)
+			continue
+		}
+		if b := budget[name]; n > b {
+			t.Errorf("allow budget exceeded for %s: %d //lint:allow directive(s), budget %d — remove the new allow or consciously raise lint-budget.json", name, n, b)
+		} else if n < b {
+			t.Logf("note: %s allow count (%d) is under budget (%d); ratchet lint-budget.json down", name, n, b)
+		}
 	}
 }

@@ -1,0 +1,14 @@
+// A non-server package: ctxpoll does not apply outside internal/server.
+package other
+
+import "context"
+
+func loop(ctx context.Context, ch chan int) {
+	for range ch { // ok: not a server package
+	}
+	for { // ok: not a server package
+		select {
+		case <-ch:
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Fixture for ctxpoll: unbounded loops in server request paths must check
+// the request context.
+package server
+
+import "context"
+
+func unpolledLoop(ctx context.Context, ch chan int) int {
+	total := 0
+	for { // want `unbounded for-loop in request path never checks ctx\.Done`
+		v, ok := <-ch
+		if !ok {
+			break
+		}
+		total += v
+	}
+	return total
+}
+
+func okSelectPolled(ctx context.Context, ch chan int) int {
+	total := 0
+	for { // ok: selects on ctx.Done()
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+func unpolledRangeChan(ctx context.Context, ch chan int) int {
+	total := 0
+	for v := range ch { // want `range over channel in request path never checks ctx\.Done`
+		total += v
+	}
+	return total
+}
+
+func okErrPolledRange(ctx context.Context, ch chan int) int {
+	total := 0
+	for v := range ch { // ok: polls ctx.Err each element
+		if ctx.Err() != nil {
+			return total
+		}
+		total += v
+	}
+	return total
+}
+
+func okBoundedLoops(ctx context.Context, xs []int, m map[int]int) int {
+	total := 0
+	for _, v := range xs { // ok: bounded by the slice
+		total += v
+	}
+	for k := range m { // ok: bounded by the map
+		total += k
+	}
+	for i := 0; i < 10; i++ { // ok: has a terminating condition
+		total += i
+	}
+	return total
+}
+
+func okNoContext(ch chan int) { // ok: background machinery, no ctx to poll
+	for range ch {
+	}
+}
+
+func closureInheritsCtx(ctx context.Context, ch chan int) func() {
+	return func() {
+		for { // want `unbounded for-loop in request path never checks ctx\.Done`
+			select {
+			case <-ch:
+			}
+		}
+	}
+}
+
+func allowedPump(ctx context.Context, ch chan int) {
+	//lint:allow ctxpoll pump drains a closed channel; bounded by sender shutdown
+	for range ch {
+	}
+}

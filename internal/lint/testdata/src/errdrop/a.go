@@ -1,0 +1,88 @@
+// Fixture for errdrop: discarded error returns in a library package.
+package errdrop
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+func (c *closer) Flush() error { return nil }
+
+func work() (int, error) { return 0, nil }
+func note()              {}
+
+func dropsExprStmt(c *closer) {
+	c.Close() // want `result 0 \(error\) of c\.Close is discarded`
+}
+
+func dropsBlank(c *closer) {
+	_ = c.Flush() // want `result 0 \(error\) of c\.Flush is assigned to _`
+}
+
+func dropsMulti() {
+	_, _ = work() // want `result 1 \(error\) of work is assigned to _`
+}
+
+func keepsValue() {
+	n, _ := work() // ok: deliberate selection, the error is visibly dropped by choice of binding
+	_ = n
+}
+
+func handles(c *closer) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func propagates(c *closer) error {
+	return c.Close() // ok: returned
+}
+
+func allowedDrop(c *closer) {
+	//lint:allow errdrop best-effort close on the shutdown path; primary error already captured
+	c.Close()
+}
+
+func infallibleWriters() {
+	var b bytes.Buffer
+	b.WriteString("x") // ok: bytes.Buffer writes cannot fail
+	var sb strings.Builder
+	sb.WriteString("y") // ok: strings.Builder writes cannot fail
+}
+
+func fprintToBuilder() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d\n", 1) // ok: Fprintf to a strings.Builder cannot fail
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "x") // ok: Fprintln to a bytes.Buffer cannot fail
+	return b.String()
+}
+
+func fprintToUnknownWriter(w io.Writer) {
+	fmt.Fprintf(w, "x") // want `result 1 \(error\) of fmt\.Fprintf is discarded`
+}
+
+func bufioLatches(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("head\n")     // ok: bufio latches the error until Flush
+	_, _ = bw.Write([]byte("b")) // ok: same, via blank assignment
+	fmt.Fprintf(bw, "n=%d\n", 1) // ok: Fprintf to a bufio.Writer is latched too
+	return bw.Flush()            // the latched error surfaces here
+}
+
+func bufioFlushDropped(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("head\n") // ok: latched
+	bw.Flush()               // want `result 0 \(error\) of bw\.Flush is discarded`
+}
+
+func noErrorResult() {
+	note() // ok: nothing to drop
+}

@@ -1,0 +1,12 @@
+// Command packages are exempt from errdrop: binaries best-effort-close on
+// exit paths and are audited by hand.
+package main
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+func main() {
+	c := &closer{}
+	c.Close() // ok: package main is exempt
+}

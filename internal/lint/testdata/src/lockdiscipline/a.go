@@ -98,7 +98,7 @@ func (r *rw) mismatchedRead() int {
 }
 
 func allowedCrossFunc(r *rw) {
-	//lint:allow lockdiscipline handed off: releaseRW is the documented pair
+	//lint:allow lockdiscipline,pairdiscipline handed off: releaseRW is the documented pair
 	r.mu.Lock()
 }
 

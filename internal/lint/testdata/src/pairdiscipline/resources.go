@@ -1,0 +1,147 @@
+// Fixture for pairdiscipline's result-mode resources: MVCC view pins, read
+// contexts, admission slots, and pooled scratch — the shapes from
+// internal/server and internal/graph.
+package pairdiscipline
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+type Graph struct {
+	n    int
+	pool sync.Pool
+}
+
+type epochView struct{ refs int }
+
+type viewSet struct{ cur *epochView }
+
+func (vs *viewSet) pin() *epochView    { return vs.cur }
+func (vs *viewSet) unpin(v *epochView) {}
+
+func okPinUnpin(vs *viewSet) {
+	v := vs.pin()
+	defer vs.unpin(v)
+	_ = v.refs
+}
+
+func leakPin(vs *viewSet, cond bool) {
+	v := vs.pin() // want `vs\.pin\(\): pin/unpin acquired here is not released`
+	if cond {
+		return
+	}
+	vs.unpin(v)
+}
+
+func okPinHandoffReturn(vs *viewSet) *epochView {
+	return vs.pin() // ok: caller owns the pin now
+}
+
+func okPinClosureCapture(vs *viewSet) func() {
+	v := vs.pin()
+	return func() { vs.unpin(v) } // ok: release handed to the closure
+}
+
+type readCtx struct {
+	g       *Graph
+	release func()
+}
+
+type server struct {
+	mu    sync.RWMutex
+	g     *Graph
+	views *viewSet
+}
+
+func (s *server) acquireRead() readCtx {
+	s.mu.RLock() // ok: RUnlock handed off inside the returned readCtx
+	return readCtx{g: s.g, release: s.mu.RUnlock}
+}
+
+func okRead(s *server) int {
+	rc := s.acquireRead()
+	defer rc.release()
+	return rc.g.n
+}
+
+func leakRead(s *server, cond bool) int {
+	rc := s.acquireRead() // want `s\.acquireRead\(\): acquireRead/release acquired here is not released`
+	if cond {
+		return 0
+	}
+	rc.release()
+	return rc.g.n
+}
+
+type admission struct{ slots chan struct{} }
+
+var errSaturated = errors.New("saturated")
+
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func okAdmission(a *admission, ctx context.Context) error {
+	release, err := a.acquire(ctx)
+	switch {
+	case errors.Is(err, errSaturated):
+		return err
+	case err != nil:
+		return err
+	}
+	defer release()
+	return nil
+}
+
+func leakAdmission(a *admission, ctx context.Context, cond bool) error {
+	release, err := a.acquire(ctx) // want `a\.acquire\(\): admission acquire/release acquired here is not released`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil
+	}
+	release()
+	return nil
+}
+
+type scratchT struct{ stamp []uint32 }
+
+func (g *Graph) acquireScratch() *scratchT {
+	s, _ := g.pool.Get().(*scratchT) // ok: reassigned or returned on every path
+	if s == nil {
+		s = &scratchT{}
+	}
+	return s
+}
+
+func (g *Graph) releaseScratch(s *scratchT) { g.pool.Put(s) }
+
+func okBFS(g *Graph) {
+	s := g.acquireScratch()
+	defer g.releaseScratch(s)
+	_ = s.stamp
+}
+
+func leakBFS(g *Graph, cond bool) {
+	s := g.acquireScratch() // want `g\.acquireScratch\(\): acquireScratch/releaseScratch acquired here is not released`
+	if cond {
+		return
+	}
+	g.releaseScratch(s)
+}
+
+func leakPoolGet(g *Graph, cond bool) {
+	s, _ := g.pool.Get().(*scratchT) // want `g\.pool\.Get\(\): Pool Get/Put acquired here is not released`
+	if cond {
+		return
+	}
+	g.pool.Put(s)
+}

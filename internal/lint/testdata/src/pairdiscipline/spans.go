@@ -1,0 +1,102 @@
+// Fixture for pairdiscipline's obs-span shapes: Trace.Start/Span.End,
+// Span.Child, and the core runner's startRun/finish pairing, including the
+// leak-on-error-path shape the analyzer exists to catch.
+package pairdiscipline
+
+type Span struct{ name string }
+
+func (s *Span) End()                    {}
+func (s *Span) SetArg(k, v string)      {}
+func (s *Span) Child(name string) *Span { return &Span{name: name} }
+
+type Trace struct{}
+
+func (t *Trace) Start(name string) *Span { return &Span{name: name} }
+
+type runObs struct{ root *Span }
+
+func startRun(tr *Trace, name string) *runObs { return &runObs{root: tr.Start(name)} }
+
+func (r *runObs) phase(name string) *Span { return r.root.Child(name) }
+func (r *runObs) finish()                 { r.root.End() }
+func (r *runObs) abort()                  { r.root.End() }
+
+func okSpanDefer(tr *Trace) {
+	sp := tr.Start("compute")
+	defer sp.End()
+	sp.SetArg("k", "v") // ok: selector reads/calls on the span are not escapes
+}
+
+func okSpanChained(tr *Trace) {
+	tr.Start("blip").End() // ok: acquired and released in one expression
+}
+
+func discardedSpan(tr *Trace) {
+	tr.Start("lost") // want `tr\.Start\(\): result of span Start/End is discarded`
+}
+
+func leakSpanOnError(tr *Trace, fail bool) error {
+	sp := tr.Start("work") // want `tr\.Start\(\): span Start/End acquired here is not released`
+	if fail {
+		return errSaturated
+	}
+	sp.End()
+	return nil
+}
+
+func okDeferredClosureEnd(tr *Trace, code *int) {
+	sp := tr.Start("handler")
+	defer func() {
+		sp.SetArg("code", "200")
+		sp.End() // ok: runs at every exit of the enclosing function
+	}()
+	*code = 200
+}
+
+func okChildSpan(tr *Trace) {
+	sp := tr.Start("parent")
+	defer sp.End()
+	child := sp.Child("step")
+	child.End()
+}
+
+func leakChildSpan(tr *Trace, cond bool) {
+	sp := tr.Start("parent")
+	defer sp.End()
+	child := sp.Child("step") // want `sp\.Child\(\): span Child/End acquired here is not released`
+	if cond {
+		return
+	}
+	child.End()
+}
+
+func okRunFinish(tr *Trace) {
+	run := startRun(tr, "apxfgs")
+	defer run.finish()
+	sp := run.phase("select")
+	sp.End()
+}
+
+func leakRunOnErrorPath(tr *Trace, fail bool) error {
+	run := startRun(tr, "apxfgs") // want `startRun\(\): startRun/finish acquired here is not released`
+	sp := run.phase("select")
+	if fail {
+		sp.End()
+		return errSaturated
+	}
+	sp.End()
+	run.finish()
+	return nil
+}
+
+func okRunAbortOnError(tr *Trace, fail bool) error {
+	run := startRun(tr, "apxfgs")
+	sp := run.phase("select")
+	sp.End()
+	if fail {
+		run.abort()
+		return errSaturated
+	}
+	run.finish()
+	return nil
+}

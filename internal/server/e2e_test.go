@@ -1,6 +1,8 @@
 package server
 
 import (
+	"github.com/cwru-db/fgs/internal/leakcheck"
+
 	"bytes"
 	"encoding/json"
 	"net/http/httptest"
@@ -87,6 +89,7 @@ func fireConcurrent(t *testing.T, ts *httptest.Server) [][]byte {
 // entry unreachable; a saturated semaphore yields 503 + Retry-After; and
 // draining completes in-flight work while refusing new work.
 func TestE2EConcurrentDeterministicService(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("e2e test skipped in -short")
 	}
@@ -147,6 +150,7 @@ func TestE2EConcurrentDeterministicService(t *testing.T) {
 // TestE2ESaturationBackpressure: with one worker slot and no queue, a held
 // slot makes the next arrival fail fast with 503 + Retry-After.
 func TestE2ESaturationBackpressure(t *testing.T) {
+	leakcheck.Check(t)
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1})
 	s.adm.slots <- struct{}{}
 	resp, body := post(t, ts, "/v1/summarize", `{"n":4}`)
@@ -164,6 +168,7 @@ func TestE2ESaturationBackpressure(t *testing.T) {
 // guarantees: health flips to 503, new compute is refused, and the in-flight
 // request still completes with 200.
 func TestE2EDrainCompletesInFlight(t *testing.T) {
+	leakcheck.Check(t)
 	g, groups := testGraph(t)
 	s, err := New(g, groups, Config{Workers: 2})
 	if err != nil {

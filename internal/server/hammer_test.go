@@ -1,6 +1,8 @@
 package server
 
 import (
+	"github.com/cwru-db/fgs/internal/leakcheck"
+
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -15,6 +17,7 @@ import (
 // scheduling-dependent here — correctness, not determinism, is the claim;
 // determinism is asserted by the sequential and e2e tests.
 func TestHammerConcurrentMixedTraffic(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("hammer test skipped in -short")
 	}
@@ -82,6 +85,7 @@ func hammerRequest(c, i int) (path, body string) {
 // TestHammerWithDrain drains the server while traffic is in flight: already
 // admitted requests complete, new ones get 503, and nothing races.
 func TestHammerWithDrain(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("hammer test skipped in -short")
 	}

@@ -289,7 +289,7 @@ func writeRaw(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
-	_, _ = w.Write(body)
+	_, _ = w.Write(body) //lint:allow errdrop a failed response write means the client is gone; there is no recovery and the status is already committed
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

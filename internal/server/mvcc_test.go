@@ -1,6 +1,8 @@
 package server
 
 import (
+	"github.com/cwru-db/fgs/internal/leakcheck"
+
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -30,6 +32,7 @@ func newHookedServer(t *testing.T, s *Server) *httptest.Server {
 // byte-identical clones kept converged by delta replay, so the mode is
 // invisible in responses.
 func TestCrossModeDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	_, mvcc := newTestServer(t, Config{ReadMode: ReadModeMVCC})
 	_, locked := newTestServer(t, Config{ReadMode: ReadModeLocked})
 	a := runScript(t, mvcc)
@@ -48,6 +51,7 @@ func TestCrossModeDeterminism(t *testing.T) {
 // sequence would wedge: the RLock held across the slow compute blocks the
 // writer until the reader finishes.
 func TestSlowReadDoesNotBlockWrite(t *testing.T) {
+	leakcheck.Check(t)
 	g, groups := testGraph(t)
 	s, err := New(g, groups, Config{Workers: 4})
 	if err != nil {
@@ -96,6 +100,7 @@ func TestSlowReadDoesNotBlockWrite(t *testing.T) {
 // view (graph from one epoch, summary or epoch stamp from another) shows up
 // as two different bodies claiming the same epoch.
 func TestPinnedEpochConsistency(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("hammer test skipped in -short")
 	}
@@ -194,6 +199,7 @@ func textBytes(t *testing.T, g *graph.Graph) []byte {
 // replica came from a fresh clone or from catch-up replay several epochs
 // behind.
 func TestViewSetReplicaConvergence(t *testing.T) {
+	leakcheck.Check(t)
 	g, groups := testGraph(t)
 	maint, sum := core.NewMaintainer(g, groups, mustUtility(t, g, "coverage"), core.Config{R: 2, N: 8})
 	vs := newViewSet(g, sum, 2, obs.System())
@@ -239,6 +245,7 @@ func (vs *viewSet) pinGraph(t *testing.T) *graph.Graph {
 // checks the writer blocks in publish until the reader releases — bounded
 // memory under reader pressure, observable via writer_waits.
 func TestViewSetWriterWaitsAtCap(t *testing.T) {
+	leakcheck.Check(t)
 	g, groups := testGraph(t)
 	maint, sum := core.NewMaintainer(g, groups, mustUtility(t, g, "coverage"), core.Config{R: 2, N: 8})
 	vs := newViewSet(g, sum, 2, obs.System())

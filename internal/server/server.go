@@ -297,8 +297,7 @@ func (s *Server) acquireRead() readCtx {
 			release: func() { s.views.unpin(v) },
 		}
 	}
-	//lint:allow lockdiscipline handed off — the returned release func is the RUnlock, called by every compute path's defer
-	s.mu.RLock()
+	s.mu.RLock() // ok (pairdiscipline): the RUnlock is handed off as the readCtx's release func
 	return readCtx{
 		epoch:   s.epoch.Load(),
 		g:       s.g,

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"github.com/cwru-db/fgs/internal/leakcheck"
+
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -110,6 +112,7 @@ func wantStatus(t testing.TB, resp *http.Response, body []byte, want int) {
 }
 
 func TestHealthzAndDrain(t *testing.T) {
+	leakcheck.Check(t)
 	s, ts := newTestServer(t, Config{})
 	resp, body := get(t, ts, "/healthz")
 	wantStatus(t, resp, body, http.StatusOK)

@@ -206,10 +206,10 @@ func (vs *viewSet) catchUp(rep *replica, target uint64) {
 	for e := rep.epoch + 1; e <= target; e++ {
 		d := vs.log[e-vs.logBase-1]
 		for _, ins := range d.Insert {
-			_ = rep.g.AddEdge(ins.From, ins.To, ins.Label)
+			_ = rep.g.AddEdge(ins.From, ins.To, ins.Label) //lint:allow errdrop replay of the logged batch: each op succeeds or fails exactly as it did on the live graph
 		}
 		for _, del := range d.Delete {
-			_ = rep.g.RemoveEdge(del.From, del.To, del.Label)
+			_ = rep.g.RemoveEdge(del.From, del.To, del.Label) //lint:allow errdrop replay of the logged batch: each op succeeds or fails exactly as it did on the live graph
 		}
 	}
 	rep.epoch = target

@@ -2,10 +2,14 @@ package main
 
 // The load-driver mode: fgsbench -load <url> drives a seeded mix of
 // summarize / view / workload / stats / update traffic at a running fgsd and
-// reports per-endpoint latency percentiles, status splits, and cache hits.
-// The mix is deterministic per (seed, concurrency): each client goroutine
-// owns a rand seeded from the base seed and its index, so two runs against
-// the same server issue the same request multiset.
+// reports per-endpoint latency percentiles, status splits, cache hits, and
+// the server-side stage breakdown (parsed from Server-Timing response
+// headers). Each request carries a W3C traceparent generated from the same
+// seeded rand as the mix, so a request in the report can be matched to the
+// server's logs and flight recorder by trace ID. The mix is deterministic
+// per (seed, concurrency): each client goroutine owns a rand seeded from the
+// base seed and its index, so two runs against the same server issue the
+// same request multiset.
 
 import (
 	"bytes"
@@ -19,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/cwru-db/fgs/internal/obs"
 )
 
 type loadConfig struct {
@@ -35,6 +41,9 @@ type loadSample struct {
 	cacheHit bool
 	latency  time.Duration
 	err      error
+	// stages is the server-side per-stage breakdown from the Server-Timing
+	// response header (nil when the server has tracing disabled).
+	stages map[string]time.Duration
 	// readsInFlight is the number of read requests in flight when this
 	// request started — recorded for updates, to surface writer starvation:
 	// an update that is slow only while readers saturate the engine is the
@@ -141,6 +150,7 @@ func doRequest(client *http.Client, base string, rng *rand.Rand) loadSample {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set("traceparent", nextTraceparent(rng))
 	isWrite := endpoint == "update"
 	var overlapped int64
 	if isWrite {
@@ -163,7 +173,23 @@ func doRequest(client *http.Client, base string, rng *rand.Rand) loadSample {
 		cacheHit:      resp.Header.Get("X-Fgs-Cache") == "hit",
 		latency:       lat,
 		readsInFlight: overlapped,
+		stages:        obs.ParseServerTiming(resp.Header.Get("Server-Timing")),
 	}
+}
+
+// nextTraceparent mints a W3C traceparent from the client goroutine's seeded
+// rand, so the trace IDs a run sends — and therefore what lands in the
+// server's logs, exemplars, and flight recorder — are reproducible per
+// (seed, concurrency). Zero IDs are invalid per the spec; nudge them.
+func nextTraceparent(rng *rand.Rand) string {
+	hi, lo, span := rng.Uint64(), rng.Uint64(), rng.Uint64()
+	if hi|lo == 0 {
+		lo = 1
+	}
+	if span == 0 {
+		span = 1
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-01", hi, lo, span)
 }
 
 // report aggregates samples by endpoint and prints the load table.
@@ -213,7 +239,65 @@ func report(w io.Writer, samples []loadSample, elapsed time.Duration) {
 			permille(a.lats, 500), permille(a.lats, 950), permille(a.lats, 990),
 			permille(a.lats, 999), permille(a.lats, 1000))
 	}
+	reportStages(w, samples)
 	reportStarvation(w, samples)
+}
+
+// loadStageNames is the column order of the server-side breakdown — the
+// pipeline order of fgsd's request stages.
+var loadStageNames = []string{"cache", "admission", "pin", "compute", "encode"}
+
+// reportStages prints the server-side stage breakdown: the mean time each
+// endpoint spent per pipeline stage, as reported by the server itself via
+// Server-Timing. Client latency minus the stage sum is network + queueing
+// outside the traced stages. Silent when the server sent no stage timings
+// (tracing disabled).
+func reportStages(w io.Writer, samples []loadSample) {
+	type agg struct {
+		n      int
+		stages map[string]time.Duration
+	}
+	byEndpoint := map[string]*agg{}
+	var order []string
+	for _, s := range samples {
+		if len(s.stages) == 0 {
+			continue
+		}
+		a := byEndpoint[s.endpoint]
+		if a == nil {
+			a = &agg{stages: map[string]time.Duration{}}
+			byEndpoint[s.endpoint] = a
+			order = append(order, s.endpoint)
+		}
+		a.n++
+		for name, d := range s.stages {
+			a.stages[name] += d
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	sort.Strings(order)
+
+	fmt.Fprintf(w, "\nserver-side stage breakdown (mean per request, from Server-Timing):\n")
+	fmt.Fprintf(w, "%-12s %6s", "endpoint", "reqs")
+	for _, st := range loadStageNames {
+		fmt.Fprintf(w, " %10s", st)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 19+11*len(loadStageNames)))
+	for _, e := range order {
+		a := byEndpoint[e]
+		fmt.Fprintf(w, "%-12s %6d", e, a.n)
+		for _, st := range loadStageNames {
+			mean := time.Duration(0)
+			if a.n > 0 {
+				mean = a.stages[st] / time.Duration(a.n)
+			}
+			fmt.Fprintf(w, " %10v", mean.Round(10*time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // reportStarvation summarizes write latency as a function of concurrent

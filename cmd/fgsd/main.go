@@ -15,12 +15,20 @@
 //	POST /v1/update       {"insert":[{"from":1,"to":2,"label":"corev"}]}
 //	GET  /v1/stats        engine snapshot (epoch, sizes, cache/admission counters)
 //	GET  /healthz         liveness; 503 while draining
-//	GET  /metrics         Prometheus text exposition
+//	GET  /metrics         Prometheus text exposition (with trace-ID exemplars)
 //
-// Writes are serialized through the Inc-FGS maintainer and bump the graph
-// epoch; reads run concurrently and are served from the epoch-keyed result
-// cache when possible. SIGINT/SIGTERM triggers a graceful drain: stop
-// accepting, finish in-flight requests, then flush the final Chrome trace /
+//	GET  /debug/fgs/views           MVCC publication state: epochs, pins, replica pool
+//	GET  /debug/fgs/cache           result-cache occupancy by epoch-prefixed key
+//	GET  /debug/fgs/fairness        per-group coverage of the published summary
+//	GET  /debug/fgs/flightrecorder  recent-request ring, newest last
+//
+// Every request gets a trace ID — propagated from an incoming W3C
+// `traceparent` header or minted — echoed as X-Fgs-Trace, with the
+// per-stage breakdown in Server-Timing. Boot, publish, drain, and
+// slow-request events are structured logs (-log-format text|json) keyed by
+// trace ID. SIGQUIT dumps the flight recorder without stopping the server;
+// SIGINT/SIGTERM triggers a graceful drain: stop accepting, finish in-flight
+// requests, dump the flight recorder, then flush the final Chrome trace /
 // Prometheus dump if -fgs.trace / -fgs.metrics-out are set.
 package main
 
@@ -28,6 +36,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,6 +69,12 @@ func main() {
 		maxViews  = flag.Int("max-views", 0, "MVCC replica pool cap; bounds graph memory to max-views copies (0 = default 3, min 2)")
 		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		noTrace     = flag.Bool("no-trace", false, "disable request tracing (no trace IDs, stage histograms, or flight recorder)")
+		slowReq     = flag.Duration("slow-request", 10*time.Second, "log requests slower than this with their stage breakdown and dump the flight recorder (0 = off)")
+		flightEvts  = flag.Int("flight-events", 1024, "flight recorder ring size, rounded up to a power of two (negative = disabled)")
+		flightDumpF = flag.String("flight-dump", "", "file receiving flight-recorder dumps on 5xx/slow/SIGQUIT/drain (empty = stderr)")
+
 		demoSeed  = flag.Int64("demo-seed", 42, "demo graph generator seed")
 		demoScale = flag.Int("demo-scale", 1, "demo graph scale")
 
@@ -68,6 +84,27 @@ func main() {
 	)
 	flag.Parse()
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fatal(fmt.Errorf("bad -log-format %q: want text or json", *logFormat))
+	}
+	log := slog.New(handler)
+
+	var dumpW io.Writer = os.Stderr
+	if *flightDumpF != "" {
+		f, err := os.Create(*flightDumpF)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dumpW = f
+	}
+
 	var observer *fgs.Observer
 	if *traceOut != "" || *metricsOut != "" || *obsSummary {
 		observer = fgs.NewObserver(nil)
@@ -76,7 +113,7 @@ func main() {
 	var g *fgs.Graph
 	loadStart := time.Now()
 	if *graphPath == "" {
-		fmt.Fprintf(os.Stderr, "fgsd: no -graph given; serving the demo LKI graph (seed %d, scale %d)\n", *demoSeed, *demoScale)
+		log.Info("no -graph given; serving the demo LKI graph", "seed", *demoSeed, "scale", *demoScale)
 		g = datasets.LKI(*demoSeed, *demoScale)
 	} else {
 		f, err := os.Open(*graphPath)
@@ -92,8 +129,9 @@ func main() {
 	}
 	loadTime := time.Since(loadStart)
 	sizes := g.UniverseSizes()
-	fmt.Fprintf(os.Stderr, "fgsd: graph loaded in %v: %d nodes, %d edges, %d node labels, %d edge labels, %d attr keys\n",
-		loadTime, g.NumNodes(), g.NumEdges(), sizes[0], sizes[1], sizes[2])
+	log.Info("graph loaded",
+		"duration", loadTime, "nodes", g.NumNodes(), "edges", g.NumEdges(),
+		"node_labels", sizes[0], "edge_labels", sizes[1], "attr_keys", sizes[2])
 	if observer != nil {
 		reg := observer.Reg
 		reg.Add("fgsd_boot_graph_load_ms", "Graph load wall time at boot (ms)", nil, loadTime.Milliseconds())
@@ -111,32 +149,51 @@ func main() {
 	}
 
 	srv, err := fgs.NewServer(g, groups, fgs.ServerConfig{
-		R:            *r,
-		K:            *k,
-		N:            *n,
-		Utility:      *utility,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEnt,
-		Deadline:     *deadline,
-		EmbedCap:     *embedCap,
-		ReadMode:     *readMode,
-		MaxViews:     *maxViews,
-		Obs:          observer,
+		R:              *r,
+		K:              *k,
+		N:              *n,
+		Utility:        *utility,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEnt,
+		Deadline:       *deadline,
+		EmbedCap:       *embedCap,
+		ReadMode:       *readMode,
+		MaxViews:       *maxViews,
+		Obs:            observer,
+		DisableTracing: *noTrace,
+		FlightEvents:   *flightEvts,
+		SlowRequest:    *slowReq,
+		Log:            log,
+		FlightDump:     dumpW,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "fgsd: engine ready: %d nodes, %d edges, %d groups, initial summary built\n",
-		g.NumNodes(), g.NumEdges(), groups.Len())
+	log.Info("engine ready", "nodes", g.NumNodes(), "edges", g.NumEdges(), "groups", groups.Len())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGQUIT dumps the flight recorder without stopping the server — the
+	// "what just happened" lever when the process is misbehaving but alive.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			if err := srv.DumpFlightRecorder(dumpW, "sigquit"); err != nil {
+				log.Error("flight dump failed", "reason", "sigquit", "error", err)
+			}
+		}
+	}()
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "fgsd: serving on %s (workers %d, cache %d, deadline %v, read-mode %s)\n", *addr, *workers, *cacheEnt, *deadline, *readMode)
+	log.Info("serving",
+		"addr", *addr, "workers", *workers, "cache", *cacheEnt,
+		"deadline", *deadline, "read_mode", *readMode,
+		"tracing", !*noTrace, "slow_request", *slowReq, "log_format", *logFormat)
 
 	select {
 	case err := <-errc:
@@ -146,21 +203,27 @@ func main() {
 	stop() // restore default signal handling: a second signal kills hard
 
 	// Drain sequence (DESIGN.md §10): flip health to 503 so load balancers
-	// stop routing, refuse new compute, wait for in-flight requests, then
-	// flush the final observability exports.
-	fmt.Fprintln(os.Stderr, "fgsd: drain: refusing new work, finishing in-flight requests")
+	// stop routing, refuse new compute, wait for in-flight requests, dump the
+	// flight recorder (the last window of traffic is exactly what a postmortem
+	// wants), then flush the final observability exports.
+	log.Info("drain: refusing new work, finishing in-flight requests")
 	srv.StartDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "fgsd: shutdown: %v\n", err)
+		log.Error("shutdown", "error", err)
+	}
+	if !*noTrace && *flightEvts >= 0 {
+		if err := srv.DumpFlightRecorder(dumpW, "drain"); err != nil {
+			log.Error("flight dump failed", "reason", "drain", "error", err)
+		}
 	}
 	if observer != nil {
-		if err := exportObs(observer, *traceOut, *metricsOut, *obsSummary); err != nil {
+		if err := exportObs(log, observer, *traceOut, *metricsOut, *obsSummary); err != nil {
 			fatal(err)
 		}
 	}
-	fmt.Fprintln(os.Stderr, "fgsd: drained")
+	log.Info("drained")
 }
 
 // parseGroupSpec splits "label:attr:val1,val2:lower:upper".
@@ -179,7 +242,7 @@ func parseGroupSpec(spec string) (label, attr string, values []string, lower, up
 
 // exportObs writes whatever the observer collected: the Chrome trace, the
 // Prometheus text file, and/or a summary table on stderr.
-func exportObs(o *fgs.Observer, tracePath, metricsPath string, table bool) error {
+func exportObs(log *slog.Logger, o *fgs.Observer, tracePath, metricsPath string, table bool) error {
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
@@ -192,7 +255,7 @@ func exportObs(o *fgs.Observer, tracePath, metricsPath string, table bool) error
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "fgsd: trace written to %s\n", tracePath)
+		log.Info("trace written", "path", tracePath)
 	}
 	ms := append(o.Reg.Gather(), fgs.PhaseMetrics(o.Trace)...)
 	if metricsPath != "" {
@@ -207,7 +270,7 @@ func exportObs(o *fgs.Observer, tracePath, metricsPath string, table bool) error
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "fgsd: metrics written to %s\n", metricsPath)
+		log.Info("metrics written", "path", metricsPath)
 	}
 	if table {
 		fmt.Fprint(os.Stderr, fgs.FormatMetricTable(ms))

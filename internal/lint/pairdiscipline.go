@@ -104,6 +104,12 @@ var pairTable = []*pairSpec{
 		hint: "End the span on every path",
 	},
 	{
+		id: "reqspan Start/End", mode: pairResult,
+		acquireRecv: "ReqTrace", acquireNames: names("Start"),
+		releaseNames: names("End"), resultIdx: 0, errIdx: -1,
+		hint: "End the request stage span on every path",
+	},
+	{
 		id: "span Child/End", mode: pairResult,
 		acquireRecv: "Span", acquireNames: names("Child"),
 		releaseNames: names("End"), resultIdx: 0, errIdx: -1,

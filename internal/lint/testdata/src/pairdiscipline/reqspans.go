@@ -1,0 +1,43 @@
+// Fixture for pairdiscipline's request-stage span shape: ReqTrace.Start
+// returns a value-typed ReqSpan whose End must run on every path. The
+// middle-of-pipeline early returns in the server's serveCompute are exactly
+// the shape that leaks a stage span when End is forgotten.
+package pairdiscipline
+
+type ReqSpan struct {
+	rt    *ReqTrace
+	stage int
+}
+
+func (sp ReqSpan) End() {}
+
+type ReqTrace struct{ endpoint string }
+
+func (rt *ReqTrace) Start(stage int) ReqSpan { return ReqSpan{rt: rt, stage: stage} }
+
+func okReqSpanBothPaths(rt *ReqTrace, hit bool) bool {
+	sp := rt.Start(0)
+	if hit {
+		sp.End()
+		return true
+	}
+	sp.End()
+	return false
+}
+
+func okReqSpanChained(rt *ReqTrace) {
+	rt.Start(1).End() // ok: acquired and released in one expression
+}
+
+func discardedReqSpan(rt *ReqTrace) {
+	rt.Start(2) // want `rt\.Start\(\): result of reqspan Start/End is discarded`
+}
+
+func leakReqSpanOnErrorPath(rt *ReqTrace, fail bool) error {
+	sp := rt.Start(3) // want `rt\.Start\(\): reqspan Start/End acquired here is not released`
+	if fail {
+		return errSaturated
+	}
+	sp.End()
+	return nil
+}

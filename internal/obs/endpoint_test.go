@@ -71,6 +71,16 @@ func TestEndpointStatsConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				s.Observe(endpoints[(w+i)%len(endpoints)], time.Millisecond, i%7 == 0)
+				if i%32 == 0 {
+					// Export racing registration and observation: the snapshot
+					// must stay internally consistent under -race.
+					for _, m := range s.ObsMetrics() {
+						if m.Kind == KindHistogram && m.Hist.Buckets[HistNumBuckets] != m.Hist.Count {
+							t.Errorf("histogram +Inf bucket %d != count %d", m.Hist.Buckets[HistNumBuckets], m.Hist.Count)
+							return
+						}
+					}
+				}
 			}
 		}(w)
 	}

@@ -1,0 +1,198 @@
+package obs
+
+// The flight recorder (DESIGN.md §13): an always-on, fixed-size,
+// never-blocking ring of recent request events. It answers "what was the
+// server doing just before this 5xx / slow request / SIGQUIT?" without
+// logging every request: the ring holds the last N completed requests with
+// their stage timings, the write path is a claim-index-and-copy with zero
+// allocations, and a dump is a best-effort snapshot that skips slots caught
+// mid-write.
+//
+// Concurrency: writers claim a slot by atomically incrementing the global
+// sequence, then copy the event under the slot's TryLock — one uncontended
+// CAS, never a wait. A writer that fails the TryLock has been lapped by a
+// slower writer still copying the same slot — with a ring far larger than
+// the worker count this cannot happen in practice — and drops the event
+// (counted) rather than blocking or tearing. Readers (Snapshot) likewise
+// TryLock each slot and skip ones mid-write. No operation ever blocks a
+// request. (A classic seqlock would avoid even the reader's CAS, but its
+// unsynchronized data copy is a data race under the Go memory model; the
+// per-slot try-lock buys the same non-blocking behavior race-free.)
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEvent is one completed request: fixed-size, so recording is a
+// struct copy. Endpoint is one of the server's static route names — copying
+// the string header allocates nothing.
+type FlightEvent struct {
+	// Seq is the global claim sequence (1-based); newer events have larger
+	// sequence numbers.
+	Seq uint64
+	// Trace is the request's trace ID.
+	Trace TraceID
+	// Unix is the request start time, nanoseconds since the epoch.
+	Unix int64
+	// Endpoint is the route name ("summarize", "update", ...).
+	Endpoint string
+	// Status is the HTTP status the request completed with.
+	Status int32
+	// Epoch is the graph epoch the response was computed at (0 for
+	// endpoints that do not touch the engine).
+	Epoch uint64
+	// CacheHit marks responses served from the result cache.
+	CacheHit bool
+	// Stages holds per-stage durations in nanoseconds (0 = stage not run).
+	Stages [NumStages]int64
+	// Total is the full request duration in nanoseconds.
+	Total int64
+}
+
+// FlightRecorder is the fixed-size never-blocking ring. A nil recorder is
+// the disabled recorder: Record and Snapshot are no-ops.
+type FlightRecorder struct {
+	mask  uint64
+	next  atomic.Uint64
+	drops atomic.Uint64
+	slots []flightSlot
+}
+
+type flightSlot struct {
+	// mu guards ev. It is only ever TryLocked — contention means skip (reader)
+	// or drop (writer), never wait.
+	mu sync.Mutex
+	ev FlightEvent
+}
+
+// NewFlightRecorder returns a ring holding the most recent `size` events
+// (rounded up to a power of two, minimum 16). size <= 0 returns nil — the
+// disabled recorder.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		return nil
+	}
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{mask: uint64(n - 1), slots: make([]flightSlot, n)}
+}
+
+// Cap returns the ring capacity (0 for the disabled recorder).
+func (fr *FlightRecorder) Cap() int {
+	if fr == nil {
+		return 0
+	}
+	return len(fr.slots)
+}
+
+// Recorded returns the total number of events ever recorded.
+func (fr *FlightRecorder) Recorded() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.next.Load()
+}
+
+// Dropped returns events dropped because a lapped writer still held the
+// slot (practically zero outside adversarial tests).
+func (fr *FlightRecorder) Dropped() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.drops.Load()
+}
+
+// Record stores one event. Non-blocking, allocation-free, nil-safe; safe
+// for any number of concurrent writers.
+func (fr *FlightRecorder) Record(ev FlightEvent) {
+	if fr == nil {
+		return
+	}
+	seq := fr.next.Add(1)
+	s := &fr.slots[(seq-1)&fr.mask]
+	if !s.mu.TryLock() {
+		// A writer lapped the whole ring while another was mid-copy on this
+		// slot (or a snapshot is copying it). Dropping keeps the path
+		// non-blocking and tear-free.
+		fr.drops.Add(1)
+		return
+	}
+	ev.Seq = seq
+	s.ev = ev
+	s.mu.Unlock()
+}
+
+// Snapshot copies the ring's current contents, oldest first. Slots caught
+// mid-write are skipped; the result is a consistent set of fully published
+// events (at most Cap of them).
+func (fr *FlightRecorder) Snapshot() []FlightEvent {
+	if fr == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(fr.slots))
+	for i := range fr.slots {
+		s := &fr.slots[i]
+		if !s.mu.TryLock() {
+			continue // mid-write; the writer will publish a newer event anyway
+		}
+		ev := s.ev
+		s.mu.Unlock()
+		if ev.Seq == 0 {
+			continue // never written
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// ObsMetrics exports the recorder's counters (obs.Source).
+func (fr *FlightRecorder) ObsMetrics() []Metric {
+	if fr == nil {
+		return nil
+	}
+	return []Metric{
+		{Name: "fgs_flight_recorded_total", Help: "Requests recorded into the flight recorder", Kind: KindCounter, Value: float64(fr.Recorded())},
+		{Name: "fgs_flight_dropped_total", Help: "Flight recorder events dropped (writer lapped mid-copy)", Kind: KindCounter, Value: float64(fr.Dropped())},
+	}
+}
+
+// WriteFlightText renders events as a fixed-width table, one line per
+// event, oldest first — the dump format for 5xx/slow/SIGQUIT/drain dumps.
+func WriteFlightText(w io.Writer, evs []FlightEvent) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-26s %-32s %-14s %4s %6s %5s %10s  %s\n",
+		"seq", "start", "trace", "endpoint", "st", "epoch", "cache", "total", "stages"); err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		cache := "-"
+		if ev.CacheHit {
+			cache = "hit"
+		}
+		stages := ""
+		for st := Stage(0); st < NumStages; st++ {
+			if ev.Stages[st] == 0 {
+				continue
+			}
+			if stages != "" {
+				stages += " "
+			}
+			stages += fmt.Sprintf("%s=%v", st, time.Duration(ev.Stages[st]).Round(time.Microsecond))
+		}
+		if _, err := fmt.Fprintf(w, "%-8d %-26s %-32s %-14s %4d %6d %5s %10v  %s\n",
+			ev.Seq,
+			time.Unix(0, ev.Unix).UTC().Format("2006-01-02T15:04:05.000000Z"),
+			ev.Trace.String(), ev.Endpoint, ev.Status, ev.Epoch, cache,
+			time.Duration(ev.Total).Round(time.Microsecond), stages); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		if fr := NewFlightRecorder(size); fr != nil {
+			t.Fatalf("NewFlightRecorder(%d) != nil", size)
+		}
+	}
+	var fr *FlightRecorder
+	fr.Record(FlightEvent{Status: 200}) // must not panic
+	if fr.Snapshot() != nil || fr.Cap() != 0 || fr.Recorded() != 0 || fr.Dropped() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+	if fr.ObsMetrics() != nil {
+		t.Fatal("nil recorder exported metrics")
+	}
+}
+
+func TestFlightRecorderRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 16}, {16, 16}, {17, 32}, {100, 128}, {1024, 1024},
+	} {
+		if got := NewFlightRecorder(tc.in).Cap(); got != tc.want {
+			t.Errorf("Cap(NewFlightRecorder(%d)) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFlightRecorderWrapKeepsNewest(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	for i := 1; i <= 40; i++ {
+		fr.Record(FlightEvent{Status: int32(i)})
+	}
+	evs := fr.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("Snapshot len = %d, want 16", len(evs))
+	}
+	// Oldest first, and only the newest 16 (25..40) survive the wrap.
+	for i, ev := range evs {
+		wantSeq := uint64(25 + i)
+		if ev.Seq != wantSeq || ev.Status != int32(wantSeq) {
+			t.Fatalf("evs[%d] = seq %d status %d, want seq %d", i, ev.Seq, ev.Status, wantSeq)
+		}
+	}
+	if fr.Recorded() != 40 || fr.Dropped() != 0 {
+		t.Fatalf("recorded %d dropped %d", fr.Recorded(), fr.Dropped())
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	// Concurrent snapshots while writers hammer the ring: the race detector
+	// plus the torn-read checks exercise the seqlock.
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, ev := range fr.Snapshot() {
+					if ev.Seq == 0 {
+						t.Error("snapshot returned an unpublished event")
+						return
+					}
+				}
+			}
+		}
+	}()
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fr.Record(FlightEvent{Endpoint: "summarize", Status: 200, Total: int64(w*per + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got := fr.Recorded(); got != workers*per {
+		t.Fatalf("Recorded = %d, want %d", got, workers*per)
+	}
+	evs := fr.Snapshot()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot not ordered by seq: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+// TestFlightRecordZeroAlloc pins the hot-path contract: recording an event
+// into the ring allocates nothing (the event is a fixed-size struct copy and
+// endpoint names are static route strings).
+func TestFlightRecordZeroAlloc(t *testing.T) {
+	fr := NewFlightRecorder(1024)
+	ev := FlightEvent{
+		Trace:    TraceID{1, 2, 3},
+		Unix:     12345,
+		Endpoint: "summarize",
+		Status:   200,
+		Epoch:    3,
+		CacheHit: true,
+		Total:    int64(5 * time.Millisecond),
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { fr.Record(ev) }); allocs != 0 {
+		t.Fatalf("Record allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	fr := NewFlightRecorder(1024)
+	ev := FlightEvent{Endpoint: "summarize", Status: 200, Total: int64(time.Millisecond)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr.Record(ev)
+	}
+}
+
+func TestWriteFlightText(t *testing.T) {
+	var b strings.Builder
+	evs := []FlightEvent{{
+		Seq:      3,
+		Trace:    TraceID{0xab},
+		Unix:     time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC).UnixNano(),
+		Endpoint: "summarize",
+		Status:   200,
+		Epoch:    2,
+		CacheHit: true,
+		Total:    int64(3 * time.Millisecond),
+	}}
+	evs[0].Stages[StageCompute] = int64(2 * time.Millisecond)
+	if err := WriteFlightText(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"seq", "2026-08-08T12:00:00.000000Z", evs[0].Trace.String(),
+		"summarize", "200", "hit", "compute=2ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -48,6 +48,12 @@ type Histogram struct {
 func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
+	h.buckets[HistBucketOf(v)].Add(1)
+}
+
+// HistBucketOf returns the bucket index an observation lands in: the
+// smallest i with v <= 2^i, saturating at the overflow bucket.
+func HistBucketOf(v int64) int {
 	idx := 0
 	if v > 1 {
 		idx = bits.Len64(uint64(v - 1)) // smallest i with v <= 2^i
@@ -55,7 +61,7 @@ func (h *Histogram) Observe(v int64) {
 	if idx > HistNumBuckets {
 		idx = HistNumBuckets
 	}
-	h.buckets[idx].Add(1)
+	return idx
 }
 
 // Snapshot returns the histogram's current cumulative state.
@@ -99,6 +105,14 @@ type Label struct {
 	Val string
 }
 
+// Exemplar is one concrete observation attached to a histogram bucket —
+// typically a trace ID plus the observed value, so an outlier bucket in the
+// export links back to one inspectable request (OpenMetrics exemplars).
+type Exemplar struct {
+	Labels []Label
+	Value  float64
+}
+
 // Metric is one exported series: a snapshot, not a live instrument.
 type Metric struct {
 	Name   string
@@ -109,6 +123,9 @@ type Metric struct {
 	Value float64
 	// Hist carries histogram readings (Kind == KindHistogram).
 	Hist *HistValue
+	// Exemplars, when non-nil, carries one optional exemplar per histogram
+	// bucket (parallel to Hist.Buckets; nil entries = no exemplar).
+	Exemplars []*Exemplar
 }
 
 // seriesKey renders the identity of a metric series (name plus sorted
@@ -221,6 +238,9 @@ func MergeMetrics(raw []Metric) []Metric {
 				h.Buckets = append([]int64(nil), m.Hist.Buckets...)
 				cp.Hist = &h
 			}
+			if m.Exemplars != nil {
+				cp.Exemplars = append([]*Exemplar(nil), m.Exemplars...)
+			}
 			out = append(out, cp)
 			continue
 		}
@@ -237,6 +257,19 @@ func MergeMetrics(raw []Metric) []Metric {
 					if b < len(m.Hist.Buckets) {
 						out[i].Hist.Buckets[b] += m.Hist.Buckets[b]
 					}
+				}
+			}
+			// Exemplars: the later source wins per bucket (it is the more
+			// recent observation).
+			for b, ex := range m.Exemplars {
+				if ex == nil {
+					continue
+				}
+				if out[i].Exemplars == nil {
+					out[i].Exemplars = make([]*Exemplar, len(m.Exemplars))
+				}
+				if b < len(out[i].Exemplars) {
+					out[i].Exemplars[b] = ex
 				}
 			}
 		}

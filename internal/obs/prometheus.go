@@ -7,6 +7,15 @@ import (
 	"strings"
 )
 
+// labelEscaper escapes a label value per the exposition format: backslash,
+// double quote, and line feed — and nothing else (Go's %q would escape
+// tabs and non-ASCII into sequences a Prometheus parser reads literally).
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper escapes HELP text: backslash and line feed only (quotes are
+// legal in help text).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 // promLabels renders a label set as {k="v",...}, or "" when empty.
 func promLabels(labels []Label, extra ...Label) string {
 	all := append(append([]Label(nil), labels...), extra...)
@@ -15,7 +24,7 @@ func promLabels(labels []Label, extra ...Label) string {
 	}
 	parts := make([]string, 0, len(all))
 	for _, l := range all {
-		parts = append(parts, fmt.Sprintf("%s=%q", l.Key, l.Val))
+		parts = append(parts, l.Key+`="`+labelEscaper.Replace(l.Val)+`"`)
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
@@ -29,7 +38,7 @@ func WritePrometheus(w io.Writer, metrics []Metric) error {
 		if !seenHeader[m.Name] {
 			seenHeader[m.Name] = true
 			if m.Help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, helpEscaper.Replace(m.Help)); err != nil {
 					return err
 				}
 			}
@@ -55,7 +64,14 @@ func WritePrometheus(w io.Writer, metrics []Metric) error {
 				if i < HistNumBuckets {
 					le = fmt.Sprintf("%d", HistBound(i))
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, Label{Key: "le", Val: le}), c); err != nil {
+				// OpenMetrics exemplar: "value # {labels} exemplar-value".
+				// Plain 0.0.4 scrapes of our own exporters tolerate it; the
+				// trace ID it carries is the whole point of the series.
+				exemplar := ""
+				if i < len(m.Exemplars) && m.Exemplars[i] != nil {
+					exemplar = fmt.Sprintf(" # %s %g", promLabels(m.Exemplars[i].Labels), m.Exemplars[i].Value)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", m.Name, promLabels(m.Labels, Label{Key: "le", Val: le}), c, exemplar); err != nil {
 					return err
 				}
 			}

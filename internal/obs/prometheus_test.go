@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusLabelEscaping pins the exposition-format escaping contract
+// for label values: backslash, double quote, and line feed are escaped —
+// and nothing else. (Go's %q would also escape tabs and non-ASCII into
+// sequences a Prometheus parser reads literally.)
+func TestPrometheusLabelEscaping(t *testing.T) {
+	cases := []struct {
+		val  string
+		want string
+	}{
+		{`plain`, `m{k="plain"} 1`},
+		{`back\slash`, `m{k="back\\slash"} 1`},
+		{`qu"ote`, `m{k="qu\"ote"} 1`},
+		{"new\nline", `m{k="new\nline"} 1`},
+		{"tab\tand é stay literal", "m{k=\"tab\tand é stay literal\"} 1"},
+	}
+	for _, tc := range cases {
+		var b strings.Builder
+		err := WritePrometheus(&b, []Metric{{
+			Name: "m", Kind: KindCounter,
+			Labels: []Label{{Key: "k", Val: tc.val}},
+			Value:  1,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("label %q: export %q missing %q", tc.val, out, tc.want)
+		}
+	}
+}
+
+func TestPrometheusHelpEscaping(t *testing.T) {
+	var b strings.Builder
+	err := WritePrometheus(&b, []Metric{{
+		Name: "m", Help: "line\nbreak and back\\slash, \"quotes\" stay", Kind: KindCounter, Value: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP m line\nbreak and back\\slash, "quotes" stay`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Fatalf("export %q missing help line %q", b.String(), want)
+	}
+}
+
+// TestPrometheusExpositionConformance walks every line of a mixed export and
+// checks the structural grammar: HELP/TYPE comments, exactly one space
+// before the value, histograms expanding to _bucket/_sum/_count with an
+// le label, and no unescaped newlines smuggled into the body.
+func TestPrometheusExpositionConformance(t *testing.T) {
+	hist := HistValue{Count: 2, Sum: 3, Buckets: make([]int64, HistNumBuckets+1)}
+	for i := range hist.Buckets {
+		hist.Buckets[i] = 2
+	}
+	var b strings.Builder
+	err := WritePrometheus(&b, []Metric{
+		{Name: "fgs_a_total", Help: "a", Kind: KindCounter, Value: 1},
+		{Name: "fgs_b", Help: "b", Kind: KindGauge, Labels: []Label{{Key: "group", Val: "fe\nmale"}}, Value: 2.5},
+		{Name: "fgs_c_us", Help: "c", Kind: KindHistogram, Labels: []Label{{Key: "stage", Val: "pin"}}, Hist: &hist},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("export must end with a newline")
+	}
+	sawBucket, sawSum, sawCount := false, false, false
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in export")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		i := strings.LastIndex(line, " ")
+		if i < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name := line[:i]
+		switch {
+		case strings.HasPrefix(name, "fgs_c_us_bucket"):
+			sawBucket = true
+			if !strings.Contains(name, `le="`) {
+				t.Fatalf("bucket line without le label: %q", line)
+			}
+		case strings.HasPrefix(name, "fgs_c_us_sum"):
+			sawSum = true
+		case strings.HasPrefix(name, "fgs_c_us_count"):
+			sawCount = true
+		}
+	}
+	if !sawBucket || !sawSum || !sawCount {
+		t.Fatalf("histogram expansion incomplete (bucket %v sum %v count %v):\n%s", sawBucket, sawSum, sawCount, out)
+	}
+	if got := strings.Count(out, "fgs_c_us_bucket"); got != HistNumBuckets+1 {
+		t.Fatalf("bucket lines = %d, want %d", got, HistNumBuckets+1)
+	}
+}
+
+// TestPrometheusExemplars pins the OpenMetrics exemplar suffix on histogram
+// bucket lines: `value # {trace_id="..."} exemplar-value`.
+func TestPrometheusExemplars(t *testing.T) {
+	hist := HistValue{Count: 1, Sum: 100, Buckets: make([]int64, HistNumBuckets+1)}
+	b := HistBucketOf(100)
+	for i := b; i < len(hist.Buckets); i++ {
+		hist.Buckets[i] = 1
+	}
+	ex := make([]*Exemplar, HistNumBuckets+1)
+	ex[b] = &Exemplar{Labels: []Label{{Key: "trace_id", Val: "deadbeef"}}, Value: 100}
+
+	var sb strings.Builder
+	err := WritePrometheus(&sb, []Metric{{
+		Name: "fgs_req_stage_us", Kind: KindHistogram,
+		Labels: []Label{{Key: "stage", Val: "compute"}},
+		Hist:   &hist, Exemplars: ex,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `fgs_req_stage_us_bucket{stage="compute",le="128"} 1 # {trace_id="deadbeef"} 100`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("export missing exemplar line %q:\n%s", want, out)
+	}
+	if got := strings.Count(out, "# {"); got != 1 {
+		t.Fatalf("exemplar suffix count = %d, want 1 (only the hit bucket)", got)
+	}
+}

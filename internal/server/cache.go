@@ -102,6 +102,36 @@ func (c *resultCache) stats() CacheStats {
 	}
 }
 
+// debug lists up to max entries in LRU order (most recently used first) for
+// /debug/fgs/cache. Keys are "epoch|sha256", so the listing shows at a glance
+// which epochs still occupy the cache and how many bytes each entry pins.
+// Nil-safe: the disabled cache reports zero capacity and no entries.
+func (c *resultCache) debug(max int) CacheDebug {
+	if c == nil {
+		return CacheDebug{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := CacheDebug{
+		Stats: CacheStats{
+			Hits:      c.hits.Load(),
+			Misses:    c.misses.Load(),
+			Evictions: c.evictions.Load(),
+			Entries:   c.lru.Len(),
+			Capacity:  c.capacity,
+		},
+	}
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if len(d.Entries) >= max {
+			d.Truncated = true
+			break
+		}
+		e := el.Value.(*cacheEntry)
+		d.Entries = append(d.Entries, CacheEntryDebug{Key: e.key, Bytes: len(e.body)})
+	}
+	return d
+}
+
 // ObsMetrics exports the cache counters (obs.Source).
 func (c *resultCache) ObsMetrics() []obs.Metric {
 	st := c.stats()

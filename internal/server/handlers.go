@@ -16,7 +16,9 @@ import (
 const retryAfterSeconds = "1"
 
 // routes mounts the HTTP surface. Method-qualified patterns (Go 1.22
-// ServeMux) give non-matching methods 405 for free.
+// ServeMux) give non-matching methods 405 for free. The /debug/fgs tree is
+// the live introspection surface (DESIGN.md §13): read-only views of the
+// MVCC/cache/fairness/flight-recorder state for operators.
 func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/summarize", s.instrument("summarize", s.handleSummarize(false)))
@@ -27,49 +29,27 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/fgs/views", s.instrument("debug-views", s.handleDebugViews))
+	mux.HandleFunc("GET /debug/fgs/cache", s.instrument("debug-cache", s.handleDebugCache))
+	mux.HandleFunc("GET /debug/fgs/fairness", s.instrument("debug-fairness", s.handleDebugFairness))
+	mux.HandleFunc("GET /debug/fgs/flightrecorder", s.instrument("debug-flightrecorder", s.handleDebugFlight))
 	s.mux = mux
 }
 
-// statusWriter records the status code for the latency/error series.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// instrument wraps a handler with the observability shell: a request span
-// (only when the observer carries a trace — an always-on trace would grow
-// without bound over a server's lifetime), the per-endpoint latency
-// histogram, and a recover barrier that turns an escaped panic into a 500
-// so one poisoned request cannot take the process down.
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		sp := s.tr.Start("http." + endpoint)
-		start := s.clock.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		defer func() {
-			if rec := recover(); rec != nil {
-				sw.status = http.StatusInternalServerError
-				writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
-			}
-			s.http.Observe(endpoint, s.clock.Now().Sub(start), sw.status >= 500)
-			sp.SetArg("status", int64(sw.status))
-			sp.End()
-		}()
-		h(sw, r)
-	}
+// setEpochHeader exposes the epoch a response was computed at as a header,
+// so cache/epoch behavior is debuggable from access logs alone (the epoch
+// is also in the body, but bodies do not reach logs).
+func setEpochHeader(w http.ResponseWriter, epoch uint64) {
+	w.Header().Set("X-Fgs-Epoch", strconv.FormatUint(epoch, 10))
 }
 
 // serveCompute is the shared request pipeline for the compute endpoints:
 // drain check → cache probe → admission (with deadline) → compute → cache
-// fill → respond. cacheReq, when non-nil, is the normalized request whose
-// canonical encoding keys the cache; pass nil for uncacheable endpoints
-// (writes).
-func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, endpoint string, cacheReq any, fn func() (resp any, epoch uint64, err error)) {
+// fill → respond, each stage timed against the request trace. cacheReq,
+// when non-nil, is the normalized request whose canonical encoding keys the
+// cache; pass nil for uncacheable endpoints (writes).
+func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, endpoint string, cacheReq any, fn func(rt *obs.ReqTrace) (resp any, epoch uint64, err error)) {
+	rt := obs.ReqTraceFrom(r.Context())
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
@@ -77,14 +57,22 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, endpoint s
 	}
 	var key string
 	if cacheReq != nil && s.cache != nil {
+		csp := rt.Start(obs.StageCache)
 		k, err := canonicalKey(endpoint, cacheReq)
 		if err != nil {
+			csp.End()
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 		key = k
-		if body, ok := s.cache.get(epochKey(key, s.epoch.Load())); ok {
+		probeEpoch := s.epoch.Load()
+		body, ok := s.cache.get(epochKey(key, probeEpoch))
+		csp.End()
+		if ok {
+			rt.SetCacheHit(true)
+			rt.SetEpoch(probeEpoch)
 			w.Header().Set("X-Fgs-Cache", "hit")
+			setEpochHeader(w, probeEpoch)
 			writeRaw(w, http.StatusOK, body)
 			return
 		}
@@ -96,7 +84,9 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, endpoint s
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
 		defer cancel()
 	}
+	asp := rt.Start(obs.StageAdmission)
 	release, err := s.adm.acquire(ctx)
+	asp.End()
 	switch {
 	case errors.Is(err, errSaturated):
 		w.Header().Set("Retry-After", retryAfterSeconds)
@@ -114,7 +104,9 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, endpoint s
 		s.testHook(endpoint)
 	}
 
-	resp, epoch, err := fn()
+	csp := rt.Start(obs.StageCompute)
+	resp, epoch, err := fn(rt)
+	csp.End()
 	if err != nil {
 		var reqErr *requestError
 		if errors.As(err, &reqErr) {
@@ -124,7 +116,10 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, endpoint s
 		}
 		return
 	}
+	rt.SetEpoch(epoch)
+	esp := rt.Start(obs.StageEncode)
 	body, err := marshalBody(resp)
+	esp.End()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -135,6 +130,7 @@ func (s *Server) serveCompute(w http.ResponseWriter, r *http.Request, endpoint s
 		// epoch — unreachable, never wrong.
 		s.cache.put(epochKey(key, epoch), body)
 	}
+	setEpochHeader(w, epoch)
 	writeRaw(w, http.StatusOK, body)
 }
 
@@ -152,8 +148,8 @@ func (s *Server) handleSummarize(k bool) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		s.serveCompute(w, r, endpoint, req, func() (any, uint64, error) {
-			return s.computeSummarize(req, k)
+		s.serveCompute(w, r, endpoint, req, func(rt *obs.ReqTrace) (any, uint64, error) {
+			return s.computeSummarize(rt, req, k)
 		})
 	}
 }
@@ -198,8 +194,8 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	if req.EmbedCap == 0 {
 		req.EmbedCap = s.cfg.EmbedCap
 	}
-	s.serveCompute(w, r, "view", req, func() (any, uint64, error) {
-		return s.computeView(req)
+	s.serveCompute(w, r, "view", req, func(rt *obs.ReqTrace) (any, uint64, error) {
+		return s.computeView(rt, req)
 	})
 }
 
@@ -211,8 +207,8 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	if req.EmbedCap == 0 {
 		req.EmbedCap = s.cfg.EmbedCap
 	}
-	s.serveCompute(w, r, "workload", req, func() (any, uint64, error) {
-		return s.computeWorkload(req)
+	s.serveCompute(w, r, "workload", req, func(rt *obs.ReqTrace) (any, uint64, error) {
+		return s.computeWorkload(rt, req)
 	})
 }
 
@@ -225,9 +221,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("update needs at least one insert or delete"))
 		return
 	}
-	s.serveCompute(w, r, "update", nil, func() (any, uint64, error) {
-		resp, err := s.computeUpdate(req)
-		return resp, 0, err
+	s.serveCompute(w, r, "update", nil, func(rt *obs.ReqTrace) (any, uint64, error) {
+		resp, err := s.computeUpdate(rt, req)
+		if err != nil {
+			return nil, 0, err
+		}
+		return resp, resp.Epoch, nil
 	})
 }
 
@@ -235,11 +234,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // reads counters and sizes, and must stay responsive when the slots are
 // saturated (that is when operators look at it).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp, _, err := s.computeStats()
+	rt := obs.ReqTraceFrom(r.Context())
+	resp, epoch, err := s.computeStats(rt)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	rt.SetEpoch(epoch)
+	setEpochHeader(w, epoch)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -34,6 +34,8 @@ package server
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -93,6 +95,27 @@ type Config struct {
 	// latency histograms, and cache/admission counters. Nil installs a
 	// private registry so /metrics works regardless.
 	Obs *obs.Observer
+	// DisableTracing turns off request-scoped tracing: no trace IDs, no
+	// X-Fgs-Trace/Server-Timing headers, no stage histograms, no flight
+	// recorder. Exists for the tracing-inertness determinism test and as an
+	// operator escape hatch; responses are byte-identical either way.
+	DisableTracing bool
+	// FlightEvents sizes the flight recorder ring (rounded up to a power of
+	// two). 0 picks the default (1024); negative disables the recorder
+	// while keeping per-request tracing.
+	FlightEvents int
+	// SlowRequest is the latency threshold above which a completed request
+	// is logged (with its trace ID and stage breakdown) and triggers a
+	// flight-recorder dump. 0 disables the slow-request path.
+	SlowRequest time.Duration
+	// Log receives the engine's structured events: epoch publishes,
+	// slow-request reports, flight-recorder dumps. Nil discards them.
+	Log *slog.Logger
+	// FlightDump receives automatic flight-recorder dumps on 5xx and
+	// slow requests (rate-limited to one per cooldown window). Nil disables
+	// automatic dumps; explicit DumpFlightRecorder calls and the
+	// /debug/fgs/flightrecorder endpoint work regardless.
+	FlightDump io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +145,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadMode == "" {
 		c.ReadMode = ReadModeMVCC
+	}
+	if c.FlightEvents == 0 {
+		c.FlightEvents = 1024
+	}
+	if c.FlightEvents < 0 {
+		c.FlightEvents = 0
 	}
 	if c.MaxViews <= 0 {
 		c.MaxViews = 3
@@ -178,6 +207,18 @@ type Server struct {
 	draining atomic.Bool
 	mux      *http.ServeMux
 
+	// Request tracing (DESIGN.md §13). All nil when Config.DisableTracing:
+	// the middleware degrades to the pre-tracing shell.
+	tgen   *obs.TraceIDGen
+	stages *obs.StageStats
+	flight *obs.FlightRecorder // may also be nil with tracing on (FlightEvents < 0)
+	log    *slog.Logger        // never nil; discards when Config.Log is nil
+
+	// Automatic flight-dump state (5xx / slow requests), rate-limited so a
+	// 5xx storm does not turn the dump writer into the bottleneck.
+	dumpMu   sync.Mutex
+	lastDump time.Time
+
 	// testHook, when set, runs at the start of every admitted compute with
 	// the endpoint name — tests use it to hold requests in flight.
 	testHook func(endpoint string)
@@ -209,6 +250,19 @@ func New(g *graph.Graph, groups *submod.Groups, cfg Config) (*Server, error) {
 		tr:     cfg.Obs.GetTrace(),
 		reg:    reg,
 		http:   obs.NewEndpointStats(),
+		log:    cfg.Log,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if !cfg.DisableTracing {
+		s.tgen = obs.NewTraceIDGen(s.clock.Now().UnixNano())
+		s.stages = obs.NewStageStats()
+		s.flight = obs.NewFlightRecorder(cfg.FlightEvents)
+		reg.Register(s.stages)
+		if s.flight != nil {
+			reg.Register(s.flight)
+		}
 	}
 	reg.Register(s.http)
 	if s.cache != nil {
@@ -231,11 +285,27 @@ func New(g *graph.Graph, groups *submod.Groups, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ObsMetrics exports the server-level gauges (obs.Source).
+// ObsMetrics exports the server-level gauges (obs.Source): the epoch and
+// the live fairness state — per-group coverage of the currently published
+// summary, so fairness drift under an update stream is visible on /metrics
+// without touching the introspection endpoints.
 func (s *Server) ObsMetrics() []obs.Metric {
-	return []obs.Metric{
+	rc := s.acquireRead(nil)
+	counts := s.groups.Counts(rc.summary.Covered)
+	rc.release()
+	out := []obs.Metric{
 		{Name: "fgs_server_epoch", Help: "Current graph epoch", Kind: obs.KindGauge, Value: float64(s.epoch.Load())},
 	}
+	for i := 0; i < s.groups.Len(); i++ {
+		grp := s.groups.At(i)
+		labels := []obs.Label{{Key: "group", Val: grp.Name}}
+		out = append(out,
+			obs.Metric{Name: "fgs_fairness_covered", Help: "Group nodes covered by the published summary, by group", Kind: obs.KindGauge, Labels: labels, Value: float64(counts[i])},
+			obs.Metric{Name: "fgs_fairness_lower_bound", Help: "Group coverage lower bound, by group", Kind: obs.KindGauge, Labels: labels, Value: float64(grp.Lower)},
+			obs.Metric{Name: "fgs_fairness_upper_bound", Help: "Group coverage upper bound, by group", Kind: obs.KindGauge, Labels: labels, Value: float64(grp.Upper)},
+		)
+	}
+	return out
 }
 
 // coreConfig assembles a core.Config for one run from request parameters
@@ -287,9 +357,13 @@ type readCtx struct {
 // acquireRead opens a read context on the current engine state. In mvcc
 // mode this pins the current view — an O(1) refcount bump, no engine lock;
 // in locked mode it takes the RWMutex read lock for the context's lifetime.
-func (s *Server) acquireRead() readCtx {
+// The pin stage span measures how long acquisition took: in mvcc mode it is
+// nanoseconds, in locked mode it surfaces writer contention.
+func (s *Server) acquireRead(rt *obs.ReqTrace) readCtx {
+	sp := rt.Start(obs.StagePin)
 	if s.views != nil {
 		v := s.views.pin()
+		sp.End()
 		return readCtx{
 			epoch:   v.epoch,
 			g:       v.g,
@@ -298,6 +372,7 @@ func (s *Server) acquireRead() readCtx {
 		}
 	}
 	s.mu.RLock() // ok (pairdiscipline): the RUnlock is handed off as the readCtx's release func
+	sp.End()
 	return readCtx{
 		epoch:   s.epoch.Load(),
 		g:       s.g,
@@ -307,8 +382,8 @@ func (s *Server) acquireRead() readCtx {
 }
 
 // computeSummarize runs APXFGS (or k-APXFGS when k > 0) at the pinned epoch.
-func (s *Server) computeSummarize(req *SummarizeRequest, k bool) (*SummarizeResponse, uint64, error) {
-	rc := s.acquireRead()
+func (s *Server) computeSummarize(rt *obs.ReqTrace, req *SummarizeRequest, k bool) (*SummarizeResponse, uint64, error) {
+	rc := s.acquireRead(rt)
 	defer rc.release()
 	util, err := buildUtility(rc.g, req.Utility)
 	if err != nil {
@@ -333,12 +408,12 @@ func (s *Server) computeSummarize(req *SummarizeRequest, k bool) (*SummarizeResp
 
 // computeView answers a pattern query over the maintained summary as a
 // materialized view.
-func (s *Server) computeView(req *ViewRequest) (*ViewResponse, uint64, error) {
+func (s *Server) computeView(rt *obs.ReqTrace, req *ViewRequest) (*ViewResponse, uint64, error) {
 	p, err := pattern.ParseString(req.Pattern)
 	if err != nil {
 		return nil, 0, &requestError{err}
 	}
-	rc := s.acquireRead()
+	rc := s.acquireRead(rt)
 	defer rc.release()
 	nodes := core.QueryView(rc.g, rc.summary, p, req.EmbedCap)
 	ids := make([]int64, len(nodes))
@@ -350,8 +425,8 @@ func (s *Server) computeView(req *ViewRequest) (*ViewResponse, uint64, error) {
 
 // computeWorkload evaluates the maintained summary's patterns as annotated
 // benchmark queries.
-func (s *Server) computeWorkload(req *WorkloadRequest) (*WorkloadResponse, uint64, error) {
-	rc := s.acquireRead()
+func (s *Server) computeWorkload(rt *obs.ReqTrace, req *WorkloadRequest) (*WorkloadResponse, uint64, error) {
+	rc := s.acquireRead(rt)
 	defer rc.release()
 	entries := core.Workload(rc.g, rc.summary, req.EmbedCap)
 	out := make([]WorkloadQuery, 0, len(entries))
@@ -376,7 +451,7 @@ func (s *Server) computeWorkload(req *WorkloadRequest) (*WorkloadResponse, uint6
 // of the same delta onto a pooled replica plus a pointer swap, after which
 // newly arriving readers see the new epoch while readers already pinned
 // keep their old one.
-func (s *Server) computeUpdate(req *UpdateRequest) (*UpdateResponse, error) {
+func (s *Server) computeUpdate(rt *obs.ReqTrace, req *UpdateRequest) (*UpdateResponse, error) {
 	delta := core.Delta{}
 	for _, e := range req.Insert {
 		delta.Insert = append(delta.Insert, core.EdgeUpdate{From: graph.NodeID(e.From), To: graph.NodeID(e.To), Label: e.Label})
@@ -393,6 +468,13 @@ func (s *Server) computeUpdate(req *UpdateRequest) (*UpdateResponse, error) {
 		if s.views != nil {
 			s.views.publish(delta, epoch, sum)
 		}
+		s.log.Info("publish",
+			"epoch", epoch,
+			"applied", applied,
+			"insert", len(delta.Insert),
+			"delete", len(delta.Delete),
+			"covered", len(sum.Covered),
+			"trace", rt.IDString())
 	}
 	resp := &UpdateResponse{
 		Epoch:   s.epoch.Load(),
@@ -412,8 +494,8 @@ func (s *Server) computeUpdate(req *UpdateRequest) (*UpdateResponse, error) {
 // deterministic for a fixed request sequence: epoch, sizes, and the cache
 // and admission counters; wall-clock readings are exported on /metrics
 // only.
-func (s *Server) computeStats() (*StatsResponse, uint64, error) {
-	rc := s.acquireRead()
+func (s *Server) computeStats(rt *obs.ReqTrace) (*StatsResponse, uint64, error) {
+	rc := s.acquireRead(rt)
 	defer rc.release()
 	resp := &StatsResponse{
 		Epoch:     rc.epoch,

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -72,7 +74,31 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { dumpFlightOnFailure(t, s) })
 	return s, ts
+}
+
+// dumpFlightOnFailure writes the server's flight recorder into
+// $FGS_FLIGHT_DUMP_DIR when the test failed. CI points that directory at an
+// artifact upload, so a red server job ships the last requests it saw
+// alongside the log output.
+func dumpFlightOnFailure(t testing.TB, s *Server) {
+	dir := os.Getenv("FGS_FLIGHT_DUMP_DIR")
+	if dir == "" || !t.Failed() {
+		return
+	}
+	name := strings.NewReplacer("/", "_", " ", "_").Replace(t.Name()) + ".flight"
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Logf("flight dump: %v", err)
+		return
+	}
+	if err := s.DumpFlightRecorder(f, "test-failure"); err != nil {
+		t.Logf("flight dump: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Logf("flight dump close: %v", err)
+	}
 }
 
 // post sends body to path and returns the response with its drained body.

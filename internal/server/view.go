@@ -1,7 +1,9 @@
 package server
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/cwru-db/fgs/internal/core"
 	"github.com/cwru-db/fgs/internal/graph"
@@ -55,6 +57,12 @@ type viewSet struct {
 	// serialized by the server's write lock), so it is not guarded by mu.
 	log     []core.Delta
 	logBase uint64
+
+	// logLenA/logBaseA mirror len(log)/logBase for the debug endpoint: the
+	// log itself is writer-owned and unguarded, so introspection reads these
+	// atomics (refreshed at the end of each publish) instead of the slice.
+	logLenA  atomic.Int64
+	logBaseA atomic.Uint64
 
 	clock obs.Clock
 
@@ -193,6 +201,8 @@ func (vs *viewSet) publish(delta core.Delta, epoch uint64, summary *core.Summary
 	vs.mu.Unlock()
 
 	vs.pruneLog(minEpoch)
+	vs.logLenA.Store(int64(len(vs.log)))
+	vs.logBaseA.Store(vs.logBase)
 	vs.publishes.Inc()
 	vs.publishUs.Observe(vs.clock.Now().Sub(start).Microseconds())
 }
@@ -244,6 +254,37 @@ func (vs *viewSet) stats() MvccStats {
 	}
 	vs.mu.Unlock()
 	return st
+}
+
+// debug snapshots the full publication state for /debug/fgs/views: the
+// current view, every retired view still pinned, and the free replica pool.
+// Everything except the log mirrors is read under mu, so the pin counts are
+// a consistent cut of the refcount graph.
+func (vs *viewSet) debug() ViewsDebug {
+	vs.mu.Lock()
+	d := ViewsDebug{
+		Mode:        ReadModeMVCC,
+		Epoch:       vs.cur.epoch,
+		MaxViews:    vs.maxViews,
+		Replicas:    vs.replicas,
+		Current:     ViewDebug{Epoch: vs.cur.epoch, Pins: vs.cur.refs},
+		Retired:     make([]ViewDebug, 0, len(vs.retired)),
+		FreeEpochs:  make([]uint64, 0, len(vs.free)),
+		Publishes:   vs.publishes.Load(),
+		WriterWaits: vs.writerWaits.Load(),
+	}
+	for _, rv := range vs.retired {
+		d.Retired = append(d.Retired, ViewDebug{Epoch: rv.epoch, Pins: rv.refs})
+	}
+	for _, r := range vs.free {
+		d.FreeEpochs = append(d.FreeEpochs, r.epoch)
+	}
+	vs.mu.Unlock()
+	sort.Slice(d.Retired, func(i, j int) bool { return d.Retired[i].Epoch < d.Retired[j].Epoch })
+	sort.Slice(d.FreeEpochs, func(i, j int) bool { return d.FreeEpochs[i] < d.FreeEpochs[j] })
+	d.LogLen = int(vs.logLenA.Load())
+	d.LogBase = vs.logBaseA.Load()
+	return d
 }
 
 // ObsMetrics exports the MVCC instruments (obs.Source): replica pool size,

@@ -1,0 +1,57 @@
+package main
+
+// Temporary profiling harness — not for commit.
+
+import (
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cwru-db/fgs"
+	"github.com/cwru-db/fgs/datasets"
+)
+
+func TestProfileSummarize(t *testing.T) {
+	path := os.Getenv("FGS_PROFILE_GRAPH")
+	if path == "" {
+		t.Skip("set FGS_PROFILE_GRAPH to run")
+	}
+	shards := 0
+	if s := os.Getenv("FGS_PROFILE_SHARDS"); s != "" {
+		shards = int(s[0] - '0')
+	}
+	cfg := scaleConfig{GraphPath: path}
+	g, _, err := buildScaleGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := datasets.GroupsByAttr(g, "user", "city", []string{"c0", "c1"}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fgs.NewServer(g, groups, fgs.ServerConfig{
+		Workers:      runtime.GOMAXPROCS(0),
+		CacheEntries: -1,
+		Deadline:     10 * time.Minute,
+		ReadMode:     "mvcc",
+		MaxViews:     3,
+		Shards:       shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		resp, err := ts.Client().Post(ts.URL+"/v1/summarize", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		t.Logf("shards=%d request %d: %v status=%d", shards, i, time.Since(start), resp.StatusCode)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/gen"
+	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// TestAPXFGSPartitionedDeterminism crosses shard counts {1, 2, 8} with
+// worker counts {0, 8} and requires the full pipeline's output — down to
+// the canonical JSON encoding served to clients — to be byte-identical to
+// the unpartitioned sequential run.
+func TestAPXFGSPartitionedDeterminism(t *testing.T) {
+	g := gen.LKI(11, 1)
+	groups, err := gen.GroupsByAttr(g, "user", "gender", []string{"male", "female"}, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		R: 2, N: 40,
+		Mining: mining.Config{MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 80},
+	}
+	seq, err := APXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSON bytes.Buffer
+	if err := seq.WriteJSON(&wantJSON, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		regions := mining.BuildRegions(g, groups.All(), mining.RegionConfig{Shards: shards, R: 2, Seed: 42})
+		for _, w := range []int{0, 8} {
+			cfg := base
+			cfg.Workers = w
+			cfg.Mining.Regions = regions
+			got, err := APXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameSummary(t, seq, got)
+			var gotJSON bytes.Buffer
+			if err := got.WriteJSON(&gotJSON, g); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantJSON.Bytes(), gotJSON.Bytes()) {
+				t.Fatalf("shards=%d workers=%d: JSON encoding differs from unpartitioned run", shards, w)
+			}
+		}
+	}
+}
+
+// TestKAPXFGSPartitionedDeterminism covers the k-bounded variant, whose
+// max-coverage loop consumes lazily materialized global P_E bitsets from
+// partition-scored candidates.
+func TestKAPXFGSPartitionedDeterminism(t *testing.T) {
+	g := gen.LKI(11, 1)
+	groups, err := gen.GroupsByAttr(g, "user", "gender", []string{"male", "female"}, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		R: 2, K: 6, N: 40,
+		Mining: mining.Config{MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 80},
+	}
+	seq, err := KAPXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		regions := mining.BuildRegions(g, groups.All(), mining.RegionConfig{Shards: shards, R: 2, Seed: 42})
+		for _, w := range []int{0, 8} {
+			cfg := base
+			cfg.Workers = w
+			cfg.Mining.Regions = regions
+			got, err := KAPXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameSummary(t, seq, got)
+		}
+	}
+}
+
+// TestPartitionedRadiusMismatchFallsBack: regions built at a different
+// radius must never serve the run — the fallback produces the identical
+// summary through the flat cache.
+func TestPartitionedRadiusMismatchFallsBack(t *testing.T) {
+	g := gen.LKI(19, 1)
+	groups, err := gen.GroupsByAttr(g, "user", "gender", []string{"male", "female"}, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{R: 2, N: 30, Mining: mining.Config{MaxNodes: 3, MaxPatterns: 50}}
+	seq, err := APXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Mining.Regions = mining.BuildRegions(g, groups.All(), mining.RegionConfig{Shards: 4, R: 1, Seed: 3})
+	got, err := APXFGS(g, groups, submod.NewNeighborCoverage(g, submod.NeighborsIn, "corev"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSummary(t, seq, got)
+}

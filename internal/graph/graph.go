@@ -192,6 +192,41 @@ func (g *Graph) HasEdge(from, to NodeID, label LabelID) bool {
 	return ok
 }
 
+// EdgeIDBetween resolves the directed edge from -> to with the given
+// interned label to its dense ID — HasEdge's probe (short adjacency lists
+// scanned directly, high-degree nodes through the edge index) with the ID
+// handed back instead of a bare bool. Both endpoints' lists are tried: a
+// hub's fan-out is often reached from a low-degree node whose in-list is
+// scannable even when the hub's out-list is not.
+func (g *Graph) EdgeIDBetween(from, to NodeID, label LabelID) (EdgeID, bool) {
+	if from < 0 || int(from) >= len(g.out) {
+		return NoEdge, false
+	}
+	if out := g.out[from]; len(out) <= 8 {
+		for _, e := range out {
+			if e.To == to && e.Label == label {
+				return e.ID, true
+			}
+		}
+		return NoEdge, false
+	}
+	if to >= 0 && int(to) < len(g.in) {
+		if in := g.in[to]; len(in) <= 8 {
+			for _, e := range in {
+				if e.To == from && e.Label == label {
+					return e.ID, true
+				}
+			}
+			return NoEdge, false
+		}
+	}
+	id, ok := g.edgeIndex[EdgeRef{From: from, To: to, Label: label}]
+	if !ok {
+		return NoEdge, false
+	}
+	return id, true
+}
+
 // EdgeIDOf resolves an edge to its dense ID, or (NoEdge, false) when the edge
 // does not exist.
 func (g *Graph) EdgeIDOf(ref EdgeRef) (EdgeID, bool) {

@@ -1,0 +1,359 @@
+package graph
+
+// Focus-region partitioning (DESIGN.md §14). A Partition carves the focus
+// universe (in FGS, the group members FairSelect draws vp from) into k
+// shards by seeded multi-source BFS growth, then materializes one compacted
+// slice graph per shard covering the union of r-hop balls around the
+// shard's owned focus nodes. Mining and scoring for a focus node run
+// entirely on its owner's slice: every complete embedding anchored at v
+// lies inside ball(v, r) (pattern nodes sit within pattern-distance ≤ r of
+// the focus), the slice is the induced subgraph of a superset of that ball,
+// and induced subgraphs preserve distances ≤ r from owned nodes — so
+// shard-local N_v^r, E_v^r, and embedding enumeration are exactly the
+// global ones, translated through the local↔global ID maps.
+//
+// Shards overlap at boundaries by construction (two owned nodes ≤ 2r apart
+// share ball nodes); overlap costs memory, not correctness, because each
+// focus node is scored only on the one shard that owns it.
+//
+// Everything here is deterministic: center choice is a splitmix64 stream
+// over the sorted focus list, growth is round-robin first-claim BFS in
+// adjacency order, and no map is ever iterated into an ordered structure.
+
+import "slices"
+
+// PartitionConfig parameterizes BuildPartition.
+type PartitionConfig struct {
+	// Shards is the requested shard count; the effective count is capped by
+	// the number of focus nodes and floored at 1.
+	Shards int
+	// R is the ball radius — must equal the radius mining will run with.
+	R int
+	// Seed drives center selection. The same (graph, focus, config) triple
+	// always yields the identical partition.
+	Seed uint64
+}
+
+// Partition is an immutable set of focus-region shards over a parent graph.
+type Partition struct {
+	parent *Graph
+	cfg    PartitionConfig
+	shards []*Shard
+	owner  map[NodeID]ownerRef // focus node -> owning shard + local ID
+}
+
+type ownerRef struct {
+	shard int32
+	local NodeID
+}
+
+// Shard is one compacted slice: the subgraph induced by the union of
+// r-hop balls around the shard's owned focus nodes, with dense local node
+// and edge IDs and maps back to the parent's.
+type Shard struct {
+	g          *Graph
+	owned      []NodeID // owned focus nodes, global IDs, ascending
+	ownedLocal []NodeID // same nodes as local IDs, ascending
+	globalNode []NodeID // local node ID -> global node ID (ascending)
+	globalEdge []EdgeID // local edge ID -> global edge ID
+}
+
+// splitmix64 is the SplitMix64 output function — a tiny, well-distributed
+// deterministic stream for center selection (no math/rand, no global state).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// BuildPartition partitions the focus set over g. The focus slice is not
+// modified; invalid and duplicate IDs are dropped. An empty focus set
+// yields a partition with zero shards (Owner reports false for everything).
+func BuildPartition(g *Graph, focus []NodeID, cfg PartitionConfig) *Partition {
+	f := sortedUniqueValid(g, focus)
+	p := &Partition{parent: g, cfg: cfg, owner: make(map[NodeID]ownerRef, len(f))}
+	if len(f) == 0 {
+		return p
+	}
+	k := cfg.Shards
+	if k < 1 {
+		k = 1
+	}
+	if k > len(f) {
+		k = len(f)
+	}
+
+	ownedPer := p.assign(f, k)
+	p.shards = make([]*Shard, k)
+	for s := 0; s < k; s++ {
+		p.shards[s] = buildShard(g, ownedPer[s], cfg.R)
+		for li, v := range p.shards[s].owned {
+			p.owner[v] = ownerRef{shard: int32(s), local: p.shards[s].ownedLocal[li]}
+		}
+	}
+	return p
+}
+
+// assign distributes the sorted focus list f over k shards: k centers are
+// drawn from a seeded partial shuffle of f, then shards grow undirected BFS
+// frontiers round-robin, claiming unvisited focus nodes first-come up to a
+// balance capacity. Focus nodes no frontier reached (or reached by a full
+// shard) are swept, in ascending order, onto whichever shard is currently
+// smallest. Returns per-shard owned lists, each sorted ascending.
+func (p *Partition) assign(f []NodeID, k int) [][]NodeID {
+	g := p.parent
+	// Centers: first k of a Fisher-Yates shuffle driven by the splitmix64
+	// stream. Deterministic in (seed, f).
+	idxs := make([]int32, len(f))
+	for i := range idxs {
+		idxs[i] = int32(i)
+	}
+	x := p.cfg.Seed
+	for i := 0; i < k; i++ {
+		x = splitmix64(x)
+		j := i + int(x%uint64(len(f)-i))
+		idxs[i], idxs[j] = idxs[j], idxs[i]
+	}
+
+	focusSet := make(map[NodeID]bool, len(f))
+	for _, v := range f {
+		focusSet[v] = true
+	}
+	capacity := (len(f)+k-1)/k + 1
+	capacity += capacity / 8
+
+	visited := make(map[NodeID]struct{}, len(f)*2)
+	frontiers := make([][]NodeID, k)
+	owned := make([][]NodeID, k)
+	for s := 0; s < k; s++ {
+		c := f[idxs[s]]
+		visited[c] = struct{}{}
+		frontiers[s] = []NodeID{c}
+		owned[s] = append(owned[s], c)
+	}
+
+	// Growth depth 2r suffices: a focus node farther than 2r (undirected)
+	// from every center shares no ball edges with any center's shard
+	// anyway, so sweeping it to the smallest shard costs no locality.
+	maxDepth := 2 * p.cfg.R
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	for depth := 0; depth < maxDepth; depth++ {
+		progress := false
+		for s := 0; s < k; s++ {
+			if len(frontiers[s]) == 0 {
+				continue
+			}
+			var next []NodeID
+			for _, v := range frontiers[s] {
+				for _, e := range g.out[v] {
+					if _, seen := visited[e.To]; !seen {
+						visited[e.To] = struct{}{}
+						if focusSet[e.To] && len(owned[s]) < capacity {
+							owned[s] = append(owned[s], e.To)
+						}
+						next = append(next, e.To)
+					}
+				}
+				for _, e := range g.in[v] {
+					if _, seen := visited[e.To]; !seen {
+						visited[e.To] = struct{}{}
+						if focusSet[e.To] && len(owned[s]) < capacity {
+							owned[s] = append(owned[s], e.To)
+						}
+						next = append(next, e.To)
+					}
+				}
+			}
+			frontiers[s] = next
+			progress = progress || len(next) > 0
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Sweep leftovers ascending onto the smallest shard (ties: lowest index).
+	claimed := make(map[NodeID]bool, len(f))
+	for s := 0; s < k; s++ {
+		for _, v := range owned[s] {
+			claimed[v] = true
+		}
+	}
+	for _, v := range f {
+		if claimed[v] {
+			continue
+		}
+		best := 0
+		for s := 1; s < k; s++ {
+			if len(owned[s]) < len(owned[best]) {
+				best = s
+			}
+		}
+		owned[best] = append(owned[best], v)
+	}
+	for s := 0; s < k; s++ {
+		sortNodeIDs(owned[s])
+	}
+	return owned
+}
+
+// buildShard materializes the compacted slice for one owned set: nodes are
+// the union of r-hop balls (ascending global order → ascending local IDs),
+// edges are every parent edge with both endpoints in the slice, stored in
+// contiguous arenas that preserve the parent's per-node adjacency order —
+// the property that keeps EmbedCap-capped embedding enumeration
+// byte-identical to the global path. Local EdgeIDs are assigned in the
+// out-adjacency sweep, so they are dense and deterministic.
+func buildShard(g *Graph, owned []NodeID, r int) *Shard {
+	members := g.RHopNodesOf(owned, r)
+	sortNodeIDs(members)
+	localOf := make(map[NodeID]NodeID, len(members))
+	for li, gv := range members {
+		localOf[gv] = NodeID(li)
+	}
+
+	lg := &Graph{
+		nodeLabels: g.nodeLabels,
+		edgeLabels: g.edgeLabels,
+		attrKeys:   g.attrKeys,
+		attrVals:   g.attrVals,
+		labelOf:    make([]LabelID, len(members)),
+		attrsOf:    make([][]Attr, len(members)),
+		out:        make([][]Edge, len(members)),
+		in:         make([][]Edge, len(members)),
+		byLabel:    make(map[LabelID][]NodeID),
+	}
+	for li, gv := range members {
+		lid := g.labelOf[gv]
+		lg.labelOf[li] = lid
+		lg.attrsOf[li] = g.attrsOf[gv] // shared: attribute tuples are immutable
+		lg.byLabel[lid] = append(lg.byLabel[lid], NodeID(li))
+	}
+
+	total := 0
+	for _, gv := range members {
+		for _, e := range g.out[gv] {
+			if _, ok := localOf[e.To]; ok {
+				total++
+			}
+		}
+	}
+	outArena := make([]Edge, 0, total)
+	inArena := make([]Edge, 0, total)
+	lg.edgeDefs = make([]EdgeRef, 0, total)
+	lg.edgeIndex = make(map[EdgeRef]EdgeID, total)
+	globalEdge := make([]EdgeID, 0, total)
+
+	for li, gv := range members {
+		start := len(outArena)
+		for _, e := range g.out[gv] {
+			lt, ok := localOf[e.To]
+			if !ok {
+				continue
+			}
+			id := EdgeID(len(lg.edgeDefs))
+			ref := EdgeRef{From: NodeID(li), To: lt, Label: e.Label}
+			lg.edgeDefs = append(lg.edgeDefs, ref)
+			lg.edgeIndex[ref] = id
+			globalEdge = append(globalEdge, e.ID)
+			outArena = append(outArena, Edge{To: lt, Label: e.Label, ID: id})
+		}
+		lg.out[li] = outArena[start:len(outArena):len(outArena)]
+	}
+	lg.numEdges = len(lg.edgeDefs)
+	for li, gv := range members {
+		start := len(inArena)
+		for _, e := range g.in[gv] {
+			lf, ok := localOf[e.To]
+			if !ok {
+				continue
+			}
+			id := lg.edgeIndex[EdgeRef{From: lf, To: NodeID(li), Label: e.Label}]
+			inArena = append(inArena, Edge{To: lf, Label: e.Label, ID: id})
+		}
+		lg.in[li] = inArena[start:len(inArena):len(inArena)]
+	}
+
+	sh := &Shard{
+		g:          lg,
+		owned:      owned,
+		ownedLocal: make([]NodeID, len(owned)),
+		globalNode: members,
+		globalEdge: globalEdge,
+	}
+	for i, gv := range owned {
+		sh.ownedLocal[i] = localOf[gv]
+	}
+	return sh
+}
+
+// sortedUniqueValid returns a fresh ascending slice of the distinct focus
+// IDs that exist in g.
+func sortedUniqueValid(g *Graph, focus []NodeID) []NodeID {
+	f := make([]NodeID, 0, len(focus))
+	for _, v := range focus {
+		if g.HasNode(v) {
+			f = append(f, v)
+		}
+	}
+	sortNodeIDs(f)
+	out := f[:0]
+	for i, v := range f {
+		if i == 0 || v != f[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortNodeIDs(s []NodeID) { slices.Sort(s) }
+
+// Parent returns the graph the partition was built over.
+func (p *Partition) Parent() *Graph { return p.parent }
+
+// Config returns the parameters the partition was built with.
+func (p *Partition) Config() PartitionConfig { return p.cfg }
+
+// NumShards reports the effective shard count (≤ the requested count).
+func (p *Partition) NumShards() int { return len(p.shards) }
+
+// Shard returns shard i. Shards are immutable after BuildPartition returns.
+func (p *Partition) Shard(i int) *Shard { return p.shards[i] }
+
+// Owner resolves a focus node to (shard index, local ID). ok is false for
+// nodes outside the partitioned focus set.
+func (p *Partition) Owner(v NodeID) (shard int, local NodeID, ok bool) {
+	ref, ok := p.owner[v]
+	return int(ref.shard), ref.local, ok
+}
+
+// NumFocus reports how many focus nodes the partition owns in total.
+func (p *Partition) NumFocus() int { return len(p.owner) }
+
+// Graph returns the shard's compacted slice. It shares the parent's
+// interners (so interned IDs and matcher universe sizes agree) but owns its
+// topology; it is immutable after BuildPartition returns.
+func (s *Shard) Graph() *Graph { return s.g }
+
+// Owned returns the shard's owned focus nodes as global IDs, ascending.
+// The slice is owned by the shard.
+func (s *Shard) Owned() []NodeID { return s.owned }
+
+// OwnedLocal returns the owned focus nodes as local IDs, ascending,
+// parallel to Owned.
+func (s *Shard) OwnedLocal() []NodeID { return s.ownedLocal }
+
+// GlobalNode translates a local node ID to the parent's.
+func (s *Shard) GlobalNode(local NodeID) NodeID { return s.globalNode[int(local)] }
+
+// GlobalEdge translates a local edge ID to the parent's.
+func (s *Shard) GlobalEdge(local EdgeID) EdgeID { return s.globalEdge[int(local)] }
+
+// NumNodes reports the slice's node count.
+func (s *Shard) NumNodes() int { return len(s.globalNode) }
+
+// NumEdges reports the slice's edge count.
+func (s *Shard) NumEdges() int { return len(s.globalEdge) }

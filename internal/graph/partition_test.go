@@ -1,0 +1,176 @@
+package graph_test
+
+import (
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/gen"
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// focusOf returns a deterministic focus set: every node carrying the label.
+func focusOf(g *graph.Graph, label string) []graph.NodeID {
+	return append([]graph.NodeID(nil), g.NodesWithLabel(label)...)
+}
+
+// requireSamePartition asserts two partitions over the same graph are
+// identical: shard count, per-shard owned sets, member lists, and edge maps.
+func requireSamePartition(t *testing.T, a, b *graph.Partition) {
+	t.Helper()
+	if a.NumShards() != b.NumShards() {
+		t.Fatalf("shard counts differ: %d vs %d", a.NumShards(), b.NumShards())
+	}
+	for s := 0; s < a.NumShards(); s++ {
+		sa, sb := a.Shard(s), b.Shard(s)
+		if len(sa.Owned()) != len(sb.Owned()) {
+			t.Fatalf("shard %d owned counts differ: %d vs %d", s, len(sa.Owned()), len(sb.Owned()))
+		}
+		for i := range sa.Owned() {
+			if sa.Owned()[i] != sb.Owned()[i] {
+				t.Fatalf("shard %d owned[%d] differs: %d vs %d", s, i, sa.Owned()[i], sb.Owned()[i])
+			}
+		}
+		if sa.NumNodes() != sb.NumNodes() || sa.NumEdges() != sb.NumEdges() {
+			t.Fatalf("shard %d sizes differ: (%d,%d) vs (%d,%d)", s, sa.NumNodes(), sa.NumEdges(), sb.NumNodes(), sb.NumEdges())
+		}
+		for lv := 0; lv < sa.NumNodes(); lv++ {
+			if sa.GlobalNode(graph.NodeID(lv)) != sb.GlobalNode(graph.NodeID(lv)) {
+				t.Fatalf("shard %d node map differs at local %d", s, lv)
+			}
+		}
+		for le := 0; le < sa.NumEdges(); le++ {
+			if sa.GlobalEdge(graph.EdgeID(le)) != sb.GlobalEdge(graph.EdgeID(le)) {
+				t.Fatalf("shard %d edge map differs at local %d", s, le)
+			}
+		}
+	}
+}
+
+// TestPartitionDeterminism is the fuzz half of the determinism contract:
+// for a spread of seeds, graphs, and shard counts, building the partition
+// twice yields the identical shard assignment, member lists, and ID maps.
+func TestPartitionDeterminism(t *testing.T) {
+	for _, gseed := range []int64{3, 11, 29} {
+		g := gen.LKI(gseed, 1)
+		focus := focusOf(g, "user")
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, pseed := range []uint64{0, 1, 0xfeedface} {
+				cfg := graph.PartitionConfig{Shards: shards, R: 2, Seed: pseed}
+				requireSamePartition(t, graph.BuildPartition(g, focus, cfg), graph.BuildPartition(g, focus, cfg))
+			}
+		}
+	}
+}
+
+// TestPartitionOwnership: every focus node is owned by exactly one shard,
+// the per-shard owned lists are disjoint and ascending, and their union is
+// the deduplicated focus set.
+func TestPartitionOwnership(t *testing.T) {
+	g := gen.LKI(5, 1)
+	focus := focusOf(g, "user")
+	p := graph.BuildPartition(g, focus, graph.PartitionConfig{Shards: 4, R: 2, Seed: 7})
+	seen := make(map[graph.NodeID]int)
+	total := 0
+	for s := 0; s < p.NumShards(); s++ {
+		owned := p.Shard(s).Owned()
+		for i, v := range owned {
+			if i > 0 && owned[i-1] >= v {
+				t.Fatalf("shard %d owned list not strictly ascending at %d", s, i)
+			}
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("node %d owned by shards %d and %d", v, prev, s)
+			}
+			seen[v] = s
+			os, lv, ok := p.Owner(v)
+			if !ok || os != s || p.Shard(s).GlobalNode(lv) != v {
+				t.Fatalf("Owner(%d) = (%d,%d,%v), want shard %d", v, os, lv, ok, s)
+			}
+			total++
+		}
+	}
+	if total != len(focus) {
+		t.Fatalf("owned %d focus nodes, want %d", total, len(focus))
+	}
+	if _, _, ok := p.Owner(graph.NodeID(g.NumNodes())); ok {
+		t.Fatal("Owner claimed a node outside the graph")
+	}
+}
+
+// TestShardSliceStructure verifies each compacted slice is the induced
+// subgraph of its member set with the parent's per-node adjacency order
+// preserved, labels and attributes intact, and edge maps that round-trip to
+// the parent's edge identities.
+func TestShardSliceStructure(t *testing.T) {
+	g := gen.LKI(17, 1)
+	p := graph.BuildPartition(g, focusOf(g, "user"), graph.PartitionConfig{Shards: 4, R: 2, Seed: 3})
+	for s := 0; s < p.NumShards(); s++ {
+		sh := p.Shard(s)
+		sg := sh.Graph()
+		inSlice := make(map[graph.NodeID]graph.NodeID, sh.NumNodes())
+		for lv := 0; lv < sh.NumNodes(); lv++ {
+			inSlice[sh.GlobalNode(graph.NodeID(lv))] = graph.NodeID(lv)
+		}
+		for lv := 0; lv < sh.NumNodes(); lv++ {
+			gv := sh.GlobalNode(graph.NodeID(lv))
+			if sg.LabelOf(graph.NodeID(lv)) != g.LabelOf(gv) {
+				t.Fatalf("shard %d node %d: label %q vs %q", s, lv, sg.LabelOf(graph.NodeID(lv)), g.LabelOf(gv))
+			}
+			la, ga := sg.Attrs(graph.NodeID(lv)), g.Attrs(gv)
+			if len(la) != len(ga) {
+				t.Fatalf("shard %d node %d: attr counts differ", s, lv)
+			}
+			// Out-adjacency must be the parent's, filtered to members, in the
+			// parent's order — the invariant EmbedCap determinism rides on.
+			want := make([]graph.Edge, 0)
+			for _, e := range g.Out(gv) {
+				if lt, ok := inSlice[e.To]; ok {
+					want = append(want, graph.Edge{To: lt, Label: e.Label})
+				}
+			}
+			got := sg.Out(graph.NodeID(lv))
+			if len(got) != len(want) {
+				t.Fatalf("shard %d node %d: out degree %d vs %d", s, lv, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].To != want[i].To || got[i].Label != want[i].Label {
+					t.Fatalf("shard %d node %d: out[%d] order mismatch", s, lv, i)
+				}
+				// Local edge ID must map to the parent edge with the same
+				// endpoints and label.
+				ref := g.EdgeRefOf(sh.GlobalEdge(got[i].ID))
+				if ref.From != gv || inSlice[ref.To] != got[i].To || ref.Label != got[i].Label {
+					t.Fatalf("shard %d node %d: edge map broken for local edge %d", s, lv, got[i].ID)
+				}
+			}
+		}
+	}
+}
+
+// TestShardPreservesNeighborhoods is the distance-preservation invariant
+// behind the byte-identity argument: for every owned focus node, the
+// shard-local E_v^r translated to global edge IDs equals the parent's E_v^r
+// — including across shard boundaries where balls overlap.
+func TestShardPreservesNeighborhoods(t *testing.T) {
+	g := gen.LKI(23, 1)
+	const r = 2
+	p := graph.BuildPartition(g, focusOf(g, "user"), graph.PartitionConfig{Shards: 8, R: r, Seed: 5})
+	checked := 0
+	for s := 0; s < p.NumShards(); s++ {
+		sh := p.Shard(s)
+		for i, gv := range sh.Owned() {
+			want := g.RHopEdgeBits(gv, r)
+			local := sh.Graph().RHopEdgeBits(sh.OwnedLocal()[i], r)
+			if local.Count() != want.Count() {
+				t.Fatalf("shard %d node %d: |E_v^r| local %d vs global %d", s, gv, local.Count(), want.Count())
+			}
+			local.Iterate(func(id graph.EdgeID) {
+				if !want.Has(sh.GlobalEdge(id)) {
+					t.Fatalf("shard %d node %d: local E_v^r has edge absent globally", s, gv)
+				}
+			})
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no owned focus nodes checked")
+	}
+}

@@ -2,7 +2,8 @@ package lint
 
 // FrozenView enforces the MVCC immutability contract (DESIGN.md §12): a
 // graph obtained through a read path — `acquireRead`, an `epochView`, a
-// `viewSet.pin`, or `Graph.Snapshot` — is a published, shared structure
+// `viewSet.pin`, `Graph.Snapshot`, or a focus-region shard
+// (`Partition.Shard` / `Shard.Graph`) — is a published, shared structure
 // that concurrent readers are traversing. Calling any mutating method on
 // it (the curated mutator set: AddNode/AddEdge/RemoveEdge on Graph, Intern
 // on Interner) corrupts readers at other epochs and breaks the
@@ -39,11 +40,17 @@ var frozenMutators = map[string]string{
 
 // frozenSources are the read-path entry points whose results are frozen:
 // method name → required receiver type name ("" = any receiver or plain
-// function).
+// function). Shard/Graph cover the focus-region partition (DESIGN.md §14):
+// a shard handed out by Partition.Shard or Regions.Shard — and the
+// compacted CSR slice behind Shard.Graph — is built once per epoch and
+// shared by every request served at it, so it is frozen the same way a
+// pinned view is.
 var frozenSources = map[string]string{
 	"acquireRead": "",
 	"Snapshot":    "Graph",
 	"pin":         "viewSet",
+	"Shard":       "",
+	"Graph":       "Shard",
 }
 
 // frozenContainers are named types whose fields are frozen views: reading

@@ -17,6 +17,7 @@ package lint
 //	Trace.Start, Span.Child,
 //	runObs.phase / End, finish        obs spans (core, obs)
 //	Graph.acquireScratch / release    BFS scratch buffers (graph)
+//	partitionSlot.beginBuild / call   partition-build singleflight (server)
 //	sync.Pool Get / Put               pooled scratch generally
 //
 // Results that are handed off — returned, stored in a struct, captured by a
@@ -96,6 +97,12 @@ var pairTable = []*pairSpec{
 		acquireRecv: "admission", acquireNames: names("acquire"),
 		releaseByCall: true, resultIdx: 0, errIdx: 1,
 		hint: "call the returned release func on every path (prefer defer)",
+	},
+	{
+		id: "partition beginBuild/release", mode: pairResult,
+		acquireRecv: "partitionSlot", acquireNames: names("beginBuild"),
+		releaseByCall: true, resultIdx: 0, errIdx: 1,
+		hint: "call the returned release func on every path (prefer defer) so the singleflight slot frees",
 	},
 	{
 		id: "span Start/End", mode: pairResult,

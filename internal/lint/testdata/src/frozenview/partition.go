@@ -1,0 +1,53 @@
+// Fixture for frozenview's focus-region coverage: shards handed out by
+// Partition.Shard (or a Regions facade) and the compacted graphs behind
+// Shard.Graph are built once per epoch and shared by every request, so
+// mutating them is flagged like mutating a pinned view. Graph() on other
+// receivers stays writable, and Clone() is still a barrier.
+package frozenview
+
+type Shard struct {
+	g     *Graph
+	owned []int
+}
+
+func (s *Shard) Graph() *Graph { return s.g }
+func (s *Shard) Owned() []int  { return s.owned }
+
+type Partition struct{ shards []*Shard }
+
+func (p *Partition) Shard(i int) *Shard { return p.shards[i] }
+
+type regions struct{ part *Partition }
+
+func (r *regions) Shard(i int) *Shard { return r.part.Shard(i) }
+
+type matcher struct{ g *Graph }
+
+func (m *matcher) Graph() *Graph { return m.g }
+
+func mutateShardGraph(p *Partition) {
+	sg := p.Shard(0).Graph()
+	_ = sg.AddEdge(1, 2) // want `sg\.AddEdge mutates a frozen read view`
+}
+
+func mutateViaRegions(r *regions) {
+	sh := r.Shard(1)
+	sh.Graph().AddNode(3) // want `sh\.Graph\(\)\.AddNode mutates a frozen read view`
+}
+
+func okShardReads(p *Partition) int {
+	sh := p.Shard(0)
+	_ = sh.Owned() // ok: reads never mutate
+	return sh.Graph().Degree(3)
+}
+
+func okShardClone(p *Partition) {
+	mine := p.Shard(0).Graph().Clone()
+	mine.AddNode(1) // ok: a deep copy is the caller's own graph
+}
+
+func okMatcherGraph(m *matcher) {
+	// Graph() is only frozen on a Shard receiver; a matcher wraps whatever
+	// graph its caller owns.
+	m.Graph().AddNode(5)
+}

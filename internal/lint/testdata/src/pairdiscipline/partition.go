@@ -1,0 +1,64 @@
+// Fixture for pairdiscipline's partition-build singleflight: the
+// partitionSlot.beginBuild shape from internal/server, whose result is a
+// release func that must run on every path so the slot frees for the next
+// builder. errIdx 1 is understood: on the err != nil branch the slot was
+// never taken.
+package pairdiscipline
+
+import "errors"
+
+type regionsT struct{ shards int }
+
+type partitionSlot struct {
+	busy bool
+}
+
+var errBusy = errors.New("partition build already in flight")
+
+func (ps *partitionSlot) beginBuild() (func(), error) {
+	if ps.busy {
+		return nil, errBusy
+	}
+	ps.busy = true
+	return func() { ps.busy = false }, nil
+}
+
+func okBuild(ps *partitionSlot) *regionsT {
+	release, err := ps.beginBuild()
+	if err != nil {
+		return nil
+	}
+	defer release()
+	return &regionsT{shards: 8}
+}
+
+func okBuildBusy(ps *partitionSlot) error {
+	release, err := ps.beginBuild()
+	if errors.Is(err, errBusy) {
+		return err
+	}
+	if err != nil {
+		return err
+	}
+	release()
+	return nil
+}
+
+func leakBuild(ps *partitionSlot, cond bool) {
+	release, err := ps.beginBuild() // want `ps\.beginBuild\(\): partition beginBuild/release acquired here is not released`
+	if err != nil {
+		return
+	}
+	if cond {
+		return
+	}
+	release()
+}
+
+func discardBuild(ps *partitionSlot) {
+	ps.beginBuild() // want `ps\.beginBuild\(\): result of partition beginBuild/release is discarded`
+}
+
+func okBuildHandoff(ps *partitionSlot) (func(), error) {
+	return ps.beginBuild() // ok: caller owns the release now
+}

@@ -1,0 +1,115 @@
+package mining
+
+import (
+	"strconv"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/obs"
+)
+
+// Regions bundles a focus-region graph partition with one persistent E_v^r
+// cache per shard. It is the unit the server caches per epoch view: the
+// partition's slice graphs are immutable for the view's lifetime, so cached
+// shard-local neighborhoods stay valid across every request served at that
+// epoch.
+//
+// Regions also plays the erSource role for summary assembly: UnionOf
+// returns E_X^r in the parent's global EdgeID space by translating each
+// member's shard-local bitset, which equals the unpartitioned cache's
+// answer because induced ball slices preserve all distances ≤ r from owned
+// nodes (see graph.BuildPartition).
+type Regions struct {
+	part *graph.Partition
+	ers  []*ErCache
+}
+
+// RegionConfig parameterizes BuildRegions.
+type RegionConfig struct {
+	// Shards is the requested shard count (effective count capped by the
+	// focus population).
+	Shards int
+	// R is the ball radius; only requests mining at exactly this radius can
+	// use the partitioned path.
+	R int
+	// Seed drives the partitioner's center selection.
+	Seed uint64
+}
+
+// BuildRegions partitions the focus set over g and allocates the per-shard
+// caches. The result is immutable and safe for concurrent use.
+func BuildRegions(g *graph.Graph, focus []graph.NodeID, cfg RegionConfig) *Regions {
+	part := graph.BuildPartition(g, focus, graph.PartitionConfig{Shards: cfg.Shards, R: cfg.R, Seed: cfg.Seed})
+	r := &Regions{part: part, ers: make([]*ErCache, part.NumShards())}
+	for i := range r.ers {
+		r.ers[i] = NewErCache(part.Shard(i).Graph(), cfg.R)
+	}
+	return r
+}
+
+// Partition returns the underlying focus-region partition.
+func (r *Regions) Partition() *graph.Partition { return r.part }
+
+// NumShards reports the effective shard count.
+func (r *Regions) NumShards() int { return r.part.NumShards() }
+
+// Shard returns shard i of the partition.
+func (r *Regions) Shard(i int) *graph.Shard { return r.part.Shard(i) }
+
+// Er returns shard i's persistent E_v^r cache (local IDs, local radius R).
+func (r *Regions) Er(i int) *ErCache { return r.ers[i] }
+
+// Radius returns the ball radius the regions were built for.
+func (r *Regions) Radius() int { return r.part.Config().R }
+
+// Graph returns the parent graph (erSource role).
+func (r *Regions) Graph() *graph.Graph { return r.part.Parent() }
+
+// Covers reports whether the partitioned path may serve a mining run over
+// the given node set: same parent graph, same radius, and every node owned
+// by some shard. Callers fall back to the unpartitioned path otherwise.
+func (r *Regions) Covers(g *graph.Graph, nodes []graph.NodeID, radius int) bool {
+	if r == nil || r.part.Parent() != g || r.Radius() != radius || r.part.NumShards() == 0 {
+		return false
+	}
+	for _, v := range nodes {
+		if _, _, ok := r.part.Owner(v); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionOf returns E_X^r in the parent's EdgeID space. Nodes outside the
+// focus set (which Covers-gated callers never pass) fall back to a direct
+// parent BFS so the answer stays correct regardless.
+func (r *Regions) UnionOf(nodes []graph.NodeID) *graph.EdgeBits {
+	u := graph.NewEdgeBits(r.part.Parent().EdgeIDBound())
+	for _, v := range nodes {
+		s, lv, ok := r.part.Owner(v)
+		if !ok {
+			u.Union(r.part.Parent().RHopEdgeBits(v, r.Radius()))
+			continue
+		}
+		sh := r.part.Shard(s)
+		r.ers[s].Get(lv).Iterate(func(id graph.EdgeID) { u.Add(sh.GlobalEdge(id)) })
+	}
+	return u
+}
+
+// ObsMetrics exports partition shape gauges plus the aggregated per-shard
+// cache counters (obs.Source).
+func (r *Regions) ObsMetrics() []obs.Metric {
+	out := []obs.Metric{
+		{Name: "fgs_regions_shards", Help: "Effective focus-region shard count.", Kind: obs.KindGauge, Value: float64(r.NumShards())},
+		{Name: "fgs_regions_focus_nodes", Help: "Focus nodes owned across all shards.", Kind: obs.KindGauge, Value: float64(r.part.NumFocus())},
+	}
+	for i := range r.ers {
+		labels := []obs.Label{{Key: "region", Val: strconv.Itoa(i)}}
+		sh := r.part.Shard(i)
+		out = append(out,
+			obs.Metric{Name: "fgs_regions_slice_nodes", Help: "Nodes in the shard's compacted slice.", Kind: obs.KindGauge, Labels: labels, Value: float64(sh.NumNodes())},
+			obs.Metric{Name: "fgs_regions_slice_edges", Help: "Edges in the shard's compacted slice.", Kind: obs.KindGauge, Labels: labels, Value: float64(sh.NumEdges())},
+		)
+	}
+	return out
+}

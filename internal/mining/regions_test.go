@@ -1,0 +1,157 @@
+package mining
+
+import (
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/gen"
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// materializeEdges forces the compact partitioned P_E form into bitsets so
+// requireSameCandidates can compare both runs representation-agnostically.
+func materializeEdges(g *graph.Graph, cands []*Candidate) {
+	for _, c := range cands {
+		c.EdgeBits(g.EdgeIDBound())
+	}
+}
+
+// TestSumGenPartitionedMatchesGlobal is the scatter-gather half of the
+// determinism contract: SumGen routed through focus-region shards must
+// produce candidates byte-identical to the global path, at every shard
+// count crossed with every worker count.
+func TestSumGenPartitionedMatchesGlobal(t *testing.T) {
+	datasets := []struct {
+		name  string
+		g     *graph.Graph
+		label string
+	}{
+		{"LKI", gen.LKI(7, 1), "user"},
+		{"DBP", gen.DBP(8, 1), "movie"},
+	}
+	for _, ds := range datasets {
+		t.Run(ds.name, func(t *testing.T) {
+			focus := ds.g.NodesWithLabel(ds.label)
+			anchors := labelNodes(ds.g, ds.label, 40)
+			cfg := Config{Radius: 2, MaxNodes: 4, MaxLiterals: 2, MaxPatterns: 120}
+			want := SumGen(ds.g, anchors, anchors, cfg, nil)
+			materializeEdges(ds.g, want)
+			for _, shards := range []int{1, 2, 8} {
+				regions := BuildRegions(ds.g, focus, RegionConfig{Shards: shards, R: 2, Seed: 42})
+				for _, w := range []int{0, 8} {
+					pcfg := cfg
+					pcfg.Workers = w
+					pcfg.Regions = regions
+					got := SumGen(ds.g, anchors, anchors, pcfg, nil)
+					materializeEdges(ds.g, got)
+					requireSameCandidates(t, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSumGenPartitionFallback: a universe node outside the partition's
+// focus set must disable the partitioned path (Covers false) while leaving
+// the output identical — the silent-fallback contract.
+func TestSumGenPartitionFallback(t *testing.T) {
+	g := gen.LKI(9, 1)
+	focus := g.NodesWithLabel("user")
+	// Partition over only the first half of the users, then mine with
+	// anchors from the excluded half: every anchor escapes ownership.
+	anchors := append([]graph.NodeID(nil), focus[len(focus)-20:]...)
+	regions := BuildRegions(g, focus[:len(focus)/2], RegionConfig{Shards: 4, R: 2, Seed: 1})
+	if regions.Covers(g, anchors, 2) {
+		t.Fatal("Covers accepted anchors outside the focus set")
+	}
+	if regions.Covers(g, anchors[:1], 3) {
+		t.Fatal("Covers accepted a mismatched radius")
+	}
+	cfg := Config{Radius: 2, MaxNodes: 3, MaxPatterns: 60}
+	want := SumGen(g, anchors, anchors, cfg, nil)
+	pcfg := cfg
+	pcfg.Regions = regions
+	got := SumGen(g, anchors, anchors, pcfg, nil)
+	materializeEdges(g, want)
+	materializeEdges(g, got)
+	requireSameCandidates(t, want, got)
+}
+
+// TestRegionsUnionOfMatchesErCache: the Regions erSource role — E_X^r
+// assembled from translated shard-local bitsets equals the flat cache's
+// answer, for owned nodes and (via the fallback branch) unowned ones.
+func TestRegionsUnionOfMatchesErCache(t *testing.T) {
+	g := gen.LKI(13, 1)
+	users := g.NodesWithLabel("user")
+	regions := BuildRegions(g, users, RegionConfig{Shards: 4, R: 2, Seed: 11})
+	flat := NewErCache(g, 2)
+	nodes := append(append([]graph.NodeID(nil), users[:25]...), graph.NodeID(0)) // node 0 may be unowned
+	want := flat.UnionOf(nodes)
+	got := regions.UnionOf(nodes)
+	if want.Count() != got.Count() {
+		t.Fatalf("|E_X^r| differs: flat %d, regions %d", want.Count(), got.Count())
+	}
+	want.Iterate(func(id graph.EdgeID) {
+		if !got.Has(id) {
+			t.Fatalf("regions union missing edge %d", id)
+		}
+	})
+}
+
+// TestBoundaryStraddlingPatterns forces the overlap case on a handcrafted
+// graph: two focus nodes in different shards whose r=2 balls share a
+// middle node, with a chain pattern whose embeddings straddle the boundary.
+// Shard-local scoring must still see the full neighborhood of each owned
+// node through its ball overlap.
+func TestBoundaryStraddlingPatterns(t *testing.T) {
+	g := graph.New()
+	// a - x - m - y - b : a chain of 5; focus nodes a and b sit 4 hops
+	// apart, so their r=2 balls both contain m but neither contains the
+	// other's far side.
+	a := g.AddNode("user", map[string]string{"side": "left"})
+	x := g.AddNode("item", nil)
+	m := g.AddNode("hub", nil)
+	y := g.AddNode("item", nil)
+	b := g.AddNode("user", map[string]string{"side": "right"})
+	for _, e := range [][2]graph.NodeID{{a, x}, {x, m}, {m, y}, {y, b}} {
+		if err := g.AddEdge(e[0], e[1], "link"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	focus := []graph.NodeID{a, b}
+	regions := BuildRegions(g, focus, RegionConfig{Shards: 2, R: 2, Seed: 0})
+	if regions.NumShards() != 2 {
+		t.Fatalf("expected 2 shards, got %d", regions.NumShards())
+	}
+	// Each shard's slice must include the shared middle node m.
+	for s := 0; s < 2; s++ {
+		sh := regions.Shard(s)
+		found := false
+		for lv := 0; lv < sh.NumNodes(); lv++ {
+			if sh.GlobalNode(graph.NodeID(lv)) == m {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("shard %d slice misses boundary node %d", s, m)
+		}
+	}
+	cfg := Config{Radius: 2, MaxNodes: 3, MaxPatterns: 50}
+	want := SumGen(g, focus, focus, cfg, nil)
+	pcfg := cfg
+	pcfg.Regions = regions
+	got := SumGen(g, focus, focus, pcfg, nil)
+	materializeEdges(g, want)
+	materializeEdges(g, got)
+	requireSameCandidates(t, want, got)
+	// The chain pattern user-link-item-link-hub reaches depth 2: its P_E
+	// must include the boundary edges, proving the straddle is visible.
+	foundChain := false
+	for _, c := range got {
+		if !c.Fallback && len(c.P.Nodes) == 3 && c.CoveredEdges != nil && c.CoveredEdges.Count() >= 2 {
+			foundChain = true
+		}
+	}
+	if !foundChain {
+		t.Fatal("no depth-2 chain candidate crossed the shard boundary")
+	}
+}

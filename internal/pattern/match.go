@@ -77,6 +77,16 @@ type compiled struct {
 	order    []int
 	anchorOf []cEdge // indexed by position in order; anchorOf[0] unused
 	pos      []int   // node -> position in order
+	// back[i] lists, for order[i], the pattern edges to earlier-mapped nodes
+	// other than the anchor edge — the non-tree edges the search must verify
+	// when placing position i. Precomputed here so the inner loop skips tree
+	// positions (the common case) without scanning adj and re-filtering.
+	// backOff[i] is the start of position i's entries in a flat array of
+	// nback total back edges; the search scratch uses it to give each
+	// (position, back edge) pair a stable slot across recursion levels.
+	back    [][]cEdge
+	backOff []int
+	nback   int
 
 	// nodeBits[u] is the graph's per-label node bitset for labels[u], taken
 	// at compile time; nbound is the node count then. nodeOK consults the
@@ -178,6 +188,19 @@ func (m *Matcher) compile(p *Pattern) compiled {
 	for i, u := range c.order {
 		c.pos[u] = i
 	}
+	c.back = make([][]cEdge, n)
+	c.backOff = make([]int, n)
+	for i := 1; i < n; i++ {
+		a := c.anchorOf[i]
+		c.backOff[i] = c.nback
+		for _, e := range c.adj[c.order[i]] {
+			if c.pos[e.other] >= i || (e.other == a.other && e.label == a.label && e.out == a.out) {
+				continue
+			}
+			c.back[i] = append(c.back[i], e)
+			c.nback++
+		}
+	}
 
 	c.nodeBits = make([]*graph.NodeBits, n)
 	for u, lid := range c.labels {
@@ -245,7 +268,7 @@ func (m *Matcher) MatchAt(p *Pattern, v graph.NodeID) bool {
 		return false
 	}
 	found := false
-	m.search(c, v, func(assign []graph.NodeID) bool {
+	m.search(c, v, func(*searchScratch) bool {
 		found = true
 		return false // stop at first embedding
 	})
@@ -263,15 +286,15 @@ func (m *Matcher) CoveredEdgeBitsAt(p *Pattern, v graph.NodeID) (*graph.EdgeBits
 	}
 	edges := graph.NewEdgeBits(0)
 	count := 0
-	m.search(c, v, func(assign []graph.NodeID) bool {
-		for u := range c.adj {
-			for _, e := range c.adj[u] {
-				if !e.out {
-					continue
-				}
-				if id, ok := m.g.EdgeIDOf(graph.EdgeRef{From: assign[u], To: assign[e.other], Label: e.label}); ok {
-					edges.Add(id)
-				}
+	m.search(c, v, func(s *searchScratch) bool {
+		// Every pattern edge is either some position's anchor (tree) edge or
+		// was verified when its later endpoint was placed; search recorded
+		// the matched graph edge for both, so the union needs no edge-index
+		// probes.
+		for pos := 1; pos < len(s.treeID); pos++ {
+			edges.Add(s.treeID[pos])
+			for _, id := range s.extraID[pos] {
+				edges.Add(id)
 			}
 		}
 		count++
@@ -310,7 +333,7 @@ func (m *Matcher) CoverAmong(p *Pattern, candidates []graph.NodeID) []graph.Node
 			continue
 		}
 		found := false
-		m.search(c, v, func([]graph.NodeID) bool { found = true; return false })
+		m.search(c, v, func(*searchScratch) bool { found = true; return false })
 		if found {
 			covered = append(covered, v)
 		}
@@ -354,11 +377,24 @@ type searchScratch struct {
 	assign []graph.NodeID
 	stamp  []uint32
 	epoch  uint32
+	// Matched graph-edge IDs, maintained by search so emit callbacks can
+	// union covered edges without re-resolving (pattern edge -> graph edge)
+	// through the edge index per embedding. treeID[i] is the edge matched by
+	// order[i]'s anchor edge (treeID[0] unused); extraID[i] holds the edges
+	// matched by the non-tree pattern edges verified when placing order[i].
+	treeID  []graph.EdgeID
+	extraID [][]graph.EdgeID
+	// backSrc[c.backOff[pos]+i] caches, per recursion level, the fixed-side
+	// adjacency list for back edge i of position pos: that endpoint is
+	// already mapped and stays put for the whole candidate loop, so its
+	// (usually short) list is loaded once and scanned in-cache per candidate.
+	backSrc [][]graph.Edge
 }
 
-// acquireSearch returns a scratch with assign sized for n pattern nodes and
-// stamps covering the graph's node space, at a fresh epoch.
-func (m *Matcher) acquireSearch(n int) *searchScratch {
+// acquireSearch returns a scratch with assign sized for n pattern nodes,
+// backSrc sized for the pattern's nback back edges, and stamps covering the
+// graph's node space, at a fresh epoch.
+func (m *Matcher) acquireSearch(n, nback int) *searchScratch {
 	s, _ := m.searchPool.Get().(*searchScratch)
 	if s == nil {
 		s = &searchScratch{}
@@ -367,6 +403,23 @@ func (m *Matcher) acquireSearch(n int) *searchScratch {
 		s.assign = make([]graph.NodeID, n)
 	} else {
 		s.assign = s.assign[:n]
+	}
+	if cap(s.treeID) < n {
+		s.treeID = make([]graph.EdgeID, n)
+	} else {
+		s.treeID = s.treeID[:n]
+	}
+	if cap(s.extraID) < n {
+		grown := make([][]graph.EdgeID, n)
+		copy(grown, s.extraID[:cap(s.extraID)])
+		s.extraID = grown
+	} else {
+		s.extraID = s.extraID[:n]
+	}
+	if cap(s.backSrc) < nback {
+		s.backSrc = make([][]graph.Edge, nback)
+	} else {
+		s.backSrc = s.backSrc[:nback]
 	}
 	if nn := m.g.NumNodes(); len(s.stamp) < nn {
 		grown := make([]uint32, nn)
@@ -382,10 +435,12 @@ func (m *Matcher) acquireSearch(n int) *searchScratch {
 }
 
 // search runs anchored backtracking. emit is called for each embedding found
-// (assign maps pattern node -> graph node); returning false stops the search.
-func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.NodeID) bool) {
+// with the live scratch (s.assign maps pattern node -> graph node, s.treeID
+// and s.extraID carry the matched graph-edge IDs); returning false stops the
+// search.
+func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func(*searchScratch) bool) {
 	n := len(c.labels)
-	s := m.acquireSearch(n)
+	s := m.acquireSearch(n, c.nback)
 	defer m.searchPool.Put(s)
 	assign, stamp, epoch := s.assign, s.stamp, s.epoch
 	assign[c.order[0]] = anchor
@@ -401,11 +456,33 @@ func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.Nod
 	rec = func(pos int) bool {
 		if pos == n {
 			embeddings++
-			return emit(assign)
+			return emit(s)
 		}
 		u := c.order[pos]
 		a := c.anchorOf[pos]
+		backEdges := c.back[pos]
+		// nodeOK's checks, hoisted and unrolled: this loop runs once per
+		// adjacency entry of every expanded node, and the call overhead is
+		// measurable at the million-node tier.
+		uBits := c.nodeBits[u]
+		uLits := c.lits[u]
+		uLabel := c.labels[u]
+		nbound := c.nbound
 		from := assign[a.other]
+		// Hoist each back edge's fixed-side adjacency: the earlier-mapped
+		// endpoint w doesn't move during the candidate loop, and in both
+		// orientations the list entry's To field carries the candidate
+		// endpoint, so verification below is one in-cache scan per candidate
+		// instead of an edge-index probe.
+		boff := c.backOff[pos]
+		for i, e := range backEdges {
+			w := assign[e.other]
+			if e.out {
+				s.backSrc[boff+i] = m.g.In(w)
+			} else {
+				s.backSrc[boff+i] = m.g.Out(w)
+			}
+		}
 		// Candidates come from the anchor edge: if the edge leaves u, u's
 		// image must have an edge to from's image, i.e. scan In(from);
 		// otherwise scan Out(from).
@@ -420,35 +497,63 @@ func (m *Matcher) search(c *compiled, anchor graph.NodeID, emit func([]graph.Nod
 				continue
 			}
 			v := ge.To
-			if stamp[v] == epoch || !c.nodeOK(m.g, u, v) {
+			if stamp[v] == epoch {
 				prunes++
 				continue
 			}
-			// Verify every other pattern edge between u and mapped nodes.
-			ok := true
-			for _, e := range c.adj[u] {
-				if c.pos[e.other] >= pos || (e.other == a.other && e.label == a.label && e.out == a.out) {
+			if int(v) < nbound {
+				if !uBits.Has(v) {
+					prunes++
 					continue
 				}
-				w := assign[e.other]
-				if e.out {
-					if !m.g.HasEdge(v, w, e.label) {
-						ok = false
-						break
-					}
-				} else {
-					if !m.g.HasEdge(w, v, e.label) {
-						ok = false
-						break
-					}
+			} else if m.g.LabelIDOf(v) != uLabel {
+				prunes++
+				continue
+			}
+			litOK := true
+			for _, lit := range uLits {
+				if !m.g.HasLiteral(v, lit.Key, lit.Val) {
+					litOK = false
+					break
 				}
 			}
+			if !litOK {
+				prunes++
+				continue
+			}
+			// Verify every other pattern edge between u and mapped nodes,
+			// recording the matched graph edges so emit needs no lookups.
+			ok := true
+			extra := s.extraID[pos][:0]
+			for i, e := range backEdges {
+				var id graph.EdgeID
+				found := false
+				if l := s.backSrc[boff+i]; len(l) <= 32 {
+					for _, e2 := range l {
+						if e2.To == v && e2.Label == e.label {
+							id, found = e2.ID, true
+							break
+						}
+					}
+				} else if e.out {
+					id, found = m.g.EdgeIDBetween(v, assign[e.other], e.label)
+				} else {
+					id, found = m.g.EdgeIDBetween(assign[e.other], v, e.label)
+				}
+				if !found {
+					ok = false
+					break
+				}
+				extra = append(extra, id)
+			}
+			s.extraID[pos] = extra
 			if !ok {
 				prunes++
 				continue
 			}
 			expansions++
 			assign[u] = v
+			s.treeID[pos] = ge.ID
 			stamp[v] = epoch
 			cont := rec(pos + 1)
 			stamp[v] = 0

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"github.com/cwru-db/fgs/internal/mining"
+	"github.com/cwru-db/fgs/internal/obs"
+)
+
+// Focus-region partitioning on the serving path (DESIGN.md §14). Each epoch
+// view carries a partitionSlot: the focus-region shard set for exactly that
+// view's graph replica, built at most once per epoch and shared by every
+// reader pinned to the view. Readers therefore pin (view, partition)
+// together — the partition can never mix epochs with the graph it is used
+// against, and it retires with its view.
+//
+// Builds are lazy with a singleflight guard: the first summarize against a
+// fresh epoch (or the async builder the write path kicks off at publish)
+// constructs the regions; concurrent requests that lose the build race fall
+// back to the unpartitioned path for that one request, which is
+// byte-identical by the mining layer's determinism contract — the partition
+// is a throughput optimization, never a correctness dependency.
+
+// partitionSeed fixes the partitioner's center-selection stream. A constant
+// (rather than boot entropy) keeps shard assignment reproducible across
+// restarts, so cross-process determinism tests can compare traces.
+const partitionSeed uint64 = 0x66677364 // "fgsd"
+
+// errPartitionBusy reports a beginBuild that lost the singleflight race.
+var errPartitionBusy = errors.New("server: partition build already in flight")
+
+// partitionSlot is one epoch view's partition cache. built is the published
+// regions (nil until the first build completes); busy is the build
+// singleflight. Both are atomics so readers never take a lock: the hot path
+// is a single pointer load once the partition exists.
+type partitionSlot struct {
+	built atomic.Pointer[mining.Regions]
+	busy  atomic.Bool
+}
+
+// beginBuild claims the slot's build singleflight. On success the returned
+// release must be called exactly once when the build attempt finishes
+// (whether or not it stored a result); on errPartitionBusy another builder
+// owns the slot and the caller must not build.
+func (ps *partitionSlot) beginBuild() (release func(), err error) {
+	if !ps.busy.CompareAndSwap(false, true) {
+		return nil, errPartitionBusy
+	}
+	return func() { ps.busy.Store(false) }, nil
+}
+
+// buildPartitionFor constructs and installs v's focus-region partition.
+// Safe to call concurrently — losers of the build singleflight return and
+// leave the winner's result to land. The caller must hold a pin on v so the
+// replica cannot be recycled mid-build.
+func (s *Server) buildPartitionFor(v *epochView) {
+	release, err := v.part.beginBuild()
+	if err != nil {
+		return
+	}
+	defer release()
+	if v.part.built.Load() != nil {
+		return
+	}
+	v.part.built.Store(mining.BuildRegions(v.g, s.groups.All(), mining.RegionConfig{
+		Shards: s.cfg.Shards,
+		R:      s.cfg.R,
+		Seed:   partitionSeed,
+	}))
+}
+
+// regionsFor resolves the partition for a pinned read context, timing the
+// resolution as the request's partition stage. It returns nil — meaning the
+// run proceeds unpartitioned — when sharding is off, in locked mode (the
+// live graph mutates under readers, so slices cannot be cached), when the
+// request's radius differs from the partition radius, or when the build
+// singleflight is held by someone else.
+func (s *Server) regionsFor(rt *obs.ReqTrace, v *epochView, r int) *mining.Regions {
+	if s.cfg.Shards < 2 || v == nil || r != s.cfg.R {
+		return nil
+	}
+	sp := rt.Start(obs.StagePartition)
+	defer sp.End()
+	if built := v.part.built.Load(); built != nil {
+		return built
+	}
+	s.buildPartitionFor(v)
+	return v.part.built.Load()
+}

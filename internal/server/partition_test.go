@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/obs"
+)
+
+// TestDeterminismAcrossShardCounts runs the canonical request script —
+// including graph-changing writes, so partitions are rebuilt across epochs —
+// against unpartitioned, 2-shard, and 8-shard-with-workers servers. Every
+// response body must be byte-identical: partitioning is a throughput lever,
+// never a semantic one.
+func TestDeterminismAcrossShardCounts(t *testing.T) {
+	_, plain := newTestServer(t, Config{})
+	_, sharded2 := newTestServer(t, Config{Shards: 2})
+	_, sharded8 := newTestServer(t, Config{Shards: 8, Workers: 8})
+	a := runScript(t, plain)
+	b := runScript(t, sharded2)
+	c := runScript(t, sharded8)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("step %d (%s %s): shards 0 vs 2 differ:\n  %s\n  %s",
+				i, determinismScript[i].path, determinismScript[i].body, a[i], b[i])
+		}
+		if !bytes.Equal(a[i], c[i]) {
+			t.Errorf("step %d (%s %s): shards 0 vs 8 differ:\n  %s\n  %s",
+				i, determinismScript[i].path, determinismScript[i].body, a[i], c[i])
+		}
+	}
+}
+
+// TestDeterminismShardsAcrossReadModes: locked mode never partitions (the
+// live graph mutates under readers), yet with Shards set both modes must
+// keep producing identical bytes — the sharded mvcc path against the
+// unpartitioned locked path.
+func TestDeterminismShardsAcrossReadModes(t *testing.T) {
+	_, mvcc := newTestServer(t, Config{Shards: 4, ReadMode: ReadModeMVCC})
+	_, locked := newTestServer(t, Config{Shards: 4, ReadMode: ReadModeLocked})
+	a := runScript(t, mvcc)
+	b := runScript(t, locked)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("step %d (%s %s): sharded mvcc vs locked differ:\n  %s\n  %s",
+				i, determinismScript[i].path, determinismScript[i].body, a[i], b[i])
+		}
+	}
+}
+
+// TestPartitionStage asserts the partition stage surfaces in Server-Timing
+// exactly when sharding is active: present on a sharded mvcc summarize
+// (epoch 0's partition is built at boot, so the stage is a cache hit),
+// present again after a write publishes a new epoch, and absent when shards
+// are off or the read mode is locked.
+func TestPartitionStage(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 4, CacheEntries: -1})
+
+	resp, body := post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, http.StatusOK)
+	st := obs.ParseServerTiming(resp.Header.Get("Server-Timing"))
+	if _, ok := st["partition"]; !ok {
+		t.Errorf("sharded summarize Server-Timing %q missing partition stage", resp.Header.Get("Server-Timing"))
+	}
+
+	// Cross an epoch: the new view's partition is rebuilt (async at publish
+	// or inline by this request) and the stage still reports.
+	resp, body = post(t, ts, "/v1/update", `{"insert":[{"from":0,"to":12,"label":"corev"}]}`)
+	wantStatus(t, resp, body, http.StatusOK)
+	resp, body = post(t, ts, "/v1/summarize", `{"n":4}`)
+	wantStatus(t, resp, body, http.StatusOK)
+	st = obs.ParseServerTiming(resp.Header.Get("Server-Timing"))
+	if _, ok := st["partition"]; !ok {
+		t.Errorf("post-update Server-Timing %q missing partition stage", resp.Header.Get("Server-Timing"))
+	}
+
+	for name, cfg := range map[string]Config{
+		"shards off":  {CacheEntries: -1},
+		"locked mode": {Shards: 4, ReadMode: ReadModeLocked, CacheEntries: -1},
+	} {
+		_, off := newTestServer(t, cfg)
+		resp, body := post(t, off, "/v1/summarize", `{"n":4}`)
+		wantStatus(t, resp, body, http.StatusOK)
+		if _, ok := obs.ParseServerTiming(resp.Header.Get("Server-Timing"))["partition"]; ok {
+			t.Errorf("%s: Server-Timing %q reports a partition stage", name, resp.Header.Get("Server-Timing"))
+		}
+	}
+}

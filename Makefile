@@ -12,7 +12,7 @@ test:
 
 # The concurrent packages again under the race detector (mirrors CI).
 race:
-	$(GO) test -race ./internal/mining/ ./internal/pattern/ ./internal/core/ ./internal/graph/ ./internal/obs/ ./internal/server/
+	$(GO) test -race ./internal/mining/ ./internal/pattern/ ./internal/core/ ./internal/graph/ ./internal/obs/ ./internal/server/ ./internal/store/
 
 # Run the summarization daemon on the demo LKI graph (see README "Serving").
 # Override flags via ARGS: make serve ARGS='-addr :9000 -workers 4'
@@ -48,9 +48,9 @@ bench:
 # bench-ci mirrors CI's bench job: the performance-sensitive paths only,
 # with the raw -json stream archived under a dated name for benchstat /
 # bench-compare diffs. The pinned set covers selection (GreedyCover), the
-# mining pipeline (SumGen*), the E_v^r cache, the matcher hot paths, and the
-# graph substrate.
-BENCH_CI_RE := BenchmarkGreedyCover|BenchmarkSumGen$$|BenchmarkSumGenParallel|BenchmarkSumGenPartitioned|BenchmarkErCacheHit|BenchmarkSumGenObs|BenchmarkMatchAtStar|BenchmarkMatchAtChain3|BenchmarkCoveredEdgesAt|BenchmarkErCacheGet|BenchmarkRHopEdges2|BenchmarkAddEdge|BenchmarkAddEdgeHighDegree|BenchmarkHasEdge|BenchmarkBuildPartition
+# mining pipeline (SumGen*), the E_v^r cache, the matcher hot paths, the
+# graph substrate, and the fgstore write/recovery paths.
+BENCH_CI_RE := BenchmarkGreedyCover|BenchmarkSumGen$$|BenchmarkSumGenParallel|BenchmarkSumGenPartitioned|BenchmarkErCacheHit|BenchmarkSumGenObs|BenchmarkMatchAtStar|BenchmarkMatchAtChain3|BenchmarkCoveredEdgesAt|BenchmarkErCacheGet|BenchmarkRHopEdges2|BenchmarkAddEdge|BenchmarkAddEdgeHighDegree|BenchmarkHasEdge|BenchmarkBuildPartition|BenchmarkWALAppend|BenchmarkRecoveryReplay
 
 # The raw stream is also condensed into BENCH_<date>-summary.json — a compact
 # sorted {name, ns_per_op, bytes_per_op, allocs_per_op} array for dashboards
@@ -58,7 +58,7 @@ BENCH_CI_RE := BenchmarkGreedyCover|BenchmarkSumGen$$|BenchmarkSumGenParallel|Be
 bench-ci:
 	$(GO) test -json -run '^$$' -p 1 \
 		-bench '$(BENCH_CI_RE)' \
-		-benchmem ./internal/core/ ./internal/mining/ ./internal/pattern/ ./internal/graph/ \
+		-benchmem ./internal/core/ ./internal/mining/ ./internal/pattern/ ./internal/graph/ ./internal/store/ \
 		| tee "BENCH_$$(date -u +%F).json"
 	$(GO) run ./cmd/fgsbenchcmp -summarize "BENCH_$$(date -u +%F).json" \
 		> "BENCH_$$(date -u +%F)-summary.json"

@@ -70,6 +70,11 @@ func main() {
 		shards    = flag.Int("shards", 0, "focus-region shards per epoch view for partition-parallel summarization (0 or 1 = off; mvcc mode only)")
 		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 
+		dataDir   = flag.String("data-dir", "", "fgstore data directory for WAL + snapshots (empty = in-memory only, state lost on exit)")
+		fsyncPol  = flag.String("fsync", "group", "WAL durability: batch (sync per update), group (group-commit window), off")
+		snapEvery = flag.Int("snapshot-every", 256, "snapshot after this many graph-changing batches (0 = only on drain)")
+		walSegMB  = flag.Int("wal-segment-mb", 64, "WAL segment size before rolling, in MiB")
+
 		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 		noTrace     = flag.Bool("no-trace", false, "disable request tracing (no trace IDs, stage histograms, or flight recorder)")
 		slowReq     = flag.Duration("slow-request", 10*time.Second, "log requests slower than this with their stage breakdown and dump the flight recorder (0 = off)")
@@ -111,12 +116,42 @@ func main() {
 		observer = fgs.NewObserver(nil)
 	}
 
+	// Open the store first: a data directory with recovered state overrides
+	// -graph (the durable graph is the truth; the flag described the seed).
+	var st *fgs.Store
+	var recovered *fgs.StoreRecovered
+	if *dataDir != "" {
+		openStart := time.Now()
+		var err error
+		st, recovered, err = fgs.OpenStore(fgs.StoreOptions{
+			Dir:          *dataDir,
+			Fsync:        *fsyncPol,
+			SegmentBytes: int64(*walSegMB) << 20,
+			Log:          log,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		log.Info("store open",
+			"dir", *dataDir, "fsync", *fsyncPol, "duration", time.Since(openStart),
+			"fresh", recovered.Fresh, "snapshot_epoch", recovered.SnapshotEpoch,
+			"epoch", recovered.Epoch, "wal_tail", len(recovered.Tail),
+			"wal_tail_bytes", recovered.TailBytes, "torn_truncated", recovered.Truncated)
+	}
+
 	var g *fgs.Graph
 	loadStart := time.Now()
-	if *graphPath == "" {
+	switch {
+	case recovered != nil && !recovered.Fresh:
+		if *graphPath != "" {
+			log.Warn("ignoring -graph: data directory has recovered state", "graph", *graphPath, "data_dir", *dataDir)
+		}
+		g = recovered.Graph
+	case *graphPath == "":
 		log.Info("no -graph given; serving the demo LKI graph", "seed", *demoSeed, "scale", *demoScale)
 		g = datasets.LKI(*demoSeed, *demoScale)
-	} else {
+	default:
 		f, err := os.Open(*graphPath)
 		if err != nil {
 			fatal(err)
@@ -168,6 +203,9 @@ func main() {
 		SlowRequest:    *slowReq,
 		Log:            log,
 		FlightDump:     dumpW,
+		Store:          st,
+		Resume:         recovered,
+		SnapshotEvery:  *snapEvery,
 	})
 	if err != nil {
 		fatal(err)
@@ -218,6 +256,14 @@ func main() {
 	if !*noTrace && *flightEvts >= 0 {
 		if err := srv.DumpFlightRecorder(dumpW, "drain"); err != nil {
 			log.Error("flight dump failed", "reason", "drain", "error", err)
+		}
+	}
+	if st != nil {
+		// Snapshot-on-drain: with no in-flight writes left, seal the final
+		// state so the next boot recovers from the snapshot alone. Close
+		// (the deferred st.Close) then seals the WAL behind it.
+		if err := srv.FinalSnapshot(); err != nil {
+			log.Error("final snapshot", "error", err)
 		}
 	}
 	if observer != nil {

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/cwru-db/fgs/internal/graph"
+	"github.com/cwru-db/fgs/internal/submod"
+)
+
+// persistDeltas is the update sequence the persist tests drive through the
+// maintainer before (and after) checkpointing: inserts that touch group
+// neighborhoods, plus one delete.
+func persistDeltas() []Delta {
+	return []Delta{
+		{Insert: []EdgeUpdate{{From: 4, To: 5, Label: "recommend"}}},
+		{Insert: []EdgeUpdate{{From: 3, To: 8, Label: "recommend"}, {From: 12, To: 0, Label: "recommend"}}},
+		{Delete: []EdgeUpdate{{From: 4, To: 5, Label: "recommend"}}},
+		{Insert: []EdgeUpdate{{From: 6, To: 10, Label: "recommend"}}},
+	}
+}
+
+// summaryJSON renders the canonical JSON export, the byte-level identity
+// the durability layer promises to preserve.
+func summaryBytes(t testing.TB, s *Summary, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointCodecRoundTrip: WriteBinary → ReadMaintainerState must
+// reproduce the checkpoint exactly, field for field.
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	m, _ := NewMaintainer(g, groups, util, defaultCfg())
+	for _, d := range persistDeltas() {
+		if _, err := m.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMaintainerState(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Selector, st.Selector) {
+		t.Fatalf("selector round-trip differs:\n got %+v\nwant %+v", got.Selector, st.Selector)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("checkpoint round-trip differs:\n got %+v\nwant %+v", got, st)
+	}
+	// The codec requires a buffered reader; a bare one must be refused, not
+	// misparsed.
+	var raw bytes.Buffer
+	if err := st.WriteBinary(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMaintainerState(onlyReader{&raw}); err == nil {
+		t.Fatal("unbuffered reader accepted")
+	}
+}
+
+// onlyReader hides every interface but io.Reader.
+type onlyReader struct{ r *bytes.Buffer }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// TestResumeByteIdentical is the determinism contract behind fgstore
+// snapshots: checkpoint a maintainer, round-trip the graph through FGSB and
+// the checkpoint through its codec, resume — and require the summary bytes
+// to match. Then keep applying identical updates to both maintainers and
+// require the summaries to stay byte-identical: the checkpoint must carry
+// all decision history (selector weights, buckets, utility state), not just
+// the current selection.
+func TestResumeByteIdentical(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	m, sum := NewMaintainer(g, groups, util, cfg)
+	deltas := persistDeltas()
+	for _, d := range deltas[:2] {
+		var err error
+		if sum, err = m.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Snapshot: FGSB graph bytes + checkpoint bytes, as a snapshot file holds.
+	var gbuf bytes.Buffer
+	if err := graph.WriteBinary(&gbuf, g); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if err := st.WriteBinary(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover into fresh objects, exactly as store.Open + server resume do.
+	g2, err := graph.ReadBinary(bufio.NewReader(&gbuf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadMaintainerState(bufio.NewReader(&sbuf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups are rebuilt from their spec (as the daemon does on boot); the
+	// utility is bound to the recovered graph.
+	_, groups2, _ := talentFixture(t)
+	util2 := submod.NewNeighborCoverage(g2, submod.NeighborsIn, "recommend")
+	m2, sum2, err := ResumeMaintainer(g2, groups2, util2, cfg, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summaryBytes(t, sum2, g2), summaryBytes(t, sum, g); !bytes.Equal(got, want) {
+		t.Fatalf("resumed summary differs:\n got %s\nwant %s", got, want)
+	}
+
+	// History dependence: future applies must also agree byte for byte.
+	for i, d := range deltas[2:] {
+		s1, err1 := m.ApplyDelta(d)
+		s2, err2 := m2.ApplyDelta(d)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("delta %d: errors diverge: %v vs %v", i, err1, err2)
+		}
+		if got, want := summaryBytes(t, s2, g2), summaryBytes(t, s1, g); !bytes.Equal(got, want) {
+			t.Fatalf("delta %d after resume: summaries diverge:\n got %s\nwant %s", i, got, want)
+		}
+	}
+
+	// Lifetime counters survive the trip (they feed exported stats).
+	st1b, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2b, err := m2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st1b, st2b) {
+		t.Fatalf("post-resume checkpoints diverge:\n got %+v\nwant %+v", st2b, st1b)
+	}
+}
+
+// TestResumeRejectsMalformedState pins the validation errors: weight/bucket
+// count mismatches and unparsable patterns must fail resume, not corrupt it.
+func TestResumeRejectsMalformedState(t *testing.T) {
+	g, groups, util := talentFixture(t)
+	cfg := defaultCfg()
+	m, _ := NewMaintainer(g, groups, util, cfg)
+	st, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *st
+	sel := *st.Selector
+	sel.Weights = sel.Weights[:0]
+	bad.Selector = &sel
+	fresh := func() (*graph.Graph, *submod.Groups, submod.Utility) {
+		return talentFixture(t)
+	}
+	g2, gr2, u2 := fresh()
+	if _, _, err := ResumeMaintainer(g2, gr2, u2, cfg, &bad); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+
+	bad2 := *st
+	bad2.Patterns = append([]PatternState(nil), st.Patterns...)
+	if len(bad2.Patterns) == 0 {
+		t.Skip("fixture selected no patterns")
+	}
+	bad2.Patterns[0].Pattern = "not a pattern"
+	g3, gr3, u3 := fresh()
+	if _, _, err := ResumeMaintainer(g3, gr3, u3, cfg, &bad2); err == nil {
+		t.Fatal("malformed pattern text accepted")
+	}
+}

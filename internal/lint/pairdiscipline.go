@@ -146,6 +146,18 @@ var pairTable = []*pairSpec{
 		releaseNames: names("Put"), resultIdx: 0, errIdx: -1,
 		hint: "Put the pooled value back on every path",
 	},
+	{
+		id: "store Open/Close", mode: pairResult,
+		acquirePkg: "github.com/cwru-db/fgs/internal/store", acquireNames: names("Open"),
+		releaseNames: names("Close"), resultIdx: 0, errIdx: 2,
+		hint: "Close the store on every path (prefer defer) so the WAL seals with a final sync",
+	},
+	{
+		id: "snapshot BeginSnapshot/Commit|Abort", mode: pairResult,
+		acquireRecv: "Store", acquireNames: names("BeginSnapshot"),
+		releaseNames: names("Commit", "Abort"), resultIdx: 0, errIdx: 1,
+		hint: "finish the snapshot with exactly one of Commit or Abort on every path",
+	},
 }
 
 func names(ns ...string) map[string]bool {

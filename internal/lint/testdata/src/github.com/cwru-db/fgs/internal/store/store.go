@@ -1,0 +1,39 @@
+// Stub of internal/store for the pairdiscipline fixtures: the tree loader
+// resolves the real module import path to this directory, so the fixture
+// package can exercise the acquirePkg-matched store Open/Close and
+// Store.BeginSnapshot/Commit|Abort rows against the genuine import path.
+package store
+
+import "errors"
+
+type Options struct {
+	Dir   string
+	Fsync string
+}
+
+type Recovered struct {
+	Fresh bool
+	Epoch uint64
+}
+
+type Store struct{ dir string }
+
+func Open(opts Options) (*Store, *Recovered, error) {
+	if opts.Dir == "" {
+		return nil, nil, errors.New("store: no data directory")
+	}
+	return &Store{dir: opts.Dir}, &Recovered{Fresh: true}, nil
+}
+
+func (s *Store) Close() error { return nil }
+
+func (s *Store) BeginSnapshot(epoch uint64) (*Snapshot, error) {
+	return &Snapshot{}, nil
+}
+
+type Snapshot struct{ done bool }
+
+func (sn *Snapshot) WriteGraph(g any)  {}
+func (sn *Snapshot) WriteState(ms any) {}
+func (sn *Snapshot) Commit() error     { sn.done = true; return nil }
+func (sn *Snapshot) Abort()            { sn.done = true }

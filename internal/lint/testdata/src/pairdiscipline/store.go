@@ -1,0 +1,79 @@
+// Fixture for the fgstore rows: store.Open must reach Close on every path,
+// and an in-flight snapshot must end in exactly one of Commit or Abort.
+package pairdiscipline
+
+import (
+	"github.com/cwru-db/fgs/internal/store"
+)
+
+func okOpenDeferClose() error {
+	st, _, err := store.Open(store.Options{Dir: "/tmp/x"})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	return nil
+}
+
+func leakOpen(cond bool) error {
+	st, _, err := store.Open(store.Options{Dir: "/tmp/x"}) // want `store\.Open\(\): store Open/Close acquired here is not released`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // leaks the store: the WAL never seals
+	}
+	return st.Close()
+}
+
+func okOpenHandoffReturn() (*store.Store, error) {
+	st, _, err := store.Open(store.Options{Dir: "/tmp/x"})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil // ok: caller owns the store now
+}
+
+func okSnapshotCommit(st *store.Store, g any) error {
+	sn, err := st.BeginSnapshot(7)
+	if err != nil {
+		return err
+	}
+	sn.WriteGraph(g)
+	return sn.Commit()
+}
+
+func okSnapshotAbortOnError(st *store.Store, g any, bad bool) error {
+	sn, err := st.BeginSnapshot(7)
+	if err != nil {
+		return err
+	}
+	if bad {
+		sn.Abort()
+		return nil
+	}
+	return sn.Commit()
+}
+
+func leakSnapshot(st *store.Store, g any, bad bool) error {
+	sn, err := st.BeginSnapshot(7) // want `st\.BeginSnapshot\(\): snapshot BeginSnapshot/Commit\|Abort acquired here is not released`
+	if err != nil {
+		return err
+	}
+	if bad {
+		return nil // leaks the in-flight snapshot: no further snapshot can start
+	}
+	return sn.Commit()
+}
+
+func okSnapshotClosureHandoff(st *store.Store, g any) error {
+	sn, err := st.BeginSnapshot(9)
+	if err != nil {
+		return err
+	}
+	go func() {
+		sn.WriteGraph(g)
+		sn.Commit()
+	}()
+	return nil // ok: the goroutine owns the snapshot now
+}

@@ -202,7 +202,7 @@ func TestViewSetReplicaConvergence(t *testing.T) {
 	leakcheck.Check(t)
 	g, groups := testGraph(t)
 	maint, sum := core.NewMaintainer(g, groups, mustUtility(t, g, "coverage"), core.Config{R: 2, N: 8})
-	vs := newViewSet(g, sum, 2, obs.System())
+	vs := newViewSet(g, sum, 2, obs.System(), 0)
 
 	// The whole pool (2 replicas) is cloned at boot; publishes only replay.
 	// Pin the boot view so its replica stays out of the pool until we unpin:
@@ -248,7 +248,7 @@ func TestViewSetWriterWaitsAtCap(t *testing.T) {
 	leakcheck.Check(t)
 	g, groups := testGraph(t)
 	maint, sum := core.NewMaintainer(g, groups, mustUtility(t, g, "coverage"), core.Config{R: 2, N: 8})
-	vs := newViewSet(g, sum, 2, obs.System())
+	vs := newViewSet(g, sum, 2, obs.System(), 0)
 
 	applyAndPublish(t, g, maint, vs, 1, core.Delta{Insert: []core.EdgeUpdate{{From: 0, To: 10, Label: "cap"}}})
 	pinned := vs.pin() // hold epoch 1; pool: current(e1, pinned) + free(e0)

@@ -47,6 +47,7 @@ import (
 	"github.com/cwru-db/fgs/internal/mining"
 	"github.com/cwru-db/fgs/internal/obs"
 	"github.com/cwru-db/fgs/internal/pattern"
+	"github.com/cwru-db/fgs/internal/store"
 	"github.com/cwru-db/fgs/internal/submod"
 )
 
@@ -124,6 +125,24 @@ type Config struct {
 	// automatic dumps; explicit DumpFlightRecorder calls and the
 	// /debug/fgs/flightrecorder endpoint work regardless.
 	FlightDump io.Writer
+	// Store, when non-nil, is the open fgstore (internal/store) the engine
+	// makes itself durable in: every applied update batch is appended to its
+	// WAL before the response is acknowledged, and the engine snapshots into
+	// it periodically and on drain (FinalSnapshot).
+	Store *store.Store
+	// Resume carries what Store recovered at open. Nil (or Fresh) boots the
+	// engine from the given graph and seals the initial state with a
+	// snapshot at epoch 0. Otherwise New resumes the maintainer from the
+	// snapshot checkpoint and replays Resume.Tail through the same
+	// Maintainer.Apply path that produced it, so the booted engine is
+	// byte-identical to the pre-crash one. The graph passed to New must then
+	// be Resume.Graph.
+	Resume *store.Recovered
+	// SnapshotEvery triggers an automatic snapshot each time that many
+	// graph-changing batches have landed since the last one (0 disables the
+	// automatic trigger; FinalSnapshot still snapshots on drain). Ignored
+	// without Store.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -230,6 +249,14 @@ type Server struct {
 	dumpMu   sync.Mutex
 	lastDump time.Time
 
+	// Durability (DESIGN.md §15). store is nil when the engine is purely
+	// in-memory. sinceSnap counts graph-changing batches since the last
+	// snapshot trigger (guarded by mu's write lock); snapWG tracks
+	// background snapshot writers so drain can wait them out.
+	store     *store.Store
+	sinceSnap int
+	snapWG    sync.WaitGroup
+
 	// testHook, when set, runs at the start of every admitted compute with
 	// the endpoint name — tests use it to hold requests in flight.
 	testHook func(endpoint string)
@@ -262,6 +289,7 @@ func New(g *graph.Graph, groups *submod.Groups, cfg Config) (*Server, error) {
 		reg:    reg,
 		http:   obs.NewEndpointStats(),
 		log:    cfg.Log,
+		store:  cfg.Store,
 	}
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -286,9 +314,51 @@ func New(g *graph.Graph, groups *submod.Groups, cfg Config) (*Server, error) {
 	// bound over the server's lifetime).
 	mcfg := s.coreConfig(cfg.R, cfg.K, cfg.N)
 	mcfg.Obs = cfg.Obs
-	s.maint, s.summary = core.NewMaintainer(g, groups, util, mcfg)
+	if cfg.Resume != nil && !cfg.Resume.Fresh {
+		// Recovery boot: resume the maintainer from the snapshot checkpoint,
+		// then replay the WAL tail through the same Apply path that produced
+		// it. Determinism makes the replay exact — each logged batch changed
+		// the graph when it was first applied, so it must again; a batch that
+		// suddenly applies nothing means the snapshot and log disagree.
+		m, sum, err := core.ResumeMaintainer(g, groups, util, mcfg, cfg.Resume.State)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		for _, rec := range cfg.Resume.Tail {
+			s2, applied, _ := m.Apply(rec.Delta)
+			if applied == 0 {
+				return nil, fmt.Errorf("server: recovery replay diverged at epoch %d: logged batch applied no change", rec.Epoch)
+			}
+			sum = s2
+		}
+		s.maint, s.summary = m, sum
+		s.epoch.Store(cfg.Resume.Epoch)
+		s.log.Info("recovery",
+			"snapshot_epoch", cfg.Resume.SnapshotEpoch,
+			"epoch", cfg.Resume.Epoch,
+			"replayed", len(cfg.Resume.Tail),
+			"replay_bytes", cfg.Resume.TailBytes,
+			"truncated", cfg.Resume.Truncated,
+			"covered", len(sum.Covered))
+	} else {
+		s.maint, s.summary = core.NewMaintainer(g, groups, util, mcfg)
+		if s.store != nil {
+			// Seal the initial state so a crash before the first snapshot
+			// trigger still recovers: epoch 0 = this graph + this checkpoint.
+			st, err := s.maint.Checkpoint()
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+			if err := s.store.WriteSnapshot(0, g, st); err != nil {
+				return nil, fmt.Errorf("server: initial snapshot: %w", err)
+			}
+		}
+	}
+	if s.store != nil {
+		reg.Register(s.store)
+	}
 	if cfg.ReadMode == ReadModeMVCC {
-		s.views = newViewSet(g, s.summary, cfg.MaxViews, s.clock)
+		s.views = newViewSet(g, s.summary, cfg.MaxViews, s.clock, s.epoch.Load())
 		reg.Register(s.views)
 		if cfg.Shards > 1 {
 			// Build the boot view's partition before serving traffic, so the
@@ -504,6 +574,20 @@ func (s *Server) computeUpdate(rt *obs.ReqTrace, req *UpdateRequest) (*UpdateRes
 				}()
 			}
 		}
+		if s.store != nil {
+			// Log the batch exactly as requested — replay re-applies it
+			// through the same Apply path, where per-edge failures repeat
+			// deterministically. The response is not acknowledged until the
+			// record is durable per the fsync policy; an append failure is
+			// fatal for the write path (the WAL error is sticky), so report
+			// 500 rather than acknowledging a batch that will not survive a
+			// restart.
+			if werr := s.store.Append(store.Record{Epoch: epoch, Delta: delta}); werr != nil {
+				s.log.Error("wal append failed", "epoch", epoch, "err", werr)
+				return nil, werr
+			}
+			s.maybeSnapshotLocked(epoch)
+		}
 		s.log.Info("publish",
 			"epoch", epoch,
 			"applied", applied,
@@ -524,6 +608,83 @@ func (s *Server) computeUpdate(rt *obs.ReqTrace, req *UpdateRequest) (*UpdateRes
 		}
 	}
 	return resp, nil
+}
+
+// maybeSnapshotLocked counts a graph-changing batch and, every
+// SnapshotEvery of them, snapshots the engine at the just-published epoch.
+// Caller holds the write lock, where the maintainer checkpoint is cheap and
+// consistent with the epoch. In mvcc mode the expensive part — streaming
+// the graph image — runs off the write path against the pinned epoch view
+// (its replica is frozen at exactly this epoch); locked mode has no frozen
+// replica to lean on and writes synchronously from the live graph, the
+// documented cost of that baseline. A snapshot already in flight skips the
+// trigger — the counter keeps accumulating, so the next batch retries.
+func (s *Server) maybeSnapshotLocked(epoch uint64) {
+	s.sinceSnap++
+	if s.cfg.SnapshotEvery <= 0 || s.sinceSnap < s.cfg.SnapshotEvery {
+		return
+	}
+	st, err := s.maint.Checkpoint()
+	if err != nil {
+		s.log.Error("snapshot checkpoint failed", "epoch", epoch, "err", err)
+		return
+	}
+	if s.views != nil {
+		v := s.views.pin() // the current view: just published at this epoch
+		sn, err := s.store.BeginSnapshot(epoch)
+		if err != nil {
+			s.views.unpin(v)
+			s.log.Info("snapshot skipped", "epoch", epoch, "reason", err)
+			return
+		}
+		s.sinceSnap = 0
+		s.snapWG.Add(1)
+		go func() {
+			defer s.snapWG.Done()
+			defer s.views.unpin(v)
+			sn.WriteGraph(v.g)
+			sn.WriteState(st)
+			if err := sn.Commit(); err != nil {
+				s.log.Error("snapshot failed", "epoch", epoch, "err", err)
+				return
+			}
+			s.log.Info("snapshot", "epoch", epoch)
+		}()
+		return
+	}
+	s.sinceSnap = 0
+	if err := s.store.WriteSnapshot(epoch, s.g, st); err != nil {
+		s.log.Error("snapshot failed", "epoch", epoch, "err", err)
+		return
+	}
+	s.log.Info("snapshot", "epoch", epoch)
+}
+
+// FinalSnapshot writes a synchronous snapshot of the current state unless
+// the live snapshot already is the current epoch. Call it during shutdown,
+// after the HTTP server has drained (no in-flight writes), before closing
+// the store: restart then recovers from the snapshot alone, with an empty
+// WAL tail to replay.
+func (s *Server) FinalSnapshot() error {
+	if s.store == nil {
+		return nil
+	}
+	s.snapWG.Wait() // background writers do not take mu; settle them first
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch := s.epoch.Load()
+	if epoch == s.store.SnapshotEpoch() {
+		return nil
+	}
+	st, err := s.maint.Checkpoint()
+	if err != nil {
+		return fmt.Errorf("server: final snapshot: %w", err)
+	}
+	if err := s.store.WriteSnapshot(epoch, s.g, st); err != nil {
+		return fmt.Errorf("server: final snapshot: %w", err)
+	}
+	s.log.Info("snapshot", "epoch", epoch, "final", true)
+	return nil
 }
 
 // computeStats snapshots the engine. Everything in the response is

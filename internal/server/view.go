@@ -99,20 +99,24 @@ type replica struct {
 }
 
 // newViewSet clones the full replica pool and publishes the boot view at
-// epoch 0. All O(V+E) copying happens here, before the engine serves
-// traffic; the publish path only ever replays deltas.
-func newViewSet(live *graph.Graph, summary *core.Summary, maxViews int, clock obs.Clock) *viewSet {
+// bootEpoch — 0 on a cold start, the recovered epoch when the engine booted
+// from an fgstore snapshot + WAL replay. All O(V+E) copying happens here,
+// before the engine serves traffic; the publish path only ever replays
+// deltas.
+func newViewSet(live *graph.Graph, summary *core.Summary, maxViews int, clock obs.Clock, bootEpoch uint64) *viewSet {
 	vs := &viewSet{
-		cur:      &epochView{epoch: 0, g: live.Clone(), summary: summary},
+		cur:      &epochView{epoch: bootEpoch, g: live.Clone(), summary: summary},
 		replicas: maxViews,
 		maxViews: maxViews,
+		logBase:  bootEpoch,
 		clock:    clock,
 	}
 	vs.clones.Inc()
 	for i := 1; i < maxViews; i++ {
-		vs.free = append(vs.free, replica{g: live.Clone(), epoch: 0})
+		vs.free = append(vs.free, replica{g: live.Clone(), epoch: bootEpoch})
 		vs.clones.Inc()
 	}
+	vs.logBaseA.Store(bootEpoch)
 	vs.cond = sync.NewCond(&vs.mu)
 	return vs
 }

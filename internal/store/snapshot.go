@@ -1,0 +1,220 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/cwru-db/fgs/internal/core"
+	"github.com/cwru-db/fgs/internal/graph"
+)
+
+// Snapshots: a compact, checksummed image of the engine at one epoch —
+// the graph in the FGSB binary format plus the maintainer checkpoint — so
+// recovery replays only the WAL tail past it:
+//
+//	snapshot = magic "FGSS\x01" body crc32c(body)·4 LE
+//	body     = uvarint(epoch) fgsb-graph maintainer-checkpoint
+//
+// Files are named snap-%016x.fgss by epoch and land via the classic
+// tmp → fsync → rename → fsync(dir) dance, so a crash mid-write leaves at
+// worst a stale *.tmp that the next Open sweeps up. The manifest (store.go)
+// decides which snapshot is live; everything older is garbage.
+
+// snapMagic heads every snapshot file.
+var snapMagic = []byte{'F', 'G', 'S', 'S', 0x01}
+
+// snapshotName renders the file name of the snapshot at epoch e.
+func snapshotName(e uint64) string { return fmt.Sprintf("snap-%016x.fgss", e) }
+
+// parseSnapshotName extracts the epoch from a snapshot file name.
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".fgss") {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".fgss"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// crcWriter tees writes into a running CRC32C, so the snapshot checksum
+// accumulates while the body streams out — no second pass over the bytes.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// Snapshot is an in-flight snapshot write. Acquire one with
+// Store.BeginSnapshot, stream the body with WriteGraph then WriteState, and
+// finish with exactly one of Commit or Abort (enforced by fgslint's
+// pairdiscipline). Until Commit returns, the previous snapshot remains the
+// live one; Abort (or a crash) leaves it untouched.
+type Snapshot struct {
+	st    *Store
+	epoch uint64
+	f     *os.File
+	path  string // the .tmp path
+	bw    *bufio.Writer
+	cw    *crcWriter
+	start time.Time
+	done  bool
+	err   error // sticky: first body-write failure, reported by Commit
+}
+
+func newSnapshot(st *Store, epoch uint64, f *os.File, path string) *Snapshot {
+	bw := bufio.NewWriterSize(f, 1<<20)
+	return &Snapshot{st: st, epoch: epoch, f: f, path: path, bw: bw, cw: &crcWriter{w: bw}, start: st.clock.Now()}
+}
+
+// WriteGraph streams the graph section of the body.
+func (sn *Snapshot) WriteGraph(g *graph.Graph) {
+	if sn.err != nil {
+		return
+	}
+	sn.err = graph.WriteBinary(sn.cw, g)
+}
+
+// WriteState streams the maintainer-checkpoint section of the body.
+func (sn *Snapshot) WriteState(ms *core.MaintainerState) {
+	if sn.err != nil {
+		return
+	}
+	sn.err = ms.WriteBinary(sn.cw)
+}
+
+// Commit seals the snapshot — checksum trailer, fsync, atomic rename,
+// directory fsync — then publishes it in the manifest and garbage-collects
+// superseded snapshots and fully-covered WAL segments. On error the tmp
+// file is removed and the previous snapshot remains live.
+func (sn *Snapshot) Commit() error {
+	if sn.done {
+		return errors.New("store: snapshot already finished")
+	}
+	sn.done = true
+	defer sn.st.snapInFlight.Store(false)
+	err := sn.finalize()
+	if err != nil {
+		os.Remove(sn.path) //lint:allow errdrop (best-effort cleanup of the tmp file)
+		return err
+	}
+	if err := sn.st.publishSnapshot(sn.epoch); err != nil {
+		return err
+	}
+	sn.st.snapshotUs.Observe(sn.st.clock.Now().Sub(sn.start).Microseconds())
+	return nil
+}
+
+func (sn *Snapshot) finalize() error {
+	defer sn.f.Close() //lint:allow errdrop (double close after the explicit one below is harmless)
+	if sn.err != nil {
+		return fmt.Errorf("store: snapshot body: %w", sn.err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sn.cw.crc)
+	if _, err := sn.bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("store: snapshot trailer: %w", err)
+	}
+	if err := sn.bw.Flush(); err != nil {
+		return fmt.Errorf("store: snapshot flush: %w", err)
+	}
+	if err := sn.f.Sync(); err != nil {
+		return fmt.Errorf("store: snapshot sync: %w", err)
+	}
+	if err := sn.f.Close(); err != nil {
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	final := filepath.Join(sn.st.dir, snapshotName(sn.epoch))
+	if err := os.Rename(sn.path, final); err != nil {
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	return syncDir(sn.st.dir)
+}
+
+// Abort discards the in-flight snapshot. Safe to call after Commit (no-op),
+// so `defer sn.Abort()` pairs cleanly with a conditional Commit.
+func (sn *Snapshot) Abort() {
+	if sn.done {
+		return
+	}
+	sn.done = true
+	sn.f.Close()       //lint:allow errdrop (the file is being discarded)
+	os.Remove(sn.path) //lint:allow errdrop (best-effort cleanup of the tmp file)
+	sn.st.snapInFlight.Store(false)
+}
+
+// readSnapshot loads and verifies a snapshot file: whole-file read, magic
+// and checksum checked before any parsing touches the bytes.
+func readSnapshot(path string) (epoch uint64, g *graph.Graph, ms *core.MaintainerState, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if len(data) < len(snapMagic)+4 || !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+		return 0, nil, nil, fmt.Errorf("store: %s: not a snapshot file", filepath.Base(path))
+	}
+	body := data[len(snapMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return 0, nil, nil, fmt.Errorf("store: %s: checksum mismatch (got %08x want %08x)", filepath.Base(path), got, want)
+	}
+	// One buffered reader for the whole body: ReadBinary and
+	// ReadMaintainerState both consume it in place, so the graph parse ends
+	// exactly where the checkpoint parse begins.
+	br := bufio.NewReader(bytes.NewReader(body))
+	epoch, err = binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("store: %s: epoch: %w", filepath.Base(path), err)
+	}
+	if g, err = graph.ReadBinary(br); err != nil {
+		return 0, nil, nil, fmt.Errorf("store: %s: graph: %w", filepath.Base(path), err)
+	}
+	if ms, err = core.ReadMaintainerState(br); err != nil {
+		return 0, nil, nil, fmt.Errorf("store: %s: checkpoint: %w", filepath.Base(path), err)
+	}
+	return epoch, g, ms, nil
+}
+
+// listSnapshots returns the snapshot file names in dir in epoch order.
+func listSnapshots(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ent := range ents {
+		if _, ok := parseSnapshotName(ent.Name()); ok && !ent.IsDir() {
+			out = append(out, ent.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-removed entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //lint:allow errdrop (read-only directory handle)
+	return d.Sync()
+}

@@ -2,6 +2,7 @@ package fgs
 
 import (
 	"github.com/cwru-db/fgs/internal/server"
+	"github.com/cwru-db/fgs/internal/store"
 )
 
 // Serving layer (see DESIGN.md §10). A Server wraps a graph, its groups, and
@@ -45,4 +46,33 @@ type (
 // writes go through POST /v1/update.
 func NewServer(g *Graph, groups *Groups, cfg ServerConfig) (*Server, error) {
 	return server.New(g, groups, cfg)
+}
+
+// Durability layer (fgstore, DESIGN.md §15): a write-ahead log of applied
+// update batches plus periodic snapshots, so a restarted daemon recovers to
+// the byte-identical pre-crash state. Open a store, hand it (and what it
+// recovered) to ServerConfig.Store/Resume, and close it after the final
+// drain snapshot.
+type (
+	// Store is an open fgstore data directory.
+	Store = store.Store
+	// StoreOptions configures OpenStore: directory, fsync policy, segment
+	// size.
+	StoreOptions = store.Options
+	// StoreRecovered reports what OpenStore found: the snapshot image and
+	// the WAL tail to replay, or Fresh for an empty directory.
+	StoreRecovered = store.Recovered
+)
+
+// WAL fsync policies for StoreOptions.Fsync.
+const (
+	FsyncBatch = store.FsyncBatch
+	FsyncGroup = store.FsyncGroup
+	FsyncOff   = store.FsyncOff
+)
+
+// OpenStore opens (creating if needed) an fgstore data directory and
+// recovers its latest state.
+func OpenStore(opts StoreOptions) (*Store, *StoreRecovered, error) {
+	return store.Open(opts)
 }
